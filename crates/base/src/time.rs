@@ -1,0 +1,262 @@
+//! Deterministic simulated time.
+//!
+//! Colibri depends on loosely synchronized clocks (the paper assumes ±0.1 s
+//! across ASes) for reservation expiry, packet freshness, duplicate
+//! suppression, and monitoring windows. The whole workspace runs against
+//! this virtual clock rather than the OS clock so that tests, the
+//! discrete-event simulator, and the benchmarks are reproducible.
+//!
+//! Internally both [`Instant`] and [`Duration`] are nanosecond counts. The
+//! paper's high-precision packet timestamp `Ts` (§4.3) is expressed in
+//! nanoseconds relative to the reservation's expiration time.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since the simulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Instant(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+    /// Constructs from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+    /// Constructs from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+    /// Constructs from fractional seconds (rounds to nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// Total nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Total microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Total milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// Total whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl Instant {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: Instant = Instant(0);
+
+    /// Constructs from whole nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+    /// Constructs from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        Instant(s * 1_000_000_000)
+    }
+    /// Constructs from whole milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        Instant(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future (clock skew between ASes can make this happen).
+    pub const fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of another instant.
+    pub fn checked_since(self, earlier: Instant) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Saturating subtraction of a duration.
+    pub const fn saturating_sub(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_sub(d.0))
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl std::fmt::Display for Instant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.6}s", self.0 as f64 / 1e9)
+    }
+}
+
+/// A monotone virtual clock that can be shared and advanced explicitly.
+///
+/// The simulator owns one clock per run; components (gateways, routers,
+/// monitors, Colibri services) read it when they need "now". Benchmarks
+/// advance it manually to model packet inter-arrival times without syscall
+/// overhead.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: std::cell::Cell<u64>,
+}
+
+impl Clock {
+    /// A clock starting at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `at`.
+    pub fn starting_at(at: Instant) -> Self {
+        Self { now: std::cell::Cell::new(at.0) }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        Instant(self.now.get())
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now.set(self.now.get() + d.0);
+    }
+
+    /// Jumps to `t`. Panics if `t` would move time backwards — the clock is
+    /// monotone by construction.
+    pub fn set(&self, t: Instant) {
+        assert!(t.0 >= self.now.get(), "clock must be monotone: {} < now", t);
+        self.now.set(t.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(2).as_millis(), 2000);
+        assert_eq!(Duration::from_millis(5).as_micros(), 5000);
+        assert_eq!(Duration::from_micros(7).as_nanos(), 7000);
+        assert_eq!(Duration::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::from_secs(10);
+        let t1 = t0 + Duration::from_millis(250);
+        assert_eq!(t1.saturating_since(t0), Duration::from_millis(250));
+        assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+        assert_eq!(t1.checked_since(t0), Some(Duration::from_millis(250)));
+        assert_eq!(t0.checked_since(t1), None);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = Clock::new();
+        assert_eq!(c.now(), Instant::EPOCH);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Instant::from_secs(1));
+        c.set(Instant::from_secs(5));
+        assert_eq!(c.now(), Instant::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn clock_rejects_backwards() {
+        let c = Clock::starting_at(Instant::from_secs(10));
+        c.set(Instant::from_secs(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Duration::from_micros(12).to_string(), "12.000µs");
+        assert_eq!(Duration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Duration::from_secs(12).to_string(), "12.000s");
+    }
+}

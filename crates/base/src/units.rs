@@ -1,0 +1,274 @@
+//! Bandwidth values and the compact bandwidth-class encoding.
+//!
+//! Control-plane admission works on exact bit-per-second values
+//! ([`Bandwidth`]). Packet headers, however, encode the reservation
+//! bandwidth in two bytes (paper Eq. 2c, `Bw`): we use a geometric ladder of
+//! *bandwidth classes* in the style of SIBRA, where class `k` represents
+//! `16 kbps · √2^k`. Sixty-four classes cover 16 kbps to beyond 60 Tbps,
+//! which is ample for inter-domain reservations; the header reserves a full
+//! byte plus a flags byte.
+
+use serde::{Deserialize, Serialize};
+
+/// A bandwidth in bits per second.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Constructs from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+    /// Constructs from kilobits per second.
+    pub const fn from_kbps(kbps: u64) -> Self {
+        Bandwidth(kbps * 1_000)
+    }
+    /// Constructs from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Bandwidth(mbps * 1_000_000)
+    }
+    /// Constructs from gigabits per second.
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps * 1_000_000_000)
+    }
+    /// Constructs from fractional Gbps (rounds to bps).
+    pub fn from_gbps_f64(gbps: f64) -> Self {
+        Bandwidth((gbps * 1e9).round() as u64)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+    /// Fractional Mbps.
+    pub fn as_mbps_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Fractional Gbps.
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_add(rhs.0))
+    }
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(rhs.0))
+    }
+    /// Smaller of two bandwidths.
+    pub fn min(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(rhs.0))
+    }
+    /// Larger of two bandwidths.
+    pub fn max(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.max(rhs.0))
+    }
+    /// Scales by a ratio in [0, 1]; values above 1 are allowed and scale up.
+    pub fn scale(self, ratio: f64) -> Bandwidth {
+        debug_assert!(ratio >= 0.0);
+        Bandwidth((self.0 as f64 * ratio).round() as u64)
+    }
+
+    /// How many nanoseconds it takes to transmit `bytes` at this rate.
+    /// Returns `u64::MAX` for zero bandwidth.
+    pub fn transmit_time_ns(self, bytes: u64) -> u64 {
+        if self.0 == 0 {
+            return u64::MAX;
+        }
+        // bits * 1e9 / bps, computed in u128 to avoid overflow.
+        ((bytes as u128 * 8 * 1_000_000_000) / self.0 as u128) as u64
+    }
+}
+
+impl std::ops::Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, |a, b| a.saturating_add(b))
+    }
+}
+
+impl std::fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}Gbps", self.as_gbps_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}Mbps", self.as_mbps_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}kbps", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+/// Base rate of the bandwidth-class ladder: class 1 = 16 kbps.
+const CLASS_BASE_BPS: f64 = 16_000.0;
+/// Ladder ratio between consecutive classes: √2.
+const CLASS_RATIO: f64 = std::f64::consts::SQRT_2;
+/// Number of defined classes (0 = zero bandwidth, 1..=MAX on the ladder).
+const CLASS_MAX: u8 = 64;
+
+/// A compact (one-byte) bandwidth class carried in packet headers.
+///
+/// Class 0 encodes zero bandwidth; class `k ≥ 1` encodes
+/// `16 kbps · √2^(k−1)`. Conversions round *up* when encoding a request
+/// (so the header never under-states the reservation) — the monitor
+/// normalizes packet sizes by the decoded value, which therefore never
+/// under-polices.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BwClass(pub u8);
+
+impl BwClass {
+    /// The zero-bandwidth class.
+    pub const ZERO: BwClass = BwClass(0);
+
+    /// Smallest class whose decoded bandwidth is ≥ `bw`.
+    /// Saturates at the top of the ladder.
+    pub fn from_bandwidth_ceil(bw: Bandwidth) -> Self {
+        if bw.0 == 0 {
+            return BwClass(0);
+        }
+        let bps = bw.0 as f64;
+        if bps <= CLASS_BASE_BPS {
+            return BwClass(1);
+        }
+        let k = (bps / CLASS_BASE_BPS).ln() / CLASS_RATIO.ln();
+        // Guard against FP error making an exact class round up.
+        let mut cls = k.ceil() as u8 + 1;
+        if cls > 1 && BwClass(cls - 1).bandwidth().0 >= bw.0 {
+            cls -= 1;
+        }
+        BwClass(cls.min(CLASS_MAX))
+    }
+
+    /// The bandwidth this class represents.
+    pub fn bandwidth(self) -> Bandwidth {
+        if self.0 == 0 {
+            return Bandwidth::ZERO;
+        }
+        let k = self.0.min(CLASS_MAX);
+        Bandwidth((CLASS_BASE_BPS * CLASS_RATIO.powi(k as i32 - 1)).round() as u64)
+    }
+}
+
+impl std::fmt::Display for BwClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bw{}({})", self.0, self.bandwidth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Bandwidth::from_gbps(40).as_bps(), 40_000_000_000);
+        assert_eq!(Bandwidth::from_mbps(5).as_mbps_f64(), 5.0);
+        assert_eq!(Bandwidth::from_gbps_f64(0.4).as_bps(), 400_000_000);
+    }
+
+    #[test]
+    fn transmit_time() {
+        // 1000 bytes at 1 Gbps = 8 µs.
+        assert_eq!(Bandwidth::from_gbps(1).transmit_time_ns(1000), 8_000);
+        assert_eq!(Bandwidth::ZERO.transmit_time_ns(1), u64::MAX);
+        // No overflow for jumbo frames at low rates.
+        assert_eq!(Bandwidth::from_bps(8).transmit_time_ns(9000), 9000 * 1_000_000_000);
+    }
+
+    #[test]
+    fn class_zero() {
+        assert_eq!(BwClass::from_bandwidth_ceil(Bandwidth::ZERO), BwClass::ZERO);
+        assert_eq!(BwClass::ZERO.bandwidth(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn class_encoding_never_understates() {
+        for bps in [1u64, 16_000, 16_001, 1_000_000, 123_456_789, 40_000_000_000] {
+            let cls = BwClass::from_bandwidth_ceil(Bandwidth(bps));
+            assert!(
+                cls.bandwidth().0 >= bps,
+                "class {cls:?} decodes to {} < requested {bps}",
+                cls.bandwidth().0
+            );
+        }
+    }
+
+    #[test]
+    fn class_encoding_is_tight() {
+        // The chosen class should be at most one √2 step above the request.
+        for bps in [20_000u64, 1_000_000, 5_000_000_000] {
+            let cls = BwClass::from_bandwidth_ceil(Bandwidth(bps));
+            assert!(cls.bandwidth().0 as f64 <= bps as f64 * CLASS_RATIO * 1.01);
+        }
+    }
+
+    #[test]
+    fn class_ladder_monotone() {
+        let mut prev = Bandwidth::ZERO;
+        for k in 0..=CLASS_MAX {
+            let bw = BwClass(k).bandwidth();
+            assert!(bw >= prev, "class {k} not monotone");
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn class_roundtrip_on_ladder() {
+        for k in 1..=CLASS_MAX {
+            let bw = BwClass(k).bandwidth();
+            assert_eq!(BwClass::from_bandwidth_ceil(bw), BwClass(k), "class {k}");
+        }
+    }
+
+    #[test]
+    fn class_saturates() {
+        let huge = Bandwidth(u64::MAX);
+        assert_eq!(BwClass::from_bandwidth_ceil(huge).0, CLASS_MAX);
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(Bandwidth::from_gbps(40).to_string(), "40.000Gbps");
+        assert_eq!(Bandwidth::from_mbps(3).to_string(), "3.000Mbps");
+        assert_eq!(Bandwidth::from_kbps(16).to_string(), "16.000kbps");
+        assert_eq!(Bandwidth(5).to_string(), "5bps");
+    }
+
+    #[test]
+    fn scale_and_minmax() {
+        let b = Bandwidth::from_mbps(100);
+        assert_eq!(b.scale(0.75), Bandwidth::from_mbps(75));
+        assert_eq!(b.min(Bandwidth::from_mbps(50)), Bandwidth::from_mbps(50));
+        assert_eq!(b.max(Bandwidth::from_mbps(50)), b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the base types: time arithmetic and the
+//! bandwidth-class ladder.
+
+use colibri_base::{Bandwidth, BwClass, Duration, Instant};
+use proptest::prelude::*;
+
+proptest! {
+    /// The class encoding never under-states a requested bandwidth and is
+    /// tight to within one √2 step.
+    #[test]
+    fn bw_class_ceiling(bps in 1u64..10_000_000_000_000) {
+        let cls = BwClass::from_bandwidth_ceil(Bandwidth::from_bps(bps));
+        let decoded = cls.bandwidth().as_bps();
+        prop_assert!(decoded >= bps, "class under-states: {decoded} < {bps}");
+        prop_assert!(
+            (decoded as f64) <= bps as f64 * std::f64::consts::SQRT_2 * 1.01,
+            "class too loose: {decoded} for {bps}"
+        );
+    }
+
+    /// Encoding is monotone: more bandwidth never maps to a smaller class.
+    #[test]
+    fn bw_class_monotone(a in 1u64..1_000_000_000_000, b in 1u64..1_000_000_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let cls_lo = BwClass::from_bandwidth_ceil(Bandwidth::from_bps(lo));
+        let cls_hi = BwClass::from_bandwidth_ceil(Bandwidth::from_bps(hi));
+        prop_assert!(cls_lo <= cls_hi);
+    }
+
+    /// Transmit time is consistent with the rate: sending `bytes` at rate
+    /// `bw` for the computed duration moves exactly `bytes` (±1ns of
+    /// rounding).
+    #[test]
+    fn transmit_time_consistent(bytes in 1u64..100_000, mbps in 1u64..100_000) {
+        let bw = Bandwidth::from_mbps(mbps);
+        let ns = bw.transmit_time_ns(bytes);
+        let moved = bw.as_bps() as u128 * ns as u128 / 8 / 1_000_000_000;
+        // Truncating to whole nanoseconds loses up to one nanosecond of
+        // transmission, i.e. up to rate/8·10⁻⁹ bytes.
+        let slack = bw.as_bps() as u128 / 8 / 1_000_000_000 + 1;
+        prop_assert!(moved <= bytes as u128, "{moved} > {bytes}");
+        prop_assert!(moved + slack >= bytes as u128, "{moved} + {slack} < {bytes}");
+    }
+
+    /// Instant/Duration arithmetic: (t + d) − t == d, and saturating
+    /// subtraction never underflows.
+    #[test]
+    fn instant_arithmetic(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t = Instant::from_nanos(t);
+        let d = Duration::from_nanos(d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), Duration::ZERO);
+        prop_assert_eq!((t + d).saturating_sub(d), t);
+    }
+
+    /// Bandwidth saturating ops never panic and bound correctly.
+    #[test]
+    fn bandwidth_saturation(a in any::<u64>(), b in any::<u64>()) {
+        let x = Bandwidth::from_bps(a);
+        let y = Bandwidth::from_bps(b);
+        prop_assert!(x.saturating_add(y) >= x.max(y));
+        prop_assert_eq!(x.saturating_sub(x), Bandwidth::ZERO);
+        prop_assert!(x.saturating_sub(y) <= x);
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation: overuse-flow-detector sketch size vs. per-packet cost.
+//!
+//! The OFD must run at line rate out of cache (paper §4.8). This bench
+//! sweeps the count-min-sketch width and measures per-packet observation
+//! cost; the companion accuracy sweep (false-positive rate at each width)
+//! is a unit test in `colibri-monitor` and a table printed by
+//! `repro_ofd_precision`, because accuracy is a statistical property, not
+//! a latency one.
+
+use colibri::base::{Bandwidth, Duration, Instant, IsdAsId, ResId, ReservationKey};
+use colibri::monitor::{normalized_ns, OfdConfig, OveruseFlowDetector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ofd");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    let bw = Bandwidth::from_mbps(100);
+    let norm = normalized_ns(1500, bw);
+    for &width in &[1usize << 10, 1 << 14, 1 << 18] {
+        let mut ofd = OveruseFlowDetector::new(OfdConfig {
+            depth: 4,
+            width,
+            window: Duration::from_millis(100),
+            factor: 1.25,
+        });
+        let mut i = 0u32;
+        group.bench_with_input(
+            BenchmarkId::new("width", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let key = ReservationKey::new(IsdAsId::new(1, 1 + i % 64), ResId(i % 4096));
+                    ofd.observe(std::hint::black_box(key), norm, Instant::from_nanos(1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **Memoized vs. naive SegR admission** — the memoized aggregates are
+//!   what makes Fig. 3 flat; the naive variant rescans all reservations
+//!   sharing the interfaces and degrades linearly.
+//! * **Two-step MAC vs. components** — the cost anatomy of the data-plane
+//!   authentication: AES key schedule, one CMAC, the full Eq. 4 + Eq. 6
+//!   pipeline, and the cached-σ gateway variant.
+
+use colibri::base::{Instant, IsdAsId, ResId};
+use colibri::crypto::{Aes128, Cmac, Key};
+use colibri::wire::mac::{eer_hvf, eer_hvf_with, hop_auth, segr_token};
+use colibri::wire::{EerInfo, HopField, ResInfo};
+use colibri_bench::{fig3_request, segr_admission_fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ablation_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_admission");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[100u32, 1_000, 10_000] {
+        let mut memo = segr_admission_fixture(n, 0.5);
+        let mut id = 0u32;
+        group.bench_with_input(BenchmarkId::new("memoized", n), &n, |b, _| {
+            b.iter(|| {
+                id = id.wrapping_add(1);
+                let (g, undo) = memo.admit_with_undo(fig3_request(id)).unwrap();
+                memo.undo(undo);
+                g
+            })
+        });
+        let mut naive = segr_admission_fixture(n, 0.5);
+        group.bench_with_input(BenchmarkId::new("naive_rescan", n), &n, |b, _| {
+            b.iter(|| {
+                id = id.wrapping_add(1);
+                let g = naive.admit_naive(fig3_request(id)).unwrap();
+                naive.remove(fig3_request(id).key);
+                g
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mac");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let res_info = ResInfo {
+        src_as: IsdAsId::new(1, 10),
+        res_id: ResId(7),
+        bw: colibri::base::BwClass(30),
+        exp_t: Instant::from_secs(1000),
+        ver: 0,
+    };
+    let eer_info = EerInfo {
+        src_host: colibri::base::HostAddr(1),
+        dst_host: colibri::base::HostAddr(2),
+    };
+    let hop = HopField::new(3, 4);
+    let key = [0x42u8; 16];
+    let k_i = Cmac::new(&key);
+    let sigma = hop_auth(&k_i, &res_info, &eer_info, hop);
+    let sigma_cmac = sigma.cmac();
+
+    group.bench_function("aes_key_schedule", |b| {
+        b.iter(|| Aes128::new(std::hint::black_box(&key)))
+    });
+    group.bench_function("aes_block", |b| {
+        let aes = Aes128::new(&key);
+        let block = [7u8; 16];
+        b.iter(|| aes.encrypt(std::hint::black_box(&block)))
+    });
+    group.bench_function("cmac_30_bytes", |b| {
+        let msg = [9u8; 30];
+        b.iter(|| k_i.tag(std::hint::black_box(&msg)))
+    });
+    group.bench_function("segr_token_eq3", |b| {
+        b.iter(|| segr_token(&k_i, std::hint::black_box(&res_info), hop))
+    });
+    group.bench_function("hop_auth_eq4", |b| {
+        b.iter(|| hop_auth(&k_i, std::hint::black_box(&res_info), &eer_info, hop))
+    });
+    group.bench_function("hvf_eq6_fresh_sigma", |b| {
+        // Router path: derive σ, key it, compute the HVF.
+        b.iter(|| {
+            let s = hop_auth(&k_i, std::hint::black_box(&res_info), &eer_info, hop);
+            eer_hvf(&s, 12345, 1500)
+        })
+    });
+    group.bench_function("hvf_eq6_cached_sigma", |b| {
+        // Hypothetical stateful router caching σ's key schedule —
+        // quantifies what statelessness costs per packet.
+        b.iter(|| eer_hvf_with(std::hint::black_box(&sigma_cmac), 12345, 1500))
+    });
+    group.bench_function("hvf_keyed_from_raw_sigma", |b| {
+        // Gateway path: σ stored raw (16 B), key schedule per packet.
+        b.iter(|| eer_hvf(std::hint::black_box(&sigma), 12345, 1500))
+    });
+    group.bench_function("insecure_xor_tag_baseline", |b| {
+        // A non-cryptographic 4-byte checksum — what the crypto costs.
+        let data = [0xA5u8; 34];
+        b.iter(|| {
+            let mut t = [0u8; 4];
+            for (i, byte) in std::hint::black_box(&data).iter().enumerate() {
+                t[i & 3] ^= byte.rotate_left(i as u32 & 7);
+            }
+            t
+        })
+    });
+    std::hint::black_box(Key(key));
+    group.finish();
+}
+
+criterion_group!(benches, ablation_admission, ablation_mac);
+criterion_main!(benches);

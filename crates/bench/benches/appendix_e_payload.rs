@@ -1,0 +1,63 @@
+//! Appendix E: forwarding performance vs. payload size.
+//!
+//! Paper result: for both the gateway (2¹⁵ pre-existing reservations) and
+//! the border router, packets-per-second is independent of payload size —
+//! all per-packet work (header parsing, MAC computation) touches a fixed
+//! number of bytes; the payload is never read. (Absolute Mpps differ from
+//! Fig. 5/6 in the paper too, as that experiment used a different setup.)
+
+use colibri::base::Instant;
+use colibri::dataplane::RouterVerdict;
+use colibri_bench::{bench_gateway, bench_router, stamped_packets, Xor64, SRC_HOST};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const PAYLOADS: [usize; 5] = [0, 128, 512, 1000, 1500];
+
+fn bench_gateway_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_e_gateway");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    let now = Instant::from_secs(10);
+    let (mut gw, ids) = bench_gateway(4, 1 << 15, now);
+    for &p in &PAYLOADS {
+        let payload = vec![0u8; p];
+        let mut rng = Xor64::new(0xA99E);
+        group.bench_with_input(BenchmarkId::new("payload", p), &p, |b, _| {
+            b.iter(|| {
+                let id = ids[(rng.next() % ids.len() as u64) as usize];
+                gw.process(SRC_HOST, id, std::hint::black_box(&payload), now).expect("stamp")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_router_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_e_router");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    let now = Instant::from_secs(10);
+    let (mut gw, ids) = bench_gateway(4, 1 << 10, now);
+    for &p in &PAYLOADS {
+        let pkts = stamped_packets(&mut gw, &ids, p, 1024, 1, now);
+        let mut router = bench_router(4, 1);
+        let mut scratch = pkts[0].clone();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("payload", p), &p, |b, _| {
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                scratch.clear();
+                scratch.extend_from_slice(&pkts[i]);
+                let verdict = router.process(std::hint::black_box(&mut scratch), now);
+                assert!(matches!(verdict, RouterVerdict::Forward(_)));
+                verdict
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_payload, bench_router_payload);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! End-to-end control-plane benches: full SegR and EER setups through the
+//! multi-AS orchestration, *including* the per-AS DRKey MAC verification,
+//! token/HopAuth computation, and AEAD sealing — the closest equivalent of
+//! the paper's "time elapsed between the request arriving and the
+//! response leaving the service" measured across a whole path, plus the
+//! Appendix D distributed-CServ batch admission.
+
+use colibri::base::{Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ResId, ReservationKey};
+use colibri::ctrl::{
+    setup_eer, setup_segr, CservConfig, CservRegistry, DistributedCServ, EerAdmitRequest,
+    SegrAdmissionConfig, SegrRequest,
+};
+use colibri::topology::gen::sample_two_isd;
+use colibri::topology::stitch;
+use colibri::wire::EerInfo;
+use colibri::base::HostAddr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_plane_setup");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Full 3-AS SegR setup (forward admission at each AS + backward token
+    // computation + owned-state recording), fresh reservation each iter.
+    group.bench_function("segr_setup_3as", |b| {
+        let sample = sample_two_isd();
+        let mut reg = CservRegistry::provision(&sample.topo, CservConfig::default());
+        let up = sample.segments.up_segments(sample.leaf_b, sample.core_11)[1].clone();
+        let mut t = Instant::from_secs(1);
+        b.iter(|| {
+            // Advance time slightly so reservations do not pile up beyond
+            // their lifetime (they share capacity but each is tiny).
+            t += Duration::from_micros(10);
+            setup_segr(
+                &mut reg,
+                &up,
+                Bandwidth::from_kbps(8),
+                Bandwidth::ZERO,
+                std::hint::black_box(t),
+            )
+            .expect("setup")
+        })
+    });
+
+    // Full 5-AS EER setup over three stitched SegRs, including the AEAD
+    // return channel for the hop authenticators.
+    group.bench_function("eer_setup_5as", |b| {
+        let sample = sample_two_isd();
+        let mut reg = CservRegistry::provision(&sample.topo, CservConfig::default());
+        let now = Instant::from_secs(1);
+        let up = sample.segments.up_segments(sample.leaf_b, sample.core_11)[1].clone();
+        let core = sample.segments.core_segments(sample.core_11, sample.core_21)[0].clone();
+        let down = sample.segments.down_segments(sample.core_21, sample.leaf_d)[0].clone();
+        let mut keys = Vec::new();
+        for seg in [&up, &core, &down] {
+            keys.push(
+                setup_segr(&mut reg, seg, Bandwidth::from_gbps(10), Bandwidth::ZERO, now)
+                    .unwrap()
+                    .key,
+            );
+        }
+        let path = stitch(&[up, core, down]).unwrap();
+        let hosts = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+        let mut t = now;
+        b.iter(|| {
+            t += Duration::from_micros(10);
+            setup_eer(
+                &mut reg,
+                &path,
+                &keys,
+                hosts,
+                Bandwidth::from_kbps(8),
+                std::hint::black_box(t),
+            )
+            .expect("eer setup")
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_distributed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let now = Instant::from_secs(0);
+    const BATCH: u32 = 4_096;
+    for &shards in &[1usize, 4, 16] {
+        let svc = DistributedCServ::new(shards, SegrAdmissionConfig { colibri_share: 1.0 });
+        svc.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(100_000));
+        svc.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(100_000));
+        for i in 0..64u32 {
+            svc.admit_segr(SegrRequest {
+                key: ReservationKey::new(IsdAsId::new(1, 100 + i), ResId(i)),
+                ingress: InterfaceId(1),
+                egress: InterfaceId(2),
+                demand: Bandwidth::from_gbps(1000),
+                min_bw: Bandwidth::ZERO,
+            })
+            .unwrap();
+        }
+        let mut serial = 0u32;
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                serial = serial.wrapping_add(1);
+                let reqs: Vec<EerAdmitRequest> = (0..BATCH)
+                    .map(|e| EerAdmitRequest {
+                        segr: ReservationKey::new(IsdAsId::new(1, 100 + e % 64), ResId(e % 64)),
+                        eer: ReservationKey::new(
+                            IsdAsId::new(1, 200),
+                            ResId(serial.wrapping_mul(BATCH).wrapping_add(e)),
+                        ),
+                        ver: 0,
+                        bw: Bandwidth::from_bps(8),
+                        exp: Instant::from_secs(16),
+                    })
+                    .collect();
+                svc.admit_eer_batch_parallel(&reqs, now)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_distributed);
+criterion_main!(benches);

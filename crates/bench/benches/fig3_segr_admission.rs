@@ -1,0 +1,44 @@
+//! Fig. 3: processing time for one SegR admission as a function of the
+//! number of existing SegRs over the same interface pair (0–10 000) and
+//! the fraction of them sharing the measured request's source AS
+//! (`ratio` ∈ {0, 0.1, 0.5, 0.9}).
+//!
+//! Paper result: flat lines well under 1.5 ms — admission is O(1) thanks
+//! to memoized aggregates. The measured operation is one `admit` of a new
+//! reservation followed by `undo`, which restores the fixture so every
+//! sample sees identical state (both operations are O(1); the paper
+//! measures admit alone, so halve the reading for a strict comparison).
+
+use colibri_bench::{fig3_request, segr_admission_fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_segr_admission");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[0u32, 2_000, 4_000, 6_000, 8_000, 10_000] {
+        for &ratio in &[0.0f64, 0.1, 0.5, 0.9] {
+            let mut state = segr_admission_fixture(n, ratio);
+            let mut next_id = 0u32;
+            group.bench_with_input(
+                BenchmarkId::new(format!("ratio_{ratio}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        next_id = next_id.wrapping_add(1);
+                        let (granted, undo) = state
+                            .admit_with_undo(std::hint::black_box(fig3_request(next_id)))
+                            .expect("admission");
+                        state.undo(undo);
+                        granted
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 5: single-core forwarding performance of the Colibri gateway as a
+//! function of the number of on-path ASes (2–16; one HVF computed per AS)
+//! and the number of installed reservations (r ∈ {2⁰, 2¹⁰, 2¹⁵, 2¹⁷, 2²⁰};
+//! lookups with random reservation IDs stress the cache exactly like the
+//! paper's worst-case workload).
+//!
+//! Paper result (AES-NI + DPDK): 0.4–2.5 Mpps depending on the corner.
+//! Software AES shifts the absolute numbers down; the shape — throughput
+//! decreasing in path length and in table size — is the reproduced claim.
+
+use colibri::base::Instant;
+use colibri_bench::{bench_gateway, Xor64, SRC_HOST};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_gateway");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(1));
+    let now = Instant::from_secs(10);
+    let payload = vec![0u8; 0]; // zero payload, as in the paper's speedtest
+    // 2^20 × 16 hops is a large fixture; cap the sweep so `cargo bench`
+    // stays tractable — the repro binary runs the full grid.
+    for &hops in &[2usize, 4, 8, 16] {
+        for &r in &[1usize, 1 << 10, 1 << 15, 1 << 17] {
+            let (mut gw, ids) = bench_gateway(hops, r, now);
+            let mut rng = Xor64::new(0xF165);
+            group.bench_with_input(
+                BenchmarkId::new(format!("hops_{hops}"), r),
+                &r,
+                |b, _| {
+                    b.iter(|| {
+                        let id = ids[(rng.next() % ids.len() as u64) as usize];
+                        gw.process(SRC_HOST, std::hint::black_box(id), &payload, now)
+                            .expect("stamp")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Reproduces Fig. 4: EER admission processing time at a transit AS vs.
+//! number of existing EERs sharing the SegR (10–100 000), for s ∈
+//! {1, 5 000, 10 000} active SegRs at the AS.
+//!
+//! Expected shape: flat in both parameters; well above the paper's
+//! "2 000 requests per second on a single core" floor. Run with
+//! `cargo run --release -p colibri-bench --bin repro_fig4`.
+
+use colibri::base::{Bandwidth, Instant, IsdAsId, ResId, ReservationKey};
+use colibri_bench::eer_admission_fixture;
+
+fn main() {
+    const REPS: u32 = 50_000;
+    let n_eers = [10u32, 100, 1_000, 10_000, 100_000];
+    let ss = [1u32, 5_000, 10_000];
+    let exp = Instant::from_secs(1_000_000);
+    let now = Instant::from_secs(1);
+
+    println!("# Fig. 4 — EER admission time [µs] (mean over {REPS} admissions)");
+    print!("{:>10}", "eers");
+    for s in ss {
+        print!("{:>14}", format!("s={s}"));
+    }
+    println!();
+    let mut best_rate = 0f64;
+    for &n in &n_eers {
+        print!("{n:>10}");
+        for &s in &ss {
+            let (mut store, target) = eer_admission_fixture(n, s);
+            let run = |store: &mut colibri::ctrl::ReservationStore, reps: u32| {
+                let t0 = std::time::Instant::now();
+                for i in 0..reps {
+                    let key = ReservationKey::new(IsdAsId::new(1, 61), ResId(1_000_000 + i));
+                    let rec = store.segr_mut(target).expect("lookup");
+                    rec.usage.admit(key, 0, Bandwidth::from_kbps(1), exp, now, None).unwrap();
+                    rec.usage.remove_version(key, 0);
+                }
+                t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+            };
+            run(&mut store, 2_000); // warmup
+            let us = run(&mut store, REPS);
+            best_rate = best_rate.max(1e6 / us);
+            print!("{us:>14.3}");
+        }
+        println!();
+    }
+    println!("\nsingle-core admission rate: ≥ {best_rate:.0} req/s (paper: > 2000 req/s)");
+}

@@ -1,0 +1,71 @@
+//! OFD precision sweep: false-positive rate and detection delay of the
+//! probabilistic overuse-flow detector as a function of sketch width.
+//!
+//! The paper (§4.8) requires the OFD to fit in fast cache while keeping
+//! false positives manageable (each false positive costs a deterministic
+//! watchlist slot) and — critically — to produce *no false negatives*:
+//! every overuser must eventually be flagged. This harness loads the
+//! sketch with `n` compliant background flows plus one 4× overuser and
+//! reports, per width: memory, the number of compliant flows flagged
+//! (false positives), and how long the overuser ran before being flagged.
+//!
+//! Run with `cargo run --release -p colibri-bench --bin repro_ofd_precision`.
+
+use colibri::base::{Bandwidth, Duration, Instant, IsdAsId, ResId, ReservationKey};
+use colibri::monitor::{normalized_ns, OfdConfig, OveruseFlowDetector};
+use colibri_bench::Xor64;
+use std::collections::HashSet;
+
+fn key(i: u32) -> ReservationKey {
+    ReservationKey::new(IsdAsId::new(1, 1 + i / 251), ResId(i))
+}
+
+fn run(width: usize, n_flows: u32) -> (usize, usize, Option<Duration>) {
+    let bw = Bandwidth::from_mbps(10);
+    let window = Duration::from_millis(100);
+    let mut ofd = OveruseFlowDetector::new(OfdConfig { depth: 4, width, window, factor: 1.25 });
+    let overuser = key(u32::MAX - 1);
+    // Every compliant flow transmits at exactly its reservation: in each
+    // of 100 rounds per window it consumes window/100 of normalized time.
+    // The overuser sends at 4× that. (Packetization details cancel out of
+    // the sketch; what matters is the normalized load.)
+    let slice = window.as_nanos() / 100;
+    let t0 = Instant::from_nanos(1);
+    let mut rng = Xor64::new(0x0FD);
+    let mut flagged: HashSet<ReservationKey> = HashSet::new();
+    let mut overuse_detected_at = None;
+    let _ = normalized_ns(1, bw); // keep the helper linked for readers
+    for round in 0..95u64 {
+        let now = t0 + Duration::from_nanos(round * slice);
+        for f in 0..n_flows {
+            // Randomize observation order a little so row collisions are
+            // not artificially synchronized.
+            let f = (f.wrapping_add((rng.next() % 7) as u32)) % n_flows;
+            if ofd.observe(key(f), slice, now) {
+                flagged.insert(key(f));
+            }
+        }
+        if ofd.observe(overuser, 4 * slice, now) && overuse_detected_at.is_none() {
+            overuse_detected_at = Some(now.saturating_since(t0));
+        }
+    }
+    flagged.remove(&overuser);
+    (ofd.memory_bytes(), flagged.len(), overuse_detected_at)
+}
+
+fn main() {
+    let n_flows = 20_000u32;
+    println!("# OFD precision vs sketch width ({n_flows} full-rate compliant flows + one 4x overuser)");
+    println!("{:>10}{:>12}{:>18}{:>20}", "width", "memory", "false positives", "detection delay");
+    for width in [1usize << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] {
+        let (mem, fp, delay) = run(width, n_flows);
+        let delay_s = match delay {
+            Some(d) => format!("{d}"),
+            None => "NOT DETECTED".into(),
+        };
+        println!("{width:>10}{:>11}K{fp:>18}{delay_s:>20}", mem / 1024);
+        assert!(delay.is_some(), "overuser escaped at width {width} — no-false-negative violated");
+    }
+    println!("\nno false negatives at any width (CM sketches only over-estimate);");
+    println!("false positives shrink with width — the paper's cache/precision trade-off");
+}

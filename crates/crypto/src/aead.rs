@@ -1,0 +1,195 @@
+//! Authenticated encryption with associated data (AEAD).
+//!
+//! Colibri returns EER hop authenticators σᵢ from each on-path AS to the
+//! source AS over a channel secured with AEAD under the DRKey-derived key
+//! `K_{ASᵢ→AS₀}` (paper Eq. 5). This module implements an
+//! encrypt-then-MAC composition of AES-CTR and AES-CMAC:
+//!
+//! ```text
+//! C   = CTR_{K_enc}(nonce, P)
+//! tag = CMAC_{K_mac}(nonce || len(A) || A || len(C) || C)
+//! ```
+//!
+//! with `K_enc = CMAC_K("enc")` and `K_mac = CMAC_K("mac")` derived from the
+//! shared key, so a single 16-byte DRKey suffices.
+
+use crate::aes::Aes128;
+use crate::cmac::{ct_eq, Cmac};
+use crate::ctr::ctr_xor;
+
+/// Length of the authentication tag appended to every sealed message.
+pub const TAG_LEN: usize = 16;
+/// Length of the nonce callers must supply (unique per key).
+pub const NONCE_LEN: usize = 12;
+
+/// Errors returned by [`Aead::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// The ciphertext is shorter than a tag.
+    Truncated,
+    /// Tag verification failed — the message was forged or corrupted.
+    BadTag,
+}
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AeadError::Truncated => write!(f, "ciphertext shorter than authentication tag"),
+            AeadError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// A keyed AEAD instance (encrypt-then-MAC over AES-CTR + AES-CMAC).
+#[derive(Clone)]
+pub struct Aead {
+    enc: Aes128,
+    mac: Cmac,
+}
+
+impl Aead {
+    /// Derives the encryption and MAC subkeys from a single shared key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let kdf = Cmac::new(key);
+        let k_enc = kdf.tag(b"colibri-aead-enc");
+        let k_mac = kdf.tag(b"colibri-aead-mac");
+        Self { enc: Aes128::new(&k_enc), mac: Cmac::new(&k_mac) }
+    }
+
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut st = self.mac.start();
+        st.update(nonce);
+        st.update(&(aad.len() as u64).to_be_bytes());
+        st.update(aad);
+        st.update(&(ct.len() as u64).to_be_bytes());
+        st.update(ct);
+        st.finish()
+    }
+
+    /// Encrypts `plaintext` and authenticates it together with `aad`,
+    /// returning `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        ctr_xor(&self.enc, nonce, &mut out);
+        let tag = self.compute_tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `sealed` (as produced by [`Aead::seal`]).
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if sealed.len() < TAG_LEN {
+            return Err(AeadError::Truncated);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expect = self.compute_tag(nonce, aad, ct);
+        if !ct_eq(&expect, tag) {
+            return Err(AeadError::BadTag);
+        }
+        let mut plain = ct.to_vec();
+        ctr_xor(&self.enc, nonce, &mut plain);
+        Ok(plain)
+    }
+}
+
+impl std::fmt::Debug for Aead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aead {{ .. }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aead() -> Aead {
+        Aead::new(&[0x42; 16])
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let a = aead();
+        let nonce = [7u8; NONCE_LEN];
+        let sealed = a.seal(&nonce, b"header", b"hop authenticator bytes");
+        assert_eq!(sealed.len(), 23 + TAG_LEN);
+        let plain = a.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(plain, b"hop authenticator bytes");
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let a = aead();
+        let nonce = [0u8; NONCE_LEN];
+        let sealed = a.seal(&nonce, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(a.open(&nonce, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let a = aead();
+        let nonce = [1u8; NONCE_LEN];
+        let mut sealed = a.seal(&nonce, b"aad", b"secret sigma");
+        sealed[0] ^= 0x01;
+        assert_eq!(a.open(&nonce, b"aad", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let a = aead();
+        let nonce = [1u8; NONCE_LEN];
+        let mut sealed = a.seal(&nonce, b"aad", b"secret sigma");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(a.open(&nonce, b"aad", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let a = aead();
+        let nonce = [1u8; NONCE_LEN];
+        let sealed = a.seal(&nonce, b"aad-1", b"payload");
+        assert_eq!(a.open(&nonce, b"aad-2", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let a = aead();
+        let sealed = a.seal(&[1u8; NONCE_LEN], b"aad", b"payload");
+        assert_eq!(a.open(&[2u8; NONCE_LEN], b"aad", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = aead();
+        let b = Aead::new(&[0x43; 16]);
+        let nonce = [1u8; NONCE_LEN];
+        let sealed = a.seal(&nonce, b"aad", b"payload");
+        assert_eq!(b.open(&nonce, b"aad", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let a = aead();
+        assert_eq!(a.open(&[0u8; NONCE_LEN], b"", &[0u8; TAG_LEN - 1]), Err(AeadError::Truncated));
+    }
+
+    #[test]
+    fn aad_length_confusion_rejected() {
+        // Moving a byte from AAD to plaintext must not verify: the length
+        // framing in the tag input prevents concatenation ambiguity.
+        let a = aead();
+        let nonce = [5u8; NONCE_LEN];
+        let sealed = a.seal(&nonce, b"ab", b"cd");
+        assert!(a.open(&nonce, b"abc", &sealed).is_err());
+        assert!(a.open(&nonce, b"a", &sealed).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Software AES-128 block cipher (FIPS-197).
+//!
+//! The paper's implementation uses hardware AES-NI instructions; no hardware
+//! crypto crates are available in this environment, so this is a portable
+//! table-driven implementation. Encryption uses the classic four T-tables
+//! (S-box composed with MixColumns), which keeps the per-block cost low
+//! enough that the data-plane benchmarks preserve the paper's shape (cost
+//! proportional to the number of MAC computations, i.e. path length).
+//!
+//! Only the pieces Colibri needs are exposed: key expansion and single-block
+//! encryption/decryption. All modes (CMAC, CTR, AEAD) are built on top in
+//! sibling modules.
+//!
+//! # Security note
+//! Table-driven AES is vulnerable to cache-timing side channels and would
+//! not be appropriate for production deployments; the reference system uses
+//! constant-time hardware instructions. This reproduction targets functional
+//! and performance-shape fidelity, not side-channel resistance.
+
+/// The AES S-box (FIPS-197 Fig. 7).
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse S-box, derived from [`SBOX`] at compile time.
+pub const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// GF(2^8) multiplication used for MixColumns (decryption path).
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Encryption T-table 0: `T0[x] = (2·S[x], S[x], S[x], 3·S[x])` packed
+/// big-endian into a `u32`; T1..T3 are byte rotations of T0.
+const T0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+};
+const T1: [u32; 256] = rot_table(&T0, 8);
+const T2: [u32; 256] = rot_table(&T0, 16);
+const T3: [u32; 256] = rot_table(&T0, 24);
+
+const fn rot_table(src: &[u32; 256], r: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(r);
+        i += 1;
+    }
+    t
+}
+
+const RCON: [u32; 10] = [
+    0x0100_0000,
+    0x0200_0000,
+    0x0400_0000,
+    0x0800_0000,
+    0x1000_0000,
+    0x2000_0000,
+    0x4000_0000,
+    0x8000_0000,
+    0x1b00_0000,
+    0x3600_0000,
+];
+
+const NR: usize = 10; // rounds for AES-128
+
+/// An expanded AES-128 key ready for block operations.
+///
+/// Key expansion is done once at construction; encrypting a block touches
+/// only the precomputed round keys and the T-tables. This mirrors how the
+/// Colibri router derives per-AS keys once and then authenticates packets at
+/// line rate.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [u32; 4 * (NR + 1)],
+}
+
+impl Aes128 {
+    /// Expands `key` into round keys (FIPS-197 §5.2).
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut rk = [0u32; 4 * (NR + 1)];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            rk[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 4..4 * (NR + 1) {
+            let mut temp = rk[i - 1];
+            if i % 4 == 0 {
+                temp = sub_word(temp.rotate_left(8)) ^ RCON[i / 4 - 1];
+            }
+            rk[i] = rk[i - 4] ^ temp;
+        }
+        Self { round_keys: rk }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    #[inline]
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let rk = &self.round_keys;
+        let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
+        let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[1];
+        let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[2];
+        let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[3];
+
+        for round in 1..NR {
+            let t0 = T0[(s0 >> 24) as usize]
+                ^ T1[((s1 >> 16) & 0xff) as usize]
+                ^ T2[((s2 >> 8) & 0xff) as usize]
+                ^ T3[(s3 & 0xff) as usize]
+                ^ rk[4 * round];
+            let t1 = T0[(s1 >> 24) as usize]
+                ^ T1[((s2 >> 16) & 0xff) as usize]
+                ^ T2[((s3 >> 8) & 0xff) as usize]
+                ^ T3[(s0 & 0xff) as usize]
+                ^ rk[4 * round + 1];
+            let t2 = T0[(s2 >> 24) as usize]
+                ^ T1[((s3 >> 16) & 0xff) as usize]
+                ^ T2[((s0 >> 8) & 0xff) as usize]
+                ^ T3[(s1 & 0xff) as usize]
+                ^ rk[4 * round + 2];
+            let t3 = T0[(s3 >> 24) as usize]
+                ^ T1[((s0 >> 16) & 0xff) as usize]
+                ^ T2[((s1 >> 8) & 0xff) as usize]
+                ^ T3[(s2 & 0xff) as usize]
+                ^ rk[4 * round + 3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+        }
+
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        let o0 = final_word(s0, s1, s2, s3) ^ rk[4 * NR];
+        let o1 = final_word(s1, s2, s3, s0) ^ rk[4 * NR + 1];
+        let o2 = final_word(s2, s3, s0, s1) ^ rk[4 * NR + 2];
+        let o3 = final_word(s3, s0, s1, s2) ^ rk[4 * NR + 3];
+
+        block[0..4].copy_from_slice(&o0.to_be_bytes());
+        block[4..8].copy_from_slice(&o1.to_be_bytes());
+        block[8..12].copy_from_slice(&o2.to_be_bytes());
+        block[12..16].copy_from_slice(&o3.to_be_bytes());
+    }
+
+    /// Encrypts one block, returning the ciphertext.
+    #[inline]
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+
+    /// Decrypts one 16-byte block in place (straightforward inverse-cipher;
+    /// not on any hot path — Colibri's modes only require encryption).
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys, NR);
+        for round in (1..NR).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            add_round_key(&mut state, &self.round_keys, round);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        add_round_key(&mut state, &self.round_keys, 0);
+        *block = state;
+    }
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ .. }}")
+    }
+}
+
+#[inline]
+fn final_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(d & 0xff) as usize] as u32)
+}
+
+#[inline]
+fn sub_word(w: u32) -> u32 {
+    ((SBOX[(w >> 24) as usize] as u32) << 24)
+        | ((SBOX[((w >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((w >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(w & 0xff) as usize] as u32)
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u32], round: usize) {
+    for c in 0..4 {
+        let k = rk[4 * round + c].to_be_bytes();
+        for r in 0..4 {
+            state[4 * c + r] ^= k[r];
+        }
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    // State is column-major: state[4c + r]. Row r rotates right by r.
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = row[c];
+        }
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] =
+            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] =
+            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] =
+            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B example vector.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plain = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt(&plain), expect);
+    }
+
+    /// FIPS-197 Appendix C.1 (AES-128) known-answer test.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plain: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt(&plain), expect);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let key = [0xA5; 16];
+        let aes = Aes128::new(&key);
+        for seed in 0u8..32 {
+            let plain: [u8; 16] = core::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8));
+            let mut block = plain;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, plain, "encryption must not be identity");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, plain);
+        }
+    }
+
+    #[test]
+    fn inv_sbox_is_inverse() {
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let a = Aes128::new(&[0u8; 16]);
+        let b = Aes128::new(&[1u8; 16]);
+        let p = [0x42; 16];
+        assert_ne!(a.encrypt(&p), b.encrypt(&p));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains("07"));
+    }
+}

@@ -1,0 +1,283 @@
+//! AES-CMAC message-authentication code (RFC 4493).
+//!
+//! CMAC is the workhorse of Colibri's data plane: SegR tokens (paper Eq. 3),
+//! EER hop authenticators σᵢ (Eq. 4), per-packet hop validation fields
+//! (Eq. 6), and the DRKey pseudo-random function are all AES-CMAC
+//! computations. A border router performs two CMACs per EER packet and must
+//! do so without any per-flow state, so the implementation offers both a
+//! one-shot API over a slice and an incremental builder for composite
+//! inputs (`ResInfo || EERInfo || (Inᵢ, Egᵢ)`).
+
+use crate::aes::Aes128;
+
+const BLOCK: usize = 16;
+const RB: u8 = 0x87; // constant for 128-bit block doubling (RFC 4493 §2.3)
+
+/// Doubles a value in GF(2^128) as required for CMAC subkey generation.
+fn dbl(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        let b = block[i];
+        out[i] = (b << 1) | carry;
+        carry = b >> 7;
+    }
+    if carry != 0 {
+        out[15] ^= RB;
+    }
+    out
+}
+
+/// A keyed AES-CMAC instance with precomputed subkeys.
+///
+/// Cloning is cheap (a few round keys); routers keep one instance per local
+/// secret value and derive per-reservation instances on the fly.
+#[derive(Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+impl Cmac {
+    /// Creates a CMAC instance for `key`, deriving subkeys K1/K2.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Self { cipher, k1, k2 }
+    }
+
+    /// Builds a CMAC instance reusing an already-expanded cipher.
+    pub fn from_cipher(cipher: Aes128) -> Self {
+        let l = cipher.encrypt(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Self { cipher, k1, k2 }
+    }
+
+    /// Computes the 16-byte tag over `msg` in one shot.
+    pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
+        let mut st = self.start();
+        st.update(msg);
+        st.finish()
+    }
+
+    /// Computes the tag truncated to `N` bytes (N ≤ 16). Colibri uses
+    /// `N = 4` for hop validation fields (`ℓ_hvf = 4` in the paper).
+    pub fn tag_truncated<const N: usize>(&self, msg: &[u8]) -> [u8; N] {
+        const { assert!(N <= 16) };
+        let full = self.tag(msg);
+        let mut out = [0u8; N];
+        out.copy_from_slice(&full[..N]);
+        out
+    }
+
+    /// Begins an incremental computation.
+    pub fn start(&self) -> CmacState<'_> {
+        CmacState {
+            mac: self,
+            x: [0u8; 16],
+            buf: [0u8; 16],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Cmac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Cmac {{ .. }}")
+    }
+}
+
+/// Incremental CMAC computation over a message supplied in chunks.
+pub struct CmacState<'a> {
+    mac: &'a Cmac,
+    x: [u8; 16],
+    buf: [u8; 16],
+    buf_len: usize,
+    total: usize,
+}
+
+impl CmacState<'_> {
+    /// Absorbs `data` into the running MAC.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut data = data;
+        self.total += data.len();
+        // Keep at least one byte pending so `finish` can decide padding.
+        while self.buf_len + data.len() > BLOCK {
+            let take = BLOCK - self.buf_len;
+            self.buf[self.buf_len..].copy_from_slice(&data[..take]);
+            data = &data[take..];
+            for i in 0..BLOCK {
+                self.x[i] ^= self.buf[i];
+            }
+            self.mac.cipher.encrypt_block(&mut self.x);
+            self.buf_len = 0;
+        }
+        self.buf[self.buf_len..self.buf_len + data.len()].copy_from_slice(data);
+        self.buf_len += data.len();
+    }
+
+    /// Finalizes and returns the 16-byte tag.
+    pub fn finish(mut self) -> [u8; 16] {
+        let mut last = [0u8; 16];
+        if self.total > 0 && self.buf_len == BLOCK {
+            // Complete final block: XOR with K1.
+            for (l, (b, k)) in last.iter_mut().zip(self.buf.iter().zip(&self.mac.k1)) {
+                *l = b ^ k;
+            }
+        } else {
+            // Padded final block: 10* padding, XOR with K2.
+            last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            last[self.buf_len] = 0x80;
+            for (l, k) in last.iter_mut().zip(&self.mac.k2) {
+                *l ^= k;
+            }
+        }
+        for (x, l) in self.x.iter_mut().zip(&last) {
+            *x ^= l;
+        }
+        self.mac.cipher.encrypt_block(&mut self.x);
+        self.x
+    }
+}
+
+/// Constant-time equality of two tags.
+///
+/// Routers compare attacker-supplied HVFs against locally recomputed ones;
+/// a short-circuiting comparison would leak how many prefix bytes matched.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+    const MSG: [u8; 64] = [
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17,
+        0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+        0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19, 0x1a,
+        0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b,
+        0xe6, 0x6c, 0x37, 0x10,
+    ];
+
+    /// RFC 4493 §4 test vectors (all four message lengths).
+    #[test]
+    fn rfc4493_vectors() {
+        let cmac = Cmac::new(&KEY);
+        let cases: [(&[u8], [u8; 16]); 4] = [
+            (
+                &[],
+                [
+                    0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b,
+                    0x75, 0x67, 0x46,
+                ],
+            ),
+            (
+                &MSG[..16],
+                [
+                    0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0,
+                    0x4a, 0x28, 0x7c,
+                ],
+            ),
+            (
+                &MSG[..40],
+                [
+                    0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14,
+                    0x97, 0xc8, 0x27,
+                ],
+            ),
+            (
+                &MSG[..64],
+                [
+                    0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79,
+                    0x36, 0x3c, 0xfe,
+                ],
+            ),
+        ];
+        for (msg, expect) in cases {
+            assert_eq!(cmac.tag(msg), expect, "len {}", msg.len());
+        }
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let cmac = Cmac::new(&KEY);
+        for split in 0..=64 {
+            let mut st = cmac.start();
+            st.update(&MSG[..split]);
+            st.update(&MSG[split..]);
+            assert_eq!(st.finish(), cmac.tag(&MSG), "split {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_many_small_chunks() {
+        let cmac = Cmac::new(&KEY);
+        let mut st = cmac.start();
+        for b in MSG {
+            st.update(&[b]);
+        }
+        assert_eq!(st.finish(), cmac.tag(&MSG));
+    }
+
+    #[test]
+    fn truncation_is_prefix() {
+        let cmac = Cmac::new(&KEY);
+        let full = cmac.tag(&MSG);
+        let short: [u8; 4] = cmac.tag_truncated(&MSG);
+        assert_eq!(short, full[..4]);
+    }
+
+    #[test]
+    fn tag_changes_with_message() {
+        let cmac = Cmac::new(&KEY);
+        assert_ne!(cmac.tag(b"hello"), cmac.tag(b"hellp"));
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abcd", b"abcd"));
+        assert!(!ct_eq(b"abcd", b"abce"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn dbl_known_values() {
+        // From RFC 4493 §4: L = AES(K, 0^128), K1 = dbl(L), K2 = dbl(K1).
+        let cipher = Aes128::new(&KEY);
+        let l = cipher.encrypt(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        assert_eq!(
+            k1,
+            [
+                0xfb, 0xee, 0xd6, 0x18, 0x35, 0x71, 0x33, 0x66, 0x7c, 0x85, 0xe0, 0x8f, 0x72, 0x36,
+                0xa8, 0xde
+            ]
+        );
+        assert_eq!(
+            k2,
+            [
+                0xf7, 0xdd, 0xac, 0x30, 0x6a, 0xe2, 0x66, 0xcc, 0xf9, 0x0b, 0xc1, 0x1e, 0xe4, 0x6d,
+                0x51, 0x3b
+            ]
+        );
+    }
+}

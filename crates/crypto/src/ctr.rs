@@ -1,0 +1,89 @@
+//! AES-128 counter (CTR) mode keystream encryption (NIST SP 800-38A §6.5).
+//!
+//! Used by the AEAD channel over which on-path ASes return EER hop
+//! authenticators to the source AS (paper Eq. 5). CTR needs only the AES
+//! *encryption* direction, matching the one-way design of the rest of the
+//! data plane.
+
+use crate::aes::Aes128;
+
+/// Encrypts or decrypts `data` in place with AES-CTR.
+///
+/// The 16-byte initial counter block is `nonce(12) || ctr(4)` starting at
+/// `ctr = 0`; each subsequent block increments the 32-bit big-endian
+/// counter. Callers must never reuse a nonce under the same key.
+pub fn ctr_xor(cipher: &Aes128, nonce: &[u8; 12], data: &mut [u8]) {
+    let mut counter_block = [0u8; 16];
+    counter_block[..12].copy_from_slice(nonce);
+    let mut ctr: u32 = 0;
+    for chunk in data.chunks_mut(16) {
+        counter_block[12..].copy_from_slice(&ctr.to_be_bytes());
+        let keystream = cipher.encrypt(&counter_block);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NIST SP 800-38A F.5.1 CTR-AES128 (adapted: the NIST vector uses a
+    /// full 16-byte initial counter; we reproduce it by splitting it into
+    /// our nonce/counter layout where the low word matches).
+    #[test]
+    fn sp800_38a_f51_first_block() {
+        // Key and counter block from F.5.1.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let cipher = Aes128::new(&key);
+        // NIST initial counter f0f1..ff; its low 4 bytes are fcfdfeff which
+        // our layout cannot start from (we start at 0), so verify the
+        // primitive directly: keystream block = AES(K, counterblock).
+        let counter_block = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let ks = cipher.encrypt(&counter_block);
+        let plain = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        let expect = [
+            0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d,
+            0xb6, 0xce,
+        ];
+        let ct: Vec<u8> = plain.iter().zip(ks.iter()).map(|(p, k)| p ^ k).collect();
+        assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let cipher = Aes128::new(&[9u8; 16]);
+        let nonce = [3u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100] {
+            let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut buf = plain.clone();
+            ctr_xor(&cipher, &nonce, &mut buf);
+            if len > 0 {
+                assert_ne!(buf, plain, "len {len}");
+            }
+            ctr_xor(&cipher, &nonce, &mut buf);
+            assert_eq!(buf, plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn different_nonces_different_keystreams() {
+        let cipher = Aes128::new(&[9u8; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        ctr_xor(&cipher, &[1u8; 12], &mut a);
+        ctr_xor(&cipher, &[2u8; 12], &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the cryptographic substrate.
+
+use colibri_crypto::{ct_eq, Aead, Aes128, Cmac, Epoch, SecretValueGen};
+use proptest::prelude::*;
+
+proptest! {
+    /// AES decryption inverts encryption for arbitrary keys and blocks.
+    #[test]
+    fn aes_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    /// Incremental CMAC over arbitrary chunk boundaries equals one-shot.
+    #[test]
+    fn cmac_chunking_invariant(
+        key in any::<[u8; 16]>(),
+        msg in prop::collection::vec(any::<u8>(), 0..256),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let cmac = Cmac::new(&key);
+        let expected = cmac.tag(&msg);
+        let mut st = cmac.start();
+        let mut pos = 0usize;
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (msg.len() + 1)).collect();
+        cuts.sort_unstable();
+        for cut in cuts {
+            if cut > pos {
+                st.update(&msg[pos..cut]);
+                pos = cut;
+            }
+        }
+        st.update(&msg[pos..]);
+        prop_assert_eq!(st.finish(), expected);
+    }
+
+    /// Distinct messages (almost) never collide under one key — here we
+    /// assert the stronger deterministic property that a single-bit flip
+    /// changes the tag.
+    #[test]
+    fn cmac_bit_flip_changes_tag(
+        key in any::<[u8; 16]>(),
+        msg in prop::collection::vec(any::<u8>(), 1..128),
+        bit in any::<usize>(),
+    ) {
+        let cmac = Cmac::new(&key);
+        let mut flipped = msg.clone();
+        let i = bit % (msg.len() * 8);
+        flipped[i / 8] ^= 1 << (i % 8);
+        prop_assert_ne!(cmac.tag(&msg), cmac.tag(&flipped));
+    }
+
+    /// AEAD seal/open round-trips for arbitrary inputs.
+    #[test]
+    fn aead_roundtrip(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        plaintext in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let aead = Aead::new(&key);
+        let sealed = aead.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+    }
+
+    /// Any single-byte corruption of the sealed message is rejected.
+    #[test]
+    fn aead_corruption_rejected(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in prop::collection::vec(any::<u8>(), 1..128),
+        pos_seed in any::<usize>(),
+        xor in 1u8..,
+    ) {
+        let aead = Aead::new(&key);
+        let mut sealed = aead.seal(&nonce, b"aad", &plaintext);
+        let pos = pos_seed % sealed.len();
+        sealed[pos] ^= xor;
+        prop_assert!(aead.open(&nonce, b"aad", &sealed).is_err());
+    }
+
+    /// Constant-time equality agrees with `==`.
+    #[test]
+    fn ct_eq_agrees(a in prop::collection::vec(any::<u8>(), 0..64),
+                    b in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+        prop_assert!(ct_eq(&a, &a.clone()));
+    }
+
+    /// DRKey derivation is injective-in-practice across remotes and epochs
+    /// (no two of a small arbitrary set collide) and deterministic.
+    #[test]
+    fn drkey_distinct_and_deterministic(
+        secret in any::<[u8; 16]>(),
+        remotes in prop::collection::hash_set(any::<u64>(), 2..8),
+        epoch in 0u64..1000,
+    ) {
+        let gen = SecretValueGen::new(&secret);
+        let keys: Vec<_> = remotes.iter().map(|&r| gen.as_key(Epoch(epoch), r)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(*k, gen.as_key(Epoch(epoch), *remotes.iter().nth(i).unwrap()));
+            for other in &keys[i + 1..] {
+                prop_assert_ne!(k, other);
+            }
+        }
+    }
+}

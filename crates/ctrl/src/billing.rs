@@ -1,0 +1,219 @@
+//! Neighbor-to-neighbor settlement accounting (paper §4.7, §9).
+//!
+//! "Any two neighboring ASes agree on the bandwidth available for Colibri
+//! traffic on their inter-domain link and negotiate the pricing model.
+//! These typically long-term contractual agreements … are always bilateral
+//! to facilitate negotiation and billing." And §9: "thanks to the locality
+//! of policies, billing can be implemented with scalable
+//! neighbor-to-neighbor settlements, similarly to today's AS peering
+//! agreements."
+//!
+//! [`SettlementLedger`] is one AS's side of those bilateral agreements: it
+//! accrues reserved bandwidth × time per neighboring interface as
+//! reservations are admitted, renewed, and expire, and produces periodic
+//! [`Settlement`] statements. No global coordination, no per-flow billing
+//! records — the ledger sees only aggregate admitted bandwidth per
+//! interface, which is exactly the information the admission module
+//! already maintains.
+
+use colibri_base::{Bandwidth, Duration, Instant, InterfaceId};
+use std::collections::HashMap;
+
+/// A bilateral pricing agreement for one neighboring interface.
+#[derive(Debug, Clone, Copy)]
+pub struct PricingAgreement {
+    /// Price per Gbps·hour of *admitted* Colibri bandwidth, in abstract
+    /// currency units (the paper leaves the model to the ASes).
+    pub price_per_gbps_hour: f64,
+}
+
+impl Default for PricingAgreement {
+    fn default() -> Self {
+        Self { price_per_gbps_hour: 1.0 }
+    }
+}
+
+/// One periodic settlement statement towards a neighbor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settlement {
+    /// The interface (and thereby the neighbor) settled.
+    pub iface: InterfaceId,
+    /// Start of the settled period.
+    pub from: Instant,
+    /// End of the settled period.
+    pub to: Instant,
+    /// Average admitted bandwidth over the period.
+    pub average_admitted: Bandwidth,
+    /// Gbps·hours accrued.
+    pub gbps_hours: f64,
+    /// Amount due under the agreement.
+    pub amount: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IfaceAccount {
+    agreement: PricingAgreement,
+    /// Currently admitted bandwidth.
+    admitted: Bandwidth,
+    /// Accrued bandwidth×time since the period start, in bps·ns.
+    accrued_bps_ns: u128,
+    /// Last time `admitted` changed or a period closed.
+    last_update: Instant,
+    period_start: Instant,
+}
+
+impl IfaceAccount {
+    fn accrue_to(&mut self, now: Instant) {
+        let dt = now.saturating_since(self.last_update).as_nanos();
+        self.accrued_bps_ns += self.admitted.as_bps() as u128 * dt as u128;
+        self.last_update = now;
+    }
+}
+
+/// Per-AS settlement ledger over its neighboring interfaces.
+#[derive(Debug, Default)]
+pub struct SettlementLedger {
+    accounts: HashMap<InterfaceId, IfaceAccount>,
+}
+
+impl SettlementLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the bilateral agreement for an interface.
+    pub fn set_agreement(
+        &mut self,
+        iface: InterfaceId,
+        agreement: PricingAgreement,
+        now: Instant,
+    ) {
+        self.accounts.insert(
+            iface,
+            IfaceAccount {
+                agreement,
+                admitted: Bandwidth::ZERO,
+                accrued_bps_ns: 0,
+                last_update: now,
+                period_start: now,
+            },
+        );
+    }
+
+    /// Records a change in admitted bandwidth on `iface` (new grant,
+    /// renewal delta, or expiry). Call with the *new total* admitted
+    /// bandwidth — the number [`crate::SegrAdmission::total_granted`]
+    /// already tracks.
+    pub fn update_admitted(&mut self, iface: InterfaceId, admitted: Bandwidth, now: Instant) {
+        if let Some(acc) = self.accounts.get_mut(&iface) {
+            acc.accrue_to(now);
+            acc.admitted = admitted;
+        }
+    }
+
+    /// Closes the current period for `iface` and issues the statement.
+    pub fn settle(&mut self, iface: InterfaceId, now: Instant) -> Option<Settlement> {
+        let acc = self.accounts.get_mut(&iface)?;
+        acc.accrue_to(now);
+        let period = now.saturating_since(acc.period_start);
+        if period == Duration::ZERO {
+            return None;
+        }
+        let gbps_ns = acc.accrued_bps_ns as f64 / 1e9;
+        let gbps_hours = gbps_ns / 3600e9;
+        let average =
+            Bandwidth::from_bps((acc.accrued_bps_ns / period.as_nanos() as u128) as u64);
+        let settlement = Settlement {
+            iface,
+            from: acc.period_start,
+            to: now,
+            average_admitted: average,
+            gbps_hours,
+            amount: gbps_hours * acc.agreement.price_per_gbps_hour,
+        };
+        acc.accrued_bps_ns = 0;
+        acc.period_start = now;
+        Some(settlement)
+    }
+
+    /// Settles every interface at once (the monthly billing run).
+    pub fn settle_all(&mut self, now: Instant) -> Vec<Settlement> {
+        let ifaces: Vec<InterfaceId> = self.accounts.keys().copied().collect();
+        let mut out: Vec<Settlement> = ifaces.into_iter().filter_map(|i| self.settle(i, now)).collect();
+        out.sort_by_key(|s| s.iface);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IF1: InterfaceId = InterfaceId(1);
+
+    #[test]
+    fn steady_reservation_accrues_linearly() {
+        let mut ledger = SettlementLedger::new();
+        let t0 = Instant::from_secs(0);
+        ledger.set_agreement(IF1, PricingAgreement { price_per_gbps_hour: 2.0 }, t0);
+        ledger.update_admitted(IF1, Bandwidth::from_gbps(10), t0);
+        // One hour at a steady 10 Gbps = 10 Gbps·h → 20 units at 2/Gbps·h.
+        let s = ledger.settle(IF1, t0 + Duration::from_secs(3600)).unwrap();
+        assert!((s.gbps_hours - 10.0).abs() < 1e-9, "{}", s.gbps_hours);
+        assert!((s.amount - 20.0).abs() < 1e-9, "{}", s.amount);
+        assert_eq!(s.average_admitted, Bandwidth::from_gbps(10));
+    }
+
+    #[test]
+    fn changing_admission_prorates() {
+        let mut ledger = SettlementLedger::new();
+        let t0 = Instant::from_secs(0);
+        ledger.set_agreement(IF1, PricingAgreement::default(), t0);
+        ledger.update_admitted(IF1, Bandwidth::from_gbps(4), t0);
+        // Half an hour at 4 Gbps, then half an hour at 8 Gbps → avg 6.
+        ledger.update_admitted(IF1, Bandwidth::from_gbps(8), t0 + Duration::from_secs(1800));
+        let s = ledger.settle(IF1, t0 + Duration::from_secs(3600)).unwrap();
+        assert!((s.gbps_hours - 6.0).abs() < 1e-9, "{}", s.gbps_hours);
+        assert_eq!(s.average_admitted, Bandwidth::from_gbps(6));
+    }
+
+    #[test]
+    fn settlement_resets_the_period() {
+        let mut ledger = SettlementLedger::new();
+        let t0 = Instant::from_secs(0);
+        ledger.set_agreement(IF1, PricingAgreement::default(), t0);
+        ledger.update_admitted(IF1, Bandwidth::from_gbps(1), t0);
+        let s1 = ledger.settle(IF1, t0 + Duration::from_secs(3600)).unwrap();
+        // Reservation expired right at the settlement boundary.
+        ledger.update_admitted(IF1, Bandwidth::ZERO, t0 + Duration::from_secs(3600));
+        let s2 = ledger.settle(IF1, t0 + Duration::from_secs(7200)).unwrap();
+        assert!((s1.gbps_hours - 1.0).abs() < 1e-9);
+        assert!(s2.gbps_hours.abs() < 1e-9, "second period must start clean");
+        assert_eq!(s2.from, t0 + Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn unknown_interface_and_empty_period() {
+        let mut ledger = SettlementLedger::new();
+        let t0 = Instant::from_secs(0);
+        assert!(ledger.settle(IF1, t0).is_none());
+        ledger.set_agreement(IF1, PricingAgreement::default(), t0);
+        assert!(ledger.settle(IF1, t0).is_none(), "zero-length period");
+    }
+
+    #[test]
+    fn settle_all_covers_every_neighbor() {
+        let mut ledger = SettlementLedger::new();
+        let t0 = Instant::from_secs(0);
+        for i in 1..=3 {
+            ledger.set_agreement(InterfaceId(i), PricingAgreement::default(), t0);
+            ledger.update_admitted(InterfaceId(i), Bandwidth::from_gbps(i as u64), t0);
+        }
+        let statements = ledger.settle_all(t0 + Duration::from_secs(3600));
+        assert_eq!(statements.len(), 3);
+        for (i, s) in statements.iter().enumerate() {
+            assert!((s.gbps_hours - (i + 1) as f64).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! The Colibri service (CServ) — the per-AS control plane (paper §3.2).
+//!
+//! Every AS runs one CServ. It allocates reservation IDs, performs SegR
+//! admission (with the memoized algorithm of [`crate::admission`]) and EER
+//! admission (constant-time SegR headroom checks, [`crate::eer`]),
+//! maintains the reservation store, computes the cryptographic tokens and
+//! hop authenticators of §4.5, enforces the AS's intra-AS EER policy, and
+//! blocklists sources reported for overuse ("denying future reservations
+//! originating from that AS", §4.8).
+//!
+//! The CServ is a passive state machine: every handler takes `now`
+//! explicitly and performs no I/O. Multi-AS reservation setup is driven by
+//! the orchestration in [`crate::setup`] (in-process) or by the network
+//! simulator (message-level).
+
+use crate::admission::{AdmissionError, SegrAdmission, SegrAdmissionConfig, SegrRequest, UndoToken};
+use crate::eer::EerError;
+use crate::messages::{EerSetupReq, SealedHopAuth, SegSetupReq};
+use crate::policy::EerPolicy;
+use crate::store::{OwnedEer, OwnedSegr, PendingVersion, ReservationStore, SegrRecord};
+use colibri_base::{Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ResId, ReservationKey};
+use colibri_crypto::{Aead, Cmac, Epoch, Key, SecretValueGen};
+use colibri_wire::mac::{hop_auth, segr_token};
+use colibri_wire::{EerInfo, HopField, ResInfo, HVF_LEN};
+use std::collections::HashSet;
+
+/// CServ configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CservConfig {
+    /// Fraction of link capacity available to Colibri (traffic split).
+    pub colibri_share: f64,
+    /// SegR validity period ("approximately five minutes", §3.3).
+    pub segr_lifetime: Duration,
+    /// EER validity period ("16 seconds in our implementation", §3.3).
+    pub eer_lifetime: Duration,
+    /// Minimum spacing between renewal requests for one EER. "To enhance
+    /// scalability, CServs can rate-limit the amount of renewal requests
+    /// for an EER (e.g., to one per second)" (§4.2).
+    pub eer_renewal_min_interval: Duration,
+}
+
+impl Default for CservConfig {
+    fn default() -> Self {
+        Self {
+            colibri_share: 0.80,
+            segr_lifetime: Duration::from_secs(300),
+            eer_lifetime: Duration::from_secs(16),
+            eer_renewal_min_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Errors from CServ handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CservError {
+    /// SegR admission failed.
+    Admission(AdmissionError),
+    /// EER admission failed.
+    Eer(EerError),
+    /// The referenced SegR is unknown at this AS.
+    UnknownSegr(ReservationKey),
+    /// The referenced SegR has expired.
+    SegrExpired(ReservationKey),
+    /// The request's hop interfaces do not match the SegR's.
+    HopMismatch,
+    /// The intra-AS policy refused the request.
+    PolicyDenied,
+    /// The source AS has been blocklisted for overuse.
+    SourceDenied(IsdAsId),
+    /// Activation referenced a version that is not pending.
+    NoSuchPendingVersion,
+    /// Control-plane payload authentication failed.
+    BadAuthentication,
+    /// An EER renewal arrived faster than the per-EER rate limit (§4.2).
+    RenewalRateLimited,
+}
+
+impl From<AdmissionError> for CservError {
+    fn from(e: AdmissionError) -> Self {
+        CservError::Admission(e)
+    }
+}
+
+impl From<EerError> for CservError {
+    fn from(e: EerError) -> Self {
+        CservError::Eer(e)
+    }
+}
+
+impl std::fmt::Display for CservError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CservError::Admission(e) => write!(f, "segment admission: {e}"),
+            CservError::Eer(e) => write!(f, "EER admission: {e}"),
+            CservError::UnknownSegr(k) => write!(f, "unknown SegR {k}"),
+            CservError::SegrExpired(k) => write!(f, "SegR {k} expired"),
+            CservError::HopMismatch => write!(f, "hop interfaces do not match the SegR"),
+            CservError::PolicyDenied => write!(f, "refused by intra-AS policy"),
+            CservError::SourceDenied(a) => write!(f, "source AS {a} is denied (policing)"),
+            CservError::NoSuchPendingVersion => write!(f, "no such pending version"),
+            CservError::BadAuthentication => write!(f, "control message authentication failed"),
+            CservError::RenewalRateLimited => write!(f, "EER renewal rate limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for CservError {}
+
+/// The per-AS Colibri service.
+pub struct CServ {
+    /// This AS.
+    pub isd_as: IsdAsId,
+    cfg: CservConfig,
+    svgen: SecretValueGen,
+    /// Cached CMAC instance of this epoch's secret value `K_i`.
+    k_i_cache: Option<(Epoch, Cmac)>,
+    admission: SegrAdmission,
+    store: ReservationStore,
+    next_res_id: u32,
+    policy: Box<dyn EerPolicy>,
+    /// Source ASes denied future reservations (policing, §4.8).
+    denied_sources: HashSet<IsdAsId>,
+    /// Last accepted renewal per EER, for rate limiting (§4.2).
+    renewal_times: std::collections::HashMap<ReservationKey, Instant>,
+}
+
+impl std::fmt::Debug for CServ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CServ")
+            .field("isd_as", &self.isd_as)
+            .field("segrs", &self.store.segr_count())
+            .field("owned_eers", &self.store.owned_eer_count())
+            .finish()
+    }
+}
+
+impl CServ {
+    /// Creates a CServ for `isd_as` with the given master secret and
+    /// policy.
+    pub fn new(
+        isd_as: IsdAsId,
+        master_secret: &[u8; 16],
+        cfg: CservConfig,
+        policy: Box<dyn EerPolicy>,
+    ) -> Self {
+        Self {
+            isd_as,
+            admission: SegrAdmission::new(SegrAdmissionConfig { colibri_share: cfg.colibri_share }),
+            cfg,
+            svgen: SecretValueGen::new(master_secret),
+            k_i_cache: None,
+            store: ReservationStore::new(),
+            next_res_id: 0,
+            policy,
+            denied_sources: HashSet::new(),
+            renewal_times: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CservConfig {
+        &self.cfg
+    }
+
+    /// Declares an interface capacity (from the topology, at startup).
+    pub fn set_interface_capacity(&mut self, iface: InterfaceId, physical: Bandwidth) {
+        self.admission.set_interface_capacity(iface, physical);
+    }
+
+    /// Allocates the next reservation ID (unique per source AS, §4.3).
+    pub fn alloc_res_id(&mut self) -> ResId {
+        let id = ResId(self.next_res_id);
+        self.next_res_id += 1;
+        id
+    }
+
+    /// The CMAC instance keyed with this AS's secret value for `epoch`
+    /// (used for SegR tokens and hop authenticators). Routers of this AS
+    /// share the same secret value.
+    pub fn k_i(&mut self, epoch: Epoch) -> &Cmac {
+        if self.k_i_cache.as_ref().map(|(e, _)| *e) != Some(epoch) {
+            let sv = self.svgen.secret_value(epoch);
+            self.k_i_cache = Some((epoch, sv.cmac()));
+        }
+        &self.k_i_cache.as_ref().unwrap().1
+    }
+
+    /// DRKey fast side: `K_{me→remote}` (Eq. 1).
+    pub fn drkey_out(&self, epoch: Epoch, remote: IsdAsId) -> Key {
+        self.svgen.as_key(epoch, remote.to_u64())
+    }
+
+    /// Read access to the reservation store.
+    pub fn store(&self) -> &ReservationStore {
+        &self.store
+    }
+
+    /// Mutable access to the reservation store (used by the gateway feed
+    /// and the simulator).
+    pub fn store_mut(&mut self) -> &mut ReservationStore {
+        &mut self.store
+    }
+
+    /// Read access to the SegR admission state (observability).
+    pub fn admission(&self) -> &SegrAdmission {
+        &self.admission
+    }
+
+    /// Marks a source AS as denied after a confirmed overuse report.
+    pub fn deny_source(&mut self, src_as: IsdAsId) {
+        self.denied_sources.insert(src_as);
+    }
+
+    /// Handles an overuse report from a local border router (§4.8
+    /// "Policing"): misbehavior is established with certainty by the
+    /// cryptographic checks, so the service takes the drastic measure of
+    /// denying the source AS all future reservations.
+    pub fn handle_overuse_report(&mut self, report: &crate::messages::OveruseReportMsg) {
+        debug_assert!(report.observed_bytes > report.allowed_bytes);
+        self.deny_source(report.key.src_as);
+    }
+
+    /// Whether a source AS is currently denied.
+    pub fn is_source_denied(&self, src_as: IsdAsId) -> bool {
+        self.denied_sources.contains(&src_as)
+    }
+
+    /// Garbage-collects expired reservations.
+    pub fn gc(&mut self, now: Instant) {
+        // Free admission state of SegRs that expired without a pending
+        // renewal.
+        let expired: Vec<ReservationKey> = {
+            let store = &self.store;
+            let mut v = Vec::new();
+            for key in store_segr_keys(store) {
+                let r = store.segr(key).unwrap();
+                if r.is_expired(now) && r.pending.is_none() {
+                    v.push(key);
+                }
+            }
+            v
+        };
+        for key in expired {
+            self.admission.remove(key);
+        }
+        self.store.gc(now);
+    }
+
+    // -----------------------------------------------------------------
+    // SegR handlers
+    // -----------------------------------------------------------------
+
+    /// Forward-pass admission of a SegR setup/renewal at this AS
+    /// (paper Fig. 1a ➋). `running_demand` is the request demand clamped
+    /// by upstream grants. Returns this AS's grant and an undo token.
+    pub fn segr_admit_hop(
+        &mut self,
+        req: &SegSetupReq,
+        hop_index: usize,
+        running_demand: Bandwidth,
+    ) -> Result<(Bandwidth, UndoToken), CservError> {
+        if self.denied_sources.contains(&req.res_info.src_as) {
+            return Err(CservError::SourceDenied(req.res_info.src_as));
+        }
+        let hop = req.path[hop_index].1;
+        let (granted, undo) = self.admission.admit_with_undo(SegrRequest {
+            key: req.res_info.key(),
+            ingress: hop.ingress,
+            egress: hop.egress,
+            demand: running_demand,
+            min_bw: req.min_bw,
+        })?;
+        Ok((granted, undo))
+    }
+
+    /// Cleans up a forward-pass admission after a downstream refusal.
+    pub fn segr_abort_hop(&mut self, undo: UndoToken) {
+        self.admission.undo(undo);
+    }
+
+    /// Backward-pass finalization (Fig. 1a ➌–➍): clamps the admission to
+    /// the agreed `final_res_info`, records the reservation, and returns
+    /// this AS's token `V_i^(S)` (Eq. 3).
+    ///
+    /// For a renewal (`ver > 0` with an existing record) the new version is
+    /// stored as *pending*; the initiator must activate it explicitly
+    /// (§4.2).
+    pub fn segr_finalize_hop(
+        &mut self,
+        final_res_info: &ResInfo,
+        hop: HopField,
+        hop_index: usize,
+        n_hops: usize,
+        final_bw: Bandwidth,
+        now: Instant,
+    ) -> [u8; HVF_LEN] {
+        let key = final_res_info.key();
+        self.admission.finalize(key, final_bw);
+        match self.store.segr_mut(key) {
+            Some(rec) => {
+                rec.pending = Some(PendingVersion {
+                    ver: final_res_info.ver,
+                    bw: final_bw,
+                    exp: final_res_info.exp_t,
+                });
+            }
+            None => {
+                self.store.insert_segr(SegrRecord::new(
+                    key,
+                    hop,
+                    hop_index,
+                    n_hops,
+                    final_res_info.ver,
+                    final_bw,
+                    final_res_info.exp_t,
+                ));
+            }
+        }
+        let epoch = Epoch::containing(now);
+        segr_token(self.k_i(epoch), final_res_info, hop)
+    }
+
+    /// Activates a pending SegR version at this AS.
+    pub fn segr_activate(&mut self, key: ReservationKey, ver: u8) -> Result<(), CservError> {
+        match self.store.segr_mut(key) {
+            Some(rec) => {
+                if rec.activate(ver) {
+                    Ok(())
+                } else {
+                    Err(CservError::NoSuchPendingVersion)
+                }
+            }
+            None => Err(CservError::UnknownSegr(key)),
+        }
+    }
+
+    /// Records initiator-side state for a successful SegR setup.
+    pub fn segr_store_owned(&mut self, owned: OwnedSegr) {
+        self.store.insert_owned_segr(owned);
+    }
+
+    // -----------------------------------------------------------------
+    // EER handlers
+    // -----------------------------------------------------------------
+
+    /// Which SegRs (by index into `req.segr_ids`) cover hop `hop_index`,
+    /// in (incoming, outgoing) order. Non-junction hops have one entry.
+    fn segs_of_hop(req: &EerSetupReq, hop_index: usize) -> (usize, Option<usize>) {
+        let mut seg = 0usize;
+        let mut is_junction = false;
+        for &j in &req.junctions {
+            if hop_index > j as usize {
+                seg += 1;
+            } else if hop_index == j as usize {
+                is_junction = true;
+            }
+        }
+        if is_junction {
+            (seg, Some(seg + 1))
+        } else {
+            (seg, None)
+        }
+    }
+
+    fn check_segr(
+        store: &ReservationStore,
+        key: ReservationKey,
+        now: Instant,
+    ) -> Result<&SegrRecord, CservError> {
+        let rec = store.segr(key).ok_or(CservError::UnknownSegr(key))?;
+        if rec.is_expired(now) {
+            return Err(CservError::SegrExpired(key));
+        }
+        Ok(rec)
+    }
+
+    /// Forward-pass EER admission at this AS (Fig. 1b ➌), for all four AS
+    /// roles of §4.1. Checks the underlying SegR(s) and allocates; at a
+    /// transfer AS the outgoing SegR's capacity is split proportionally
+    /// among the feeding SegRs.
+    pub fn eer_admit_hop(
+        &mut self,
+        req: &EerSetupReq,
+        hop_index: usize,
+        now: Instant,
+    ) -> Result<(), CservError> {
+        if self.denied_sources.contains(&req.res_info.src_as) {
+            return Err(CservError::SourceDenied(req.res_info.src_as));
+        }
+        let hop = req.path[hop_index].1;
+        let key = req.res_info.key();
+        let ver = req.res_info.ver;
+        let exp = req.res_info.exp_t;
+        // Renewal rate limiting (§4.2): versions > 0 are renewals. Only
+        // *successful* renewals consume the budget (recorded at the end of
+        // this handler) — a refused renewal costs no reservation state and
+        // may be retried immediately, e.g. by adaptive downgrading.
+        if ver > 0 {
+            if let Some(&last) = self.renewal_times.get(&key) {
+                if now.saturating_since(last) < self.cfg.eer_renewal_min_interval {
+                    return Err(CservError::RenewalRateLimited);
+                }
+            }
+        }
+        let is_source = hop_index == 0;
+        let is_dest = hop_index == req.path.len() - 1;
+
+        // Source/destination AS: intra-AS policy (direct business
+        // relationship with the host, §4.7).
+        if is_source && !self.policy.allow_source(req.eer_info.src_host, req.demand) {
+            return Err(CservError::PolicyDenied);
+        }
+        if is_dest && !self.policy.allow_destination(req.eer_info.dst_host, req.demand) {
+            return Err(CservError::PolicyDenied);
+        }
+
+        let (seg_in, seg_out) = Self::segs_of_hop(req, hop_index);
+        let in_key = req.segr_ids[seg_in];
+        match seg_out {
+            None => {
+                // Plain hop: one SegR; packet interfaces must match it.
+                let rec = Self::check_segr(&self.store, in_key, now)?;
+                if rec.hop_field() != hop {
+                    return Err(CservError::HopMismatch);
+                }
+                let rec = self.store.segr_mut(in_key).unwrap();
+                rec.usage.admit(key, ver, req.demand, exp, now, None)?;
+            }
+            Some(seg_out) => {
+                // Transfer AS: check both SegRs (§4.7 "Transfer AS").
+                let out_key = req.segr_ids[seg_out];
+                {
+                    let rec_in = Self::check_segr(&self.store, in_key, now)?;
+                    if rec_in.ingress != hop.ingress {
+                        return Err(CservError::HopMismatch);
+                    }
+                    let rec_out = Self::check_segr(&self.store, out_key, now)?;
+                    if rec_out.egress != hop.egress {
+                        return Err(CservError::HopMismatch);
+                    }
+                }
+                let in_bw = self.store.segr(in_key).unwrap().bw;
+                // Record demand for the proportional split, then compute
+                // the cap for this feeding SegR.
+                let out_bw = self.store.segr(out_key).unwrap().bw;
+                {
+                    let rec_out = self.store.segr_mut(out_key).unwrap();
+                    rec_out.split.record_demand(in_key, req.demand);
+                }
+                let cap = {
+                    let rec_out = self.store.segr(out_key).unwrap();
+                    rec_out.split.cap_for(in_key, in_bw, out_bw)
+                };
+                // Admit on the incoming SegR first…
+                {
+                    let rec_in = self.store.segr_mut(in_key).unwrap();
+                    if let Err(e) = rec_in.usage.admit(key, ver, req.demand, exp, now, None) {
+                        let rec_out = self.store.segr_mut(out_key).unwrap();
+                        rec_out.split.release_demand(in_key, req.demand);
+                        return Err(e.into());
+                    }
+                }
+                // …then on the outgoing one, under the split cap; roll
+                // back the incoming admission on failure.
+                let cap_used = {
+                    let rec_out = self.store.segr_mut(out_key).unwrap();
+                    let allocated_cap =
+                        cap.saturating_sub(Bandwidth::ZERO); // cap already absolute
+                    rec_out.usage.admit(key, ver, req.demand, exp, now, Some(allocated_cap))
+                };
+                if let Err(e) = cap_used {
+                    let rec_in = self.store.segr_mut(in_key).unwrap();
+                    rec_in.usage.remove_version(key, ver);
+                    let rec_out = self.store.segr_mut(out_key).unwrap();
+                    rec_out.split.release_demand(in_key, req.demand);
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back a forward-pass EER admission (downstream refusal).
+    pub fn eer_abort_hop(&mut self, req: &EerSetupReq, hop_index: usize) {
+        let key = req.res_info.key();
+        let ver = req.res_info.ver;
+        let (seg_in, seg_out) = Self::segs_of_hop(req, hop_index);
+        let in_key = req.segr_ids[seg_in];
+        if let Some(rec) = self.store.segr_mut(in_key) {
+            rec.usage.remove_version(key, ver);
+        }
+        if let Some(seg_out) = seg_out {
+            let out_key = req.segr_ids[seg_out];
+            if let Some(rec) = self.store.segr_mut(out_key) {
+                rec.usage.remove_version(key, ver);
+                rec.split.release_demand(in_key, req.demand);
+            }
+        }
+    }
+
+    /// Backward-pass finalization (Fig. 1b ➍): computes this AS's hop
+    /// authenticator σᵢ (Eq. 4) and seals it for the source AS (Eq. 5).
+    ///
+    /// The AEAD key is `K_{me→AS₀}`, which this AS derives on the fly; the
+    /// nonce binds `(res_id, version, hop_index)` and is therefore unique
+    /// per key.
+    pub fn eer_finalize_hop(
+        &mut self,
+        res_info: &ResInfo,
+        eer_info: &EerInfo,
+        hop: HopField,
+        hop_index: usize,
+        now: Instant,
+    ) -> SealedHopAuth {
+        // A renewal consumes its rate-limit budget only here, i.e. once the
+        // whole path accepted it; refused attempts stay retryable.
+        if res_info.ver > 0 {
+            self.renewal_times.insert(res_info.key(), now);
+        }
+        let epoch = Epoch::containing(now);
+        let sigma = hop_auth(self.k_i(epoch), res_info, eer_info, hop);
+        let aead_key = self.drkey_out(epoch, res_info.src_as);
+        let aead = Aead::new(&aead_key.0);
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&res_info.res_id.0.to_be_bytes());
+        nonce[4] = res_info.ver;
+        nonce[5] = hop_index as u8;
+        nonce[6..].copy_from_slice(b"colibr");
+        let ciphertext = aead.seal(&nonce, &[], &sigma.0);
+        SealedHopAuth { nonce, ciphertext }
+    }
+
+    /// Destination-side registration of an accepted EER (so the last AS can
+    /// deliver packets to `DstHost`).
+    pub fn eer_register_terminating(&mut self, req: &EerSetupReq) {
+        self.store.insert_terminating_eer(req.res_info.key(), req.eer_info.dst_host);
+    }
+
+    /// Source-side: opens the sealed hop authenticators of an accepted
+    /// response and stores (or extends) the owned EER. `fetch_key` supplies
+    /// `K_{ASᵢ→me}` for each on-path AS — the slow DRKey side, served from
+    /// the key cache in practice.
+    pub fn eer_store_response(
+        &mut self,
+        req: &EerSetupReq,
+        sealed: &[SealedHopAuth],
+        mut fetch_key: impl FnMut(IsdAsId) -> Key,
+    ) -> Result<(), CservError> {
+        let mut hop_auths = Vec::with_capacity(sealed.len());
+        for (i, s) in sealed.iter().enumerate() {
+            let remote = req.path[i].0;
+            let k = fetch_key(remote);
+            let aead = Aead::new(&k.0);
+            let plain =
+                aead.open(&s.nonce, &[], &s.ciphertext).map_err(|_| CservError::BadAuthentication)?;
+            let arr: [u8; 16] =
+                plain.as_slice().try_into().map_err(|_| CservError::BadAuthentication)?;
+            hop_auths.push(Key(arr));
+        }
+        let key = req.res_info.key();
+        let version = crate::store::OwnedEerVersion {
+            ver: req.res_info.ver,
+            bw: req.demand,
+            exp: req.res_info.exp_t,
+            hop_auths,
+        };
+        match self.store.owned_eer_mut(key) {
+            Some(eer) => {
+                eer.versions.retain(|v| v.ver != req.res_info.ver);
+                eer.versions.push(version);
+                eer.versions.sort_by_key(|v| v.ver);
+            }
+            None => {
+                self.store.insert_owned_eer(OwnedEer {
+                    key,
+                    eer_info: req.eer_info,
+                    path_ases: req.path.iter().map(|(a, _)| *a).collect(),
+                    hop_fields: req.path.iter().map(|(_, h)| *h).collect(),
+                    versions: vec![version],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn store_segr_keys(store: &ReservationStore) -> Vec<ReservationKey> {
+    // Helper kept out of ReservationStore to avoid exposing internal maps.
+    let mut keys = Vec::with_capacity(store.segr_count());
+    store.for_each_segr_key(|k| keys.push(k));
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AllowAll;
+    use colibri_base::{BwClass, HostAddr};
+
+    fn cserv(asn: u32) -> CServ {
+        let mut secret = [0u8; 16];
+        secret[..4].copy_from_slice(&asn.to_be_bytes());
+        CServ::new(
+            IsdAsId::new(1, asn),
+            &secret,
+            CservConfig::default(),
+            Box::new(AllowAll),
+        )
+    }
+
+    #[test]
+    fn res_id_allocation_monotone() {
+        let mut c = cserv(10);
+        let a = c.alloc_res_id();
+        let b = c.alloc_res_id();
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn k_i_cached_per_epoch() {
+        let mut c = cserv(10);
+        let t1 = c.k_i(Epoch(0)).tag(b"x");
+        let t2 = c.k_i(Epoch(0)).tag(b"x");
+        assert_eq!(t1, t2);
+        let t3 = c.k_i(Epoch(1)).tag(b"x");
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn drkey_out_differs_per_remote() {
+        let c = cserv(10);
+        assert_ne!(
+            c.drkey_out(Epoch(0), IsdAsId::new(1, 1)),
+            c.drkey_out(Epoch(0), IsdAsId::new(1, 2))
+        );
+    }
+
+    #[test]
+    fn denied_source_rejected_everywhere() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.deny_source(IsdAsId::new(9, 9));
+        let req = SegSetupReq {
+            res_info: ResInfo {
+                src_as: IsdAsId::new(9, 9),
+                res_id: ResId(0),
+                bw: BwClass(10),
+                exp_t: Instant::from_secs(300),
+                ver: 0,
+            },
+            demand: Bandwidth::from_mbps(10),
+            min_bw: Bandwidth::ZERO,
+            path: vec![(IsdAsId::new(1, 10), HopField::new(0, 1))],
+            grants: vec![],
+        };
+        assert_eq!(
+            c.segr_admit_hop(&req, 0, Bandwidth::from_mbps(10)).unwrap_err(),
+            CservError::SourceDenied(IsdAsId::new(9, 9))
+        );
+    }
+
+    #[test]
+    fn segs_of_hop_mapping() {
+        let req = EerSetupReq {
+            res_info: ResInfo {
+                src_as: IsdAsId::new(1, 10),
+                res_id: ResId(0),
+                bw: BwClass(1),
+                exp_t: Instant::from_secs(16),
+                ver: 0,
+            },
+            eer_info: EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) },
+            demand: Bandwidth::from_mbps(1),
+            path: vec![
+                (IsdAsId::new(1, 10), HopField::new(0, 1)),
+                (IsdAsId::new(1, 1), HopField::new(2, 3)),
+                (IsdAsId::new(2, 1), HopField::new(4, 5)),
+                (IsdAsId::new(2, 20), HopField::new(6, 0)),
+            ],
+            junctions: vec![1, 2],
+            segr_ids: vec![
+                ReservationKey::new(IsdAsId::new(1, 10), ResId(1)),
+                ReservationKey::new(IsdAsId::new(1, 1), ResId(2)),
+                ReservationKey::new(IsdAsId::new(2, 1), ResId(3)),
+            ],
+        };
+        assert_eq!(CServ::segs_of_hop(&req, 0), (0, None));
+        assert_eq!(CServ::segs_of_hop(&req, 1), (0, Some(1)));
+        assert_eq!(CServ::segs_of_hop(&req, 2), (1, Some(2)));
+        assert_eq!(CServ::segs_of_hop(&req, 3), (2, None));
+    }
+}

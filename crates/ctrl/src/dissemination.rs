@@ -1,0 +1,243 @@
+//! Dissemination of segment reservations (paper Appendix C).
+//!
+//! End hosts need SegRs that jointly cover the path to their destination.
+//! Colibri uses hierarchical caching: the *initiator* of a SegR may
+//! register it publicly with a whitelist of ASes allowed to build EERs
+//! over it; a host then queries its *local* CServ, which answers from its
+//! cache and fetches missing SegRs from remote CServs, caching them for
+//! subsequent queries. Version switches of remote SegRs are discovered
+//! lazily: an EER setup over a stale version fails with an indication, the
+//! cache entry is invalidated, and the host retries (Appendix C discusses
+//! why this is benign).
+
+use crate::store::OwnedSegr;
+use colibri_base::{Instant, IsdAsId, ReservationKey};
+use std::collections::{HashMap, HashSet};
+
+/// A publicly registered SegR: the reservation plus its access whitelist.
+#[derive(Debug, Clone)]
+pub struct RegisteredSegr {
+    /// The reservation (including segment and tokens).
+    pub segr: OwnedSegr,
+    /// ASes allowed to use it for EERs; `None` = public.
+    pub whitelist: Option<HashSet<IsdAsId>>,
+}
+
+impl RegisteredSegr {
+    /// Whether `requester` may build EERs over this SegR.
+    pub fn allows(&self, requester: IsdAsId) -> bool {
+        match &self.whitelist {
+            None => true,
+            Some(w) => w.contains(&requester),
+        }
+    }
+}
+
+/// The registry of SegRs an AS has made public (lives next to its CServ).
+#[derive(Debug, Default)]
+pub struct SegrRegistry {
+    entries: HashMap<ReservationKey, RegisteredSegr>,
+}
+
+impl SegrRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) a SegR.
+    pub fn register(&mut self, segr: OwnedSegr, whitelist: Option<HashSet<IsdAsId>>) {
+        self.entries.insert(segr.key, RegisteredSegr { segr, whitelist });
+    }
+
+    /// Unregisters a SegR.
+    pub fn unregister(&mut self, key: ReservationKey) {
+        self.entries.remove(&key);
+    }
+
+    /// Serves a query from `requester`: all registered SegRs it may use
+    /// that are still valid at `now`.
+    pub fn query(&self, requester: IsdAsId, now: Instant) -> Vec<&RegisteredSegr> {
+        self.entries.values().filter(|r| r.segr.exp > now && r.allows(requester)).collect()
+    }
+
+    /// Serves a lookup of one specific SegR.
+    pub fn lookup(
+        &self,
+        key: ReservationKey,
+        requester: IsdAsId,
+        now: Instant,
+    ) -> Option<&RegisteredSegr> {
+        self.entries.get(&key).filter(|r| r.segr.exp > now && r.allows(requester))
+    }
+}
+
+/// The local CServ's cache of *remote* SegRs (hierarchical caching layer).
+#[derive(Debug, Default)]
+pub struct SegrCache {
+    entries: HashMap<ReservationKey, OwnedSegr>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SegrCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a SegR, fetching through `fetch` on a miss and caching the
+    /// result. Expired entries count as misses and are replaced.
+    pub fn get_or_fetch(
+        &mut self,
+        key: ReservationKey,
+        now: Instant,
+        fetch: impl FnOnce() -> Option<OwnedSegr>,
+    ) -> Option<&OwnedSegr> {
+        let stale = match self.entries.get(&key) {
+            Some(e) if e.exp > now => {
+                self.hits += 1;
+                false
+            }
+            _ => true,
+        };
+        if stale {
+            self.misses += 1;
+            match fetch() {
+                Some(segr) => {
+                    self.entries.insert(key, segr);
+                }
+                None => {
+                    self.entries.remove(&key);
+                    return None;
+                }
+            }
+        }
+        self.entries.get(&key)
+    }
+
+    /// Invalidates a cached entry (e.g. after an EER setup failed with
+    /// "SegR expired", indicating a version switch at the remote AS).
+    pub fn invalidate(&mut self, key: ReservationKey) {
+        self.entries.remove(&key);
+    }
+
+    /// (hits, misses) counters — tests assert the hierarchical-caching
+    /// behaviour through these.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::InterfaceId;
+    use colibri_base::{Bandwidth, ResId};
+    use colibri_topology::{Segment, SegmentHop, SegmentType};
+
+    fn owned(rid: u32, exp_s: u64) -> OwnedSegr {
+        let seg = Segment::new(
+            SegmentType::Up,
+            vec![
+                SegmentHop {
+                    isd_as: IsdAsId::new(1, 10),
+                    ingress: InterfaceId::LOCAL,
+                    egress: InterfaceId(1),
+                },
+                SegmentHop {
+                    isd_as: IsdAsId::new(1, 1),
+                    ingress: InterfaceId(2),
+                    egress: InterfaceId::LOCAL,
+                },
+            ],
+        );
+        OwnedSegr {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(rid)),
+            segment: seg,
+            ver: 0,
+            bw: Bandwidth::from_mbps(100),
+            exp: Instant::from_secs(exp_s),
+            tokens: vec![[0; 4], [1; 4]],
+            pending: None,
+        }
+    }
+
+    #[test]
+    fn whitelist_enforced() {
+        let mut reg = SegrRegistry::new();
+        let mut wl = HashSet::new();
+        wl.insert(IsdAsId::new(2, 20));
+        reg.register(owned(1, 300), Some(wl));
+        reg.register(owned(2, 300), None);
+        let now = Instant::from_secs(0);
+        assert_eq!(reg.query(IsdAsId::new(2, 20), now).len(), 2);
+        assert_eq!(reg.query(IsdAsId::new(3, 30), now).len(), 1);
+    }
+
+    #[test]
+    fn expired_not_served() {
+        let mut reg = SegrRegistry::new();
+        reg.register(owned(1, 100), None);
+        assert_eq!(reg.query(IsdAsId::new(2, 20), Instant::from_secs(50)).len(), 1);
+        assert_eq!(reg.query(IsdAsId::new(2, 20), Instant::from_secs(150)).len(), 0);
+    }
+
+    #[test]
+    fn lookup_specific() {
+        let mut reg = SegrRegistry::new();
+        let o = owned(1, 300);
+        let key = o.key;
+        reg.register(o, None);
+        assert!(reg.lookup(key, IsdAsId::new(9, 9), Instant::from_secs(0)).is_some());
+        reg.unregister(key);
+        assert!(reg.lookup(key, IsdAsId::new(9, 9), Instant::from_secs(0)).is_none());
+    }
+
+    #[test]
+    fn cache_fetches_once_until_expiry() {
+        let mut cache = SegrCache::new();
+        let o = owned(1, 100);
+        let key = o.key;
+        let mut fetches = 0;
+        for _ in 0..10 {
+            let got = cache
+                .get_or_fetch(key, Instant::from_secs(0), || {
+                    fetches += 1;
+                    Some(o.clone())
+                })
+                .unwrap();
+            assert_eq!(got.key, key);
+        }
+        assert_eq!(fetches, 1);
+        assert_eq!(cache.stats(), (9, 1));
+        cache.get_or_fetch(key, Instant::from_secs(150), || {
+            fetches += 1;
+            Some(owned(1, 400))
+        });
+        assert_eq!(fetches, 2);
+    }
+
+    #[test]
+    fn cache_invalidation_forces_refetch() {
+        let mut cache = SegrCache::new();
+        let o = owned(1, 300);
+        let key = o.key;
+        cache.get_or_fetch(key, Instant::from_secs(0), || Some(o.clone()));
+        cache.invalidate(key);
+        let mut fetched = false;
+        cache.get_or_fetch(key, Instant::from_secs(0), || {
+            fetched = true;
+            Some(o.clone())
+        });
+        assert!(fetched);
+    }
+
+    #[test]
+    fn failed_fetch_leaves_no_entry() {
+        let mut cache = SegrCache::new();
+        let key = ReservationKey::new(IsdAsId::new(1, 1), ResId(9));
+        assert!(cache.get_or_fetch(key, Instant::from_secs(0), || None).is_none());
+        assert_eq!(cache.stats(), (0, 1));
+    }
+}

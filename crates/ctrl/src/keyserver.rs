@@ -1,0 +1,344 @@
+//! The DRKey key server — the slow side of key establishment (paper §2.3).
+//!
+//! `K_{A→B}` is derived on the fly by A but must be *fetched* by B "with
+//! an explicit request to A's key server, protected by public-key
+//! cryptography. As the validity period of these keys is on the order of
+//! a day, they can be fetched ahead of time and only need to be
+//! infrequently renewed."
+//!
+//! [`KeyServer`] is A's side: it authorizes requesters, rate-limits them,
+//! and answers from the secret-value generator. [`KeyClient`] is B's
+//! side: an epoch-aware cache with prefetching, so the fast path (control
+//! message authentication) never blocks on a fetch. The PKI protection of
+//! the exchange is modeled by the server's authorization hook — the
+//! simulator delivers requests over an authenticated in-process channel,
+//! which is what a TLS/certificate exchange would establish.
+
+use colibri_base::{Duration, Instant, IsdAsId};
+use colibri_crypto::{Epoch, Key, KeyCache, SecretValueGen};
+use std::collections::HashMap;
+
+/// Why a key request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyServerError {
+    /// The requester is not authorized (failed "PKI" verification or is
+    /// explicitly banned).
+    Unauthorized(IsdAsId),
+    /// The requester exceeded its fetch rate limit.
+    RateLimited(IsdAsId),
+    /// The requested epoch is too far in the future to serve (prevents
+    /// attackers stockpiling keys beyond the prefetch horizon).
+    EpochTooFar {
+        /// The requested epoch.
+        requested: Epoch,
+        /// The newest servable epoch.
+        max: Epoch,
+    },
+}
+
+impl std::fmt::Display for KeyServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyServerError::Unauthorized(a) => write!(f, "AS {a} is not authorized"),
+            KeyServerError::RateLimited(a) => write!(f, "AS {a} exceeded the fetch rate limit"),
+            KeyServerError::EpochTooFar { requested, max } => {
+                write!(f, "epoch {} beyond horizon {}", requested.0, max.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyServerError {}
+
+/// Key-server policy.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyServerConfig {
+    /// Maximum fetches per requester per window.
+    pub max_fetches_per_window: u32,
+    /// Rate-limit window.
+    pub window: Duration,
+    /// How many epochs ahead of `now` may be requested (prefetching the
+    /// next day's key is normal; the year 2040's is not).
+    pub epoch_horizon: u64,
+}
+
+impl Default for KeyServerConfig {
+    fn default() -> Self {
+        Self {
+            max_fetches_per_window: 100,
+            window: Duration::from_secs(60),
+            epoch_horizon: 1,
+        }
+    }
+}
+
+/// AS A's key server, answering `K_{A→B}` fetches.
+pub struct KeyServer {
+    isd_as: IsdAsId,
+    svgen: SecretValueGen,
+    cfg: KeyServerConfig,
+    banned: std::collections::HashSet<IsdAsId>,
+    /// Per-requester (window index, fetches in window).
+    counters: HashMap<IsdAsId, (u64, u32)>,
+    served: u64,
+}
+
+impl KeyServer {
+    /// Creates the server from the AS's master secret (the same secret the
+    /// CServ and routers derive `K_i` from).
+    pub fn new(isd_as: IsdAsId, master_secret: &[u8; 16], cfg: KeyServerConfig) -> Self {
+        Self {
+            isd_as,
+            svgen: SecretValueGen::new(master_secret),
+            cfg,
+            banned: Default::default(),
+            counters: HashMap::new(),
+            served: 0,
+        }
+    }
+
+    /// The AS this server speaks for.
+    pub fn isd_as(&self) -> IsdAsId {
+        self.isd_as
+    }
+
+    /// Bans a requester (e.g. after policing escalation).
+    pub fn ban(&mut self, requester: IsdAsId) {
+        self.banned.insert(requester);
+    }
+
+    /// Lifts a ban.
+    pub fn unban(&mut self, requester: IsdAsId) {
+        self.banned.remove(&requester);
+    }
+
+    /// Total fetches served (observability).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Handles a fetch of `K_{me→requester}` for `epoch`.
+    pub fn handle_fetch(
+        &mut self,
+        requester: IsdAsId,
+        epoch: Epoch,
+        now: Instant,
+    ) -> Result<Key, KeyServerError> {
+        if self.banned.contains(&requester) {
+            return Err(KeyServerError::Unauthorized(requester));
+        }
+        let max_epoch = Epoch(Epoch::containing(now).0 + self.cfg.epoch_horizon);
+        if epoch > max_epoch {
+            return Err(KeyServerError::EpochTooFar { requested: epoch, max: max_epoch });
+        }
+        let window_idx = now.as_nanos() / self.cfg.window.as_nanos().max(1);
+        let counter = self.counters.entry(requester).or_insert((window_idx, 0));
+        if counter.0 != window_idx {
+            *counter = (window_idx, 0);
+        }
+        if counter.1 >= self.cfg.max_fetches_per_window {
+            return Err(KeyServerError::RateLimited(requester));
+        }
+        counter.1 += 1;
+        self.served += 1;
+        Ok(self.svgen.as_key(epoch, requester.to_u64()))
+    }
+}
+
+impl std::fmt::Debug for KeyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyServer").field("isd_as", &self.isd_as).field("served", &self.served).finish()
+    }
+}
+
+/// AS B's fetching client: an epoch-aware cache in front of remote key
+/// servers.
+pub struct KeyClient {
+    isd_as: IsdAsId,
+    cache: KeyCache,
+}
+
+impl KeyClient {
+    /// Creates the client for AS `isd_as`.
+    pub fn new(isd_as: IsdAsId) -> Self {
+        Self { isd_as, cache: KeyCache::new() }
+    }
+
+    /// Gets `K_{remote→me}` for `epoch`, fetching from `server` on a cache
+    /// miss. The caller supplies the server (the simulator routes to the
+    /// right AS); fetch errors propagate.
+    pub fn get(
+        &mut self,
+        server: &mut KeyServer,
+        epoch: Epoch,
+        now: Instant,
+    ) -> Result<Key, KeyServerError> {
+        let mut err = None;
+        let me = self.isd_as;
+        let key = self.cache.get_or_fetch(server.isd_as().to_u64(), epoch, || {
+            match server.handle_fetch(me, epoch, now) {
+                Ok(k) => k,
+                Err(e) => {
+                    err = Some(e);
+                    Key([0u8; 16]) // placeholder, removed below
+                }
+            }
+        });
+        if let Some(e) = err {
+            // The placeholder must not stay cached.
+            self.invalidate(server.isd_as());
+            return Err(e);
+        }
+        Ok(key)
+    }
+
+    /// Removes a cached key (e.g. after a failed fetch).
+    fn invalidate(&mut self, remote: IsdAsId) {
+        self.cache.remove(remote.to_u64());
+    }
+
+    /// Prefetches keys from several servers for an epoch ("fetched ahead
+    /// of time", §2.3). Returns how many fetches actually hit the network.
+    pub fn prefetch<'a>(
+        &mut self,
+        servers: impl IntoIterator<Item = &'a mut KeyServer>,
+        epoch: Epoch,
+        now: Instant,
+    ) -> usize {
+        let before = self.cache.fetch_count();
+        for server in servers {
+            let _ = self.get(server, epoch, now);
+        }
+        (self.cache.fetch_count() - before) as usize
+    }
+
+    /// Number of network fetches performed so far.
+    pub fn fetches(&self) -> u64 {
+        self.cache.fetch_count()
+    }
+}
+
+impl std::fmt::Debug for KeyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyClient").field("isd_as", &self.isd_as).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::master_secret_for;
+
+    const A: IsdAsId = IsdAsId::new(1, 1);
+    const B: IsdAsId = IsdAsId::new(1, 10);
+
+    fn server() -> KeyServer {
+        KeyServer::new(A, &master_secret_for(A), KeyServerConfig::default())
+    }
+
+    #[test]
+    fn fetched_key_matches_fast_derivation() {
+        let mut srv = server();
+        let now = Instant::from_secs(100);
+        let epoch = Epoch::containing(now);
+        let fetched = srv.handle_fetch(B, epoch, now).unwrap();
+        // The fast side derives the same key without any request.
+        let fast = SecretValueGen::new(&master_secret_for(A)).as_key(epoch, B.to_u64());
+        assert_eq!(fetched, fast);
+    }
+
+    #[test]
+    fn client_caches_per_epoch() {
+        let mut srv = server();
+        let mut client = KeyClient::new(B);
+        let now = Instant::from_secs(100);
+        let epoch = Epoch::containing(now);
+        for _ in 0..50 {
+            client.get(&mut srv, epoch, now).unwrap();
+        }
+        assert_eq!(srv.served(), 1, "cache must absorb repeat gets");
+        // Next epoch: exactly one more fetch.
+        client.get(&mut srv, epoch.next(), now).unwrap();
+        assert_eq!(srv.served(), 2);
+    }
+
+    #[test]
+    fn rate_limit_enforced_and_resets() {
+        let mut srv = KeyServer::new(
+            A,
+            &master_secret_for(A),
+            KeyServerConfig { max_fetches_per_window: 3, ..Default::default() },
+        );
+        let now = Instant::from_secs(100);
+        let epoch = Epoch::containing(now);
+        for _ in 0..3 {
+            srv.handle_fetch(B, epoch, now).unwrap();
+        }
+        assert_eq!(srv.handle_fetch(B, epoch, now), Err(KeyServerError::RateLimited(B)));
+        // Other requesters are unaffected.
+        srv.handle_fetch(IsdAsId::new(1, 11), epoch, now).unwrap();
+        // The next window resets the counter.
+        let later = now + Duration::from_secs(61);
+        srv.handle_fetch(B, Epoch::containing(later), later).unwrap();
+    }
+
+    #[test]
+    fn banned_requester_refused() {
+        let mut srv = server();
+        srv.ban(B);
+        let now = Instant::from_secs(100);
+        assert_eq!(
+            srv.handle_fetch(B, Epoch::containing(now), now),
+            Err(KeyServerError::Unauthorized(B))
+        );
+        srv.unban(B);
+        srv.handle_fetch(B, Epoch::containing(now), now).unwrap();
+    }
+
+    #[test]
+    fn epoch_horizon_enforced() {
+        let mut srv = server();
+        let now = Instant::from_secs(100);
+        let current = Epoch::containing(now);
+        // Next epoch (prefetch) is fine; two ahead is not.
+        srv.handle_fetch(B, current.next(), now).unwrap();
+        assert!(matches!(
+            srv.handle_fetch(B, Epoch(current.0 + 2), now),
+            Err(KeyServerError::EpochTooFar { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_fetch_not_cached() {
+        let mut srv = server();
+        srv.ban(B);
+        let mut client = KeyClient::new(B);
+        let now = Instant::from_secs(100);
+        let epoch = Epoch::containing(now);
+        assert!(client.get(&mut srv, epoch, now).is_err());
+        // After the ban lifts, the client must actually fetch (no poisoned
+        // cache entry).
+        srv.unban(B);
+        let k = client.get(&mut srv, epoch, now).unwrap();
+        let fast = SecretValueGen::new(&master_secret_for(A)).as_key(epoch, B.to_u64());
+        assert_eq!(k, fast);
+    }
+
+    #[test]
+    fn prefetch_counts_network_fetches() {
+        let mut srv_a = server();
+        let mut srv_c = KeyServer::new(
+            IsdAsId::new(2, 1),
+            &master_secret_for(IsdAsId::new(2, 1)),
+            KeyServerConfig::default(),
+        );
+        let mut client = KeyClient::new(B);
+        let now = Instant::from_secs(100);
+        let epoch = Epoch::containing(now);
+        let n = client.prefetch([&mut srv_a, &mut srv_c], epoch, now);
+        assert_eq!(n, 2);
+        // Already warm: zero new fetches.
+        let n = client.prefetch([&mut srv_a, &mut srv_c], epoch, now);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The Colibri control plane (paper §3.3, §4.2–4.5, §4.7).
+//!
+//! Every AS runs a Colibri service ([`cserv::CServ`]) that admits segment
+//! reservations with the O(1) memoized bounded-tube-fairness algorithm
+//! ([`admission`]), admits end-to-end reservations with constant-time
+//! SegR-headroom checks ([`eer`]), stores reservation state ([`store`]),
+//! authenticates control messages with DRKey MACs ([`messages`]), and
+//! enforces intra-AS policies ([`policy`]). Multi-AS setup flows are
+//! orchestrated by [`setup`]; segment-reservation dissemination and
+//! caching (Appendix C) live in [`dissemination`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod billing;
+pub mod cserv;
+pub mod dissemination;
+pub mod distributed;
+pub mod eer;
+pub mod keyserver;
+pub mod messages;
+pub mod policy;
+pub mod setup;
+pub mod store;
+
+pub use admission::{AdmissionError, SegrAdmission, SegrAdmissionConfig, SegrRequest};
+pub use billing::{PricingAgreement, Settlement, SettlementLedger};
+pub use cserv::{CServ, CservConfig, CservError};
+pub use eer::{EerError, SegrUsage, TransferSplit};
+pub use keyserver::{KeyClient, KeyServer, KeyServerConfig, KeyServerError};
+pub use messages::{CtrlMsg, EerSetupReq, EerSetupResp, SegSetupReq, SegSetupResp};
+pub use policy::{AllowAll, DenyAll, EerPolicy, PerHostCap};
+pub use setup::{master_secret_for, renew_eer_adaptive, 
+    activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, CservRegistry, EerGrant,
+    SegrGrant, SetupError,
+};
+pub use store::{OwnedEer, OwnedEerVersion, OwnedSegr, PendingOwned, ReservationStore, SegrRecord};
+pub use dissemination::{RegisteredSegr, SegrCache, SegrRegistry};
+pub use distributed::{DistributedCServ, DistributedError, EerAdmitRequest};

@@ -1,0 +1,492 @@
+//! Control-plane messages (paper §4.4) and their authentication (§4.5).
+//!
+//! Setup and renewal requests for SegRs and EERs travel as payloads of
+//! Colibri packets (best-effort for the very first SegReq, over existing
+//! reservations otherwise). Every message is encoded with the explicit
+//! big-endian codec from `colibri-wire` and authenticated per on-path AS
+//! with DRKey-derived MACs: the source computes, for every ASᵢ on the
+//! path, `MAC_{K_{ASᵢ→Src}}(payload)`; ASᵢ re-derives the key on the fly
+//! and verifies in O(1) without per-source state, which is what makes the
+//! control plane resistant to denial-of-capability flooding (§5.3).
+
+use colibri_base::{Bandwidth, HostAddr, Instant, IsdAsId, ResId, ReservationKey};
+use colibri_wire::codec::{Reader, Writer};
+use colibri_wire::{EerInfo, HopField, ResInfo, WireError, HVF_LEN};
+
+/// A hop authenticator sealed for the source AS (Eq. 5): AEAD nonce plus
+/// ciphertext‖tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedHopAuth {
+    /// AEAD nonce chosen by the sealing AS.
+    pub nonce: [u8; 12],
+    /// `AEAD_{K_{ASᵢ→AS₀}}(σᵢ)`.
+    pub ciphertext: Vec<u8>,
+}
+
+/// Segment-reservation setup / renewal request (SegReq).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegSetupReq {
+    /// Reservation metadata: key, requested bandwidth class, expiry,
+    /// version (0 for initial setup, incremented on renewal).
+    pub res_info: ResInfo,
+    /// Exact requested bandwidth (the class in `res_info` is its ceiling).
+    pub demand: Bandwidth,
+    /// Minimum acceptable bandwidth; any AS granting less fails the setup.
+    pub min_bw: Bandwidth,
+    /// The segment's ASes and interface pairs, in traversal order.
+    pub path: Vec<(IsdAsId, HopField)>,
+    /// Grants appended by ASes during the forward pass.
+    pub grants: Vec<Bandwidth>,
+}
+
+/// Response to a [`SegSetupReq`], assembled on the backward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegSetupResp {
+    /// The reservation this responds to.
+    pub key: ReservationKey,
+    /// Version being set up.
+    pub ver: u8,
+    /// Whether every AS admitted at least `min_bw`.
+    pub accepted: bool,
+    /// The final bandwidth: min over all grants (0 if rejected).
+    pub final_bw: Bandwidth,
+    /// Hop index of the bottleneck/refusing AS, for the initiator's
+    /// diagnosis (paper §3.3: "determine the location of potential
+    /// bottlenecks").
+    pub failed_at: Option<u8>,
+    /// Bandwidth the refusing AS could have offered.
+    pub available: Bandwidth,
+    /// Per-AS SegR tokens (Eq. 3), in path order; empty if rejected.
+    pub tokens: Vec<[u8; HVF_LEN]>,
+}
+
+/// Explicit activation of a pending SegR version (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegActivate {
+    /// The reservation.
+    pub key: ReservationKey,
+    /// The pending version to switch to.
+    pub ver: u8,
+}
+
+/// End-to-end-reservation setup / renewal request (EEReq).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EerSetupReq {
+    /// Reservation metadata for the EER.
+    pub res_info: ResInfo,
+    /// Source and destination hosts.
+    pub eer_info: EerInfo,
+    /// Exact requested bandwidth.
+    pub demand: Bandwidth,
+    /// The end-to-end path (ASes and interface pairs).
+    pub path: Vec<(IsdAsId, HopField)>,
+    /// Indices of transfer ASes on `path`.
+    pub junctions: Vec<u8>,
+    /// The 1–3 SegRs the EER rides on, in path order.
+    pub segr_ids: Vec<ReservationKey>,
+}
+
+/// Response to an [`EerSetupReq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EerSetupResp {
+    /// The reservation this responds to.
+    pub key: ReservationKey,
+    /// Version set up.
+    pub ver: u8,
+    /// Whether all ASes and the destination host accepted.
+    pub accepted: bool,
+    /// Hop index of the refusing AS (`path.len()` encodes "destination
+    /// host refused").
+    pub failed_at: Option<u8>,
+    /// Bandwidth available at the refusing AS.
+    pub available: Bandwidth,
+    /// One sealed σᵢ per on-path AS, in path order; empty if rejected.
+    pub sealed_auths: Vec<SealedHopAuth>,
+}
+
+/// Report of confirmed reservation overuse, sent by a border router to its
+/// local CServ (§4.8 "Policing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OveruseReportMsg {
+    /// The offending reservation.
+    pub key: ReservationKey,
+    /// Observed bytes in the confirmation window.
+    pub observed_bytes: u64,
+    /// Allowed bytes in the confirmation window.
+    pub allowed_bytes: u64,
+    /// When overuse was confirmed.
+    pub at: Instant,
+}
+
+/// All Colibri control-plane messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// SegR setup or renewal request.
+    SegSetup(SegSetupReq),
+    /// SegR setup/renewal response.
+    SegSetupResp(SegSetupResp),
+    /// SegR version activation.
+    SegActivate(SegActivate),
+    /// EER setup or renewal request.
+    EerSetup(EerSetupReq),
+    /// EER setup/renewal response.
+    EerSetupResp(EerSetupResp),
+    /// Overuse report to the local CServ.
+    OveruseReport(OveruseReportMsg),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_res_info(w: &mut Writer, r: &ResInfo) {
+    w.u64(r.src_as.to_u64());
+    w.u32(r.res_id.0);
+    w.u8(r.bw.0);
+    w.u8(r.ver);
+    w.u32(r.exp_secs());
+}
+
+fn get_res_info(r: &mut Reader) -> Result<ResInfo, WireError> {
+    Ok(ResInfo {
+        src_as: IsdAsId::from_u64(r.u64()?),
+        res_id: ResId(r.u32()?),
+        bw: colibri_base::BwClass(r.u8()?),
+        ver: r.u8()?,
+        exp_t: Instant::from_secs(r.u32()? as u64),
+    })
+}
+
+fn put_key(w: &mut Writer, k: ReservationKey) {
+    w.u64(k.src_as.to_u64());
+    w.u32(k.res_id.0);
+}
+
+fn get_key(r: &mut Reader) -> Result<ReservationKey, WireError> {
+    Ok(ReservationKey::new(IsdAsId::from_u64(r.u64()?), ResId(r.u32()?)))
+}
+
+fn put_path(w: &mut Writer, path: &[(IsdAsId, HopField)]) {
+    w.u8(path.len() as u8);
+    for (a, h) in path {
+        w.u64(a.to_u64());
+        w.u16(h.ingress.0);
+        w.u16(h.egress.0);
+    }
+}
+
+fn get_path(r: &mut Reader) -> Result<Vec<(IsdAsId, HopField)>, WireError> {
+    let n = r.u8()? as usize;
+    let mut path = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = IsdAsId::from_u64(r.u64()?);
+        let h = HopField::new(r.u16()?, r.u16()?);
+        path.push((a, h));
+    }
+    Ok(path)
+}
+
+impl CtrlMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            CtrlMsg::SegSetup(m) => {
+                w.u8(0);
+                put_res_info(&mut w, &m.res_info);
+                w.u64(m.demand.as_bps());
+                w.u64(m.min_bw.as_bps());
+                put_path(&mut w, &m.path);
+                w.u8(m.grants.len() as u8);
+                for g in &m.grants {
+                    w.u64(g.as_bps());
+                }
+            }
+            CtrlMsg::SegSetupResp(m) => {
+                w.u8(1);
+                put_key(&mut w, m.key);
+                w.u8(m.ver);
+                w.u8(m.accepted as u8);
+                w.u64(m.final_bw.as_bps());
+                w.u8(m.failed_at.map_or(0xFF, |i| i));
+                w.u64(m.available.as_bps());
+                w.u8(m.tokens.len() as u8);
+                for t in &m.tokens {
+                    w.bytes(t);
+                }
+            }
+            CtrlMsg::SegActivate(m) => {
+                w.u8(2);
+                put_key(&mut w, m.key);
+                w.u8(m.ver);
+            }
+            CtrlMsg::EerSetup(m) => {
+                w.u8(3);
+                put_res_info(&mut w, &m.res_info);
+                w.u32(m.eer_info.src_host.0);
+                w.u32(m.eer_info.dst_host.0);
+                w.u64(m.demand.as_bps());
+                put_path(&mut w, &m.path);
+                w.u8(m.junctions.len() as u8);
+                for j in &m.junctions {
+                    w.u8(*j);
+                }
+                w.u8(m.segr_ids.len() as u8);
+                for k in &m.segr_ids {
+                    put_key(&mut w, *k);
+                }
+            }
+            CtrlMsg::EerSetupResp(m) => {
+                w.u8(4);
+                put_key(&mut w, m.key);
+                w.u8(m.ver);
+                w.u8(m.accepted as u8);
+                w.u8(m.failed_at.map_or(0xFF, |i| i));
+                w.u64(m.available.as_bps());
+                w.u8(m.sealed_auths.len() as u8);
+                for s in &m.sealed_auths {
+                    w.bytes(&s.nonce);
+                    w.var_bytes(&s.ciphertext);
+                }
+            }
+            CtrlMsg::OveruseReport(m) => {
+                w.u8(5);
+                put_key(&mut w, m.key);
+                w.u64(m.observed_bytes);
+                w.u64(m.allowed_bytes);
+                w.u64(m.at.as_nanos());
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a message, requiring the buffer to be fully consumed.
+    pub fn decode(buf: &[u8]) -> Result<CtrlMsg, WireError> {
+        let mut r = Reader::new(buf);
+        let msg = match r.u8()? {
+            0 => {
+                let res_info = get_res_info(&mut r)?;
+                let demand = Bandwidth::from_bps(r.u64()?);
+                let min_bw = Bandwidth::from_bps(r.u64()?);
+                let path = get_path(&mut r)?;
+                let n = r.u8()? as usize;
+                let mut grants = Vec::with_capacity(n);
+                for _ in 0..n {
+                    grants.push(Bandwidth::from_bps(r.u64()?));
+                }
+                CtrlMsg::SegSetup(SegSetupReq { res_info, demand, min_bw, path, grants })
+            }
+            1 => {
+                let key = get_key(&mut r)?;
+                let ver = r.u8()?;
+                let accepted = r.u8()? != 0;
+                let final_bw = Bandwidth::from_bps(r.u64()?);
+                let fa = r.u8()?;
+                let failed_at = if fa == 0xFF { None } else { Some(fa) };
+                let available = Bandwidth::from_bps(r.u64()?);
+                let n = r.u8()? as usize;
+                let mut tokens = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tokens.push(r.array::<HVF_LEN>()?);
+                }
+                CtrlMsg::SegSetupResp(SegSetupResp {
+                    key,
+                    ver,
+                    accepted,
+                    final_bw,
+                    failed_at,
+                    available,
+                    tokens,
+                })
+            }
+            2 => CtrlMsg::SegActivate(SegActivate { key: get_key(&mut r)?, ver: r.u8()? }),
+            3 => {
+                let res_info = get_res_info(&mut r)?;
+                let eer_info = EerInfo {
+                    src_host: HostAddr(r.u32()?),
+                    dst_host: HostAddr(r.u32()?),
+                };
+                let demand = Bandwidth::from_bps(r.u64()?);
+                let path = get_path(&mut r)?;
+                let nj = r.u8()? as usize;
+                let mut junctions = Vec::with_capacity(nj);
+                for _ in 0..nj {
+                    junctions.push(r.u8()?);
+                }
+                let ns = r.u8()? as usize;
+                let mut segr_ids = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    segr_ids.push(get_key(&mut r)?);
+                }
+                CtrlMsg::EerSetup(EerSetupReq {
+                    res_info,
+                    eer_info,
+                    demand,
+                    path,
+                    junctions,
+                    segr_ids,
+                })
+            }
+            4 => {
+                let key = get_key(&mut r)?;
+                let ver = r.u8()?;
+                let accepted = r.u8()? != 0;
+                let fa = r.u8()?;
+                let failed_at = if fa == 0xFF { None } else { Some(fa) };
+                let available = Bandwidth::from_bps(r.u64()?);
+                let n = r.u8()? as usize;
+                let mut sealed_auths = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let nonce = r.array::<12>()?;
+                    let ciphertext = r.var_bytes()?.to_vec();
+                    sealed_auths.push(SealedHopAuth { nonce, ciphertext });
+                }
+                CtrlMsg::EerSetupResp(EerSetupResp {
+                    key,
+                    ver,
+                    accepted,
+                    failed_at,
+                    available,
+                    sealed_auths,
+                })
+            }
+            5 => CtrlMsg::OveruseReport(OveruseReportMsg {
+                key: get_key(&mut r)?,
+                observed_bytes: r.u64()?,
+                allowed_bytes: r.u64()?,
+                at: Instant::from_nanos(r.u64()?),
+            }),
+            d => return Err(WireError::BadDiscriminant(d)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::BwClass;
+
+    fn res_info() -> ResInfo {
+        ResInfo {
+            src_as: IsdAsId::new(1, 10),
+            res_id: ResId(7),
+            bw: BwClass(20),
+            exp_t: Instant::from_secs(300),
+            ver: 1,
+        }
+    }
+
+    fn path() -> Vec<(IsdAsId, HopField)> {
+        vec![
+            (IsdAsId::new(1, 10), HopField::new(0, 1)),
+            (IsdAsId::new(1, 1), HopField::new(2, 0)),
+        ]
+    }
+
+    fn roundtrip(msg: CtrlMsg) {
+        let buf = msg.encode();
+        assert_eq!(CtrlMsg::decode(&buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn seg_setup_roundtrip() {
+        roundtrip(CtrlMsg::SegSetup(SegSetupReq {
+            res_info: res_info(),
+            demand: Bandwidth::from_mbps(500),
+            min_bw: Bandwidth::from_mbps(100),
+            path: path(),
+            grants: vec![Bandwidth::from_mbps(400), Bandwidth::from_mbps(450)],
+        }));
+    }
+
+    #[test]
+    fn seg_resp_roundtrip() {
+        roundtrip(CtrlMsg::SegSetupResp(SegSetupResp {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(7)),
+            ver: 1,
+            accepted: true,
+            final_bw: Bandwidth::from_mbps(400),
+            failed_at: None,
+            available: Bandwidth::ZERO,
+            tokens: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+        }));
+        roundtrip(CtrlMsg::SegSetupResp(SegSetupResp {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(7)),
+            ver: 1,
+            accepted: false,
+            final_bw: Bandwidth::ZERO,
+            failed_at: Some(1),
+            available: Bandwidth::from_mbps(30),
+            tokens: vec![],
+        }));
+    }
+
+    #[test]
+    fn activate_roundtrip() {
+        roundtrip(CtrlMsg::SegActivate(SegActivate {
+            key: ReservationKey::new(IsdAsId::new(2, 3), ResId(4)),
+            ver: 9,
+        }));
+    }
+
+    #[test]
+    fn eer_setup_roundtrip() {
+        roundtrip(CtrlMsg::EerSetup(EerSetupReq {
+            res_info: res_info(),
+            eer_info: EerInfo { src_host: HostAddr(11), dst_host: HostAddr(22) },
+            demand: Bandwidth::from_mbps(25),
+            path: path(),
+            junctions: vec![1],
+            segr_ids: vec![
+                ReservationKey::new(IsdAsId::new(1, 10), ResId(1)),
+                ReservationKey::new(IsdAsId::new(1, 1), ResId(2)),
+            ],
+        }));
+    }
+
+    #[test]
+    fn eer_resp_roundtrip() {
+        roundtrip(CtrlMsg::EerSetupResp(EerSetupResp {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(7)),
+            ver: 0,
+            accepted: true,
+            failed_at: None,
+            available: Bandwidth::ZERO,
+            sealed_auths: vec![SealedHopAuth { nonce: [9; 12], ciphertext: vec![1, 2, 3] }],
+        }));
+    }
+
+    #[test]
+    fn overuse_report_roundtrip() {
+        roundtrip(CtrlMsg::OveruseReport(OveruseReportMsg {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(7)),
+            observed_bytes: 1_000_000,
+            allowed_bytes: 500_000,
+            at: Instant::from_secs(42),
+        }));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CtrlMsg::decode(&[]).is_err());
+        assert!(CtrlMsg::decode(&[99]).is_err());
+        // Truncated body.
+        let mut buf = CtrlMsg::SegActivate(SegActivate {
+            key: ReservationKey::new(IsdAsId::new(1, 1), ResId(1)),
+            ver: 0,
+        })
+        .encode();
+        buf.pop();
+        assert!(CtrlMsg::decode(&buf).is_err());
+        // Trailing garbage.
+        let mut buf2 = CtrlMsg::SegActivate(SegActivate {
+            key: ReservationKey::new(IsdAsId::new(1, 1), ResId(1)),
+            ver: 0,
+        })
+        .encode();
+        buf2.push(0);
+        assert!(CtrlMsg::decode(&buf2).is_err());
+    }
+}

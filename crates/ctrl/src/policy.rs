@@ -1,0 +1,109 @@
+//! Intra-AS EER admission policies (paper §4.7).
+//!
+//! "It falls to the AS in which H_S is situated to set limits on the
+//! maximum bandwidth that H_S can request. This intra-AS admission policy
+//! can be defined by each AS independently." Source and destination ASes
+//! have direct business relationships with their hosts and are free to
+//! define arbitrary rules; Colibri only requires that *some* policy is
+//! enforced, since the source AS is held accountable for its hosts.
+
+use colibri_base::{Bandwidth, HostAddr};
+use std::collections::HashMap;
+
+/// An AS's policy for granting EERs to its own hosts (as source) and for
+/// accepting EERs towards its hosts (as destination).
+pub trait EerPolicy: Send {
+    /// May local host `host` request an EER of `demand`?
+    fn allow_source(&self, host: HostAddr, demand: Bandwidth) -> bool;
+    /// May an EER of `demand` terminate at local host `host`?
+    fn allow_destination(&self, host: HostAddr, demand: Bandwidth) -> bool;
+}
+
+/// Permits everything — for tests and benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl EerPolicy for AllowAll {
+    fn allow_source(&self, _host: HostAddr, _demand: Bandwidth) -> bool {
+        true
+    }
+    fn allow_destination(&self, _host: HostAddr, _demand: Bandwidth) -> bool {
+        true
+    }
+}
+
+/// A per-host bandwidth cap with a default, the shape most ISP contracts
+/// take ("host H may reserve up to X").
+#[derive(Debug, Clone)]
+pub struct PerHostCap {
+    default_cap: Bandwidth,
+    overrides: HashMap<HostAddr, Bandwidth>,
+}
+
+impl PerHostCap {
+    /// Creates a policy with a default per-request cap.
+    pub fn new(default_cap: Bandwidth) -> Self {
+        Self { default_cap, overrides: HashMap::new() }
+    }
+
+    /// Sets a host-specific cap (e.g. a premium customer).
+    pub fn set_host_cap(&mut self, host: HostAddr, cap: Bandwidth) {
+        self.overrides.insert(host, cap);
+    }
+
+    fn cap(&self, host: HostAddr) -> Bandwidth {
+        self.overrides.get(&host).copied().unwrap_or(self.default_cap)
+    }
+}
+
+impl EerPolicy for PerHostCap {
+    fn allow_source(&self, host: HostAddr, demand: Bandwidth) -> bool {
+        demand <= self.cap(host)
+    }
+    fn allow_destination(&self, host: HostAddr, demand: Bandwidth) -> bool {
+        demand <= self.cap(host)
+    }
+}
+
+/// Denies every request — models an AS that has not enabled Colibri EERs
+/// for a host class, and exercises refusal paths in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenyAll;
+
+impl EerPolicy for DenyAll {
+    fn allow_source(&self, _host: HostAddr, _demand: Bandwidth) -> bool {
+        false
+    }
+    fn allow_destination(&self, _host: HostAddr, _demand: Bandwidth) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all() {
+        let p = AllowAll;
+        assert!(p.allow_source(HostAddr(1), Bandwidth::from_gbps(100)));
+        assert!(p.allow_destination(HostAddr(1), Bandwidth::from_gbps(100)));
+    }
+
+    #[test]
+    fn deny_all() {
+        let p = DenyAll;
+        assert!(!p.allow_source(HostAddr(1), Bandwidth::from_bps(1)));
+        assert!(!p.allow_destination(HostAddr(1), Bandwidth::from_bps(1)));
+    }
+
+    #[test]
+    fn per_host_cap() {
+        let mut p = PerHostCap::new(Bandwidth::from_mbps(10));
+        p.set_host_cap(HostAddr(7), Bandwidth::from_mbps(100));
+        assert!(p.allow_source(HostAddr(1), Bandwidth::from_mbps(10)));
+        assert!(!p.allow_source(HostAddr(1), Bandwidth::from_mbps(11)));
+        assert!(p.allow_source(HostAddr(7), Bandwidth::from_mbps(100)));
+        assert!(!p.allow_destination(HostAddr(7), Bandwidth::from_mbps(101)));
+    }
+}

@@ -1,0 +1,480 @@
+//! Reservation stores: what each AS remembers about SegRs and EERs.
+//!
+//! The paper stores reservations in a transactional database; here they
+//! live in versioned in-memory maps. Three stores exist:
+//!
+//! * [`SegrRecord`]s — one per SegR traversing the AS (every on-path AS
+//!   keeps one). Holds the active version, an optional *pending* version
+//!   from a renewal (SegRs allow only one active version at a time; the
+//!   switch is an explicit activation, §4.2), the EER usage tracking, and
+//!   — at transfer ASes — the demand split among feeding up-SegRs.
+//! * [`OwnedSegr`]s — extra state at the *initiating* AS: the full segment
+//!   and the tokens returned by the on-path ASes (Eq. 3), which the AS
+//!   needs to stamp SegR packets.
+//! * [`OwnedEer`]s — state at the EER's source AS, consumed by the Colibri
+//!   gateway: path, reservation metadata, and the per-AS hop
+//!   authenticators σᵢ of every live version.
+
+use crate::eer::{SegrUsage, TransferSplit};
+use colibri_base::{Bandwidth, HostAddr, Instant, InterfaceId, IsdAsId, ReservationKey};
+use colibri_crypto::Key;
+use colibri_topology::Segment;
+use colibri_wire::{EerInfo, HopField, ResInfo, HVF_LEN};
+use std::collections::HashMap;
+
+/// A renewal that has been admitted but not yet activated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingVersion {
+    /// Version number of the renewal.
+    pub ver: u8,
+    /// Bandwidth agreed for it.
+    pub bw: Bandwidth,
+    /// Its expiration time.
+    pub exp: Instant,
+}
+
+/// Per-AS state for one SegR.
+#[derive(Debug)]
+pub struct SegrRecord {
+    /// Globally unique reservation key.
+    pub key: ReservationKey,
+    /// This AS's ingress for the reservation.
+    pub ingress: InterfaceId,
+    /// This AS's egress.
+    pub egress: InterfaceId,
+    /// Index of this AS on the segment.
+    pub hop_index: usize,
+    /// Number of ASes on the segment.
+    pub n_hops: usize,
+    /// Active version number.
+    pub ver: u8,
+    /// Active version bandwidth.
+    pub bw: Bandwidth,
+    /// Active version expiration.
+    pub exp: Instant,
+    /// Admitted-but-inactive renewal, if any.
+    pub pending: Option<PendingVersion>,
+    /// EER allocations drawn from this SegR at this AS.
+    pub usage: SegrUsage,
+    /// At a transfer AS where this is the *outgoing* (e.g. core) SegR:
+    /// demand split among the up-SegRs feeding into it.
+    pub split: TransferSplit,
+}
+
+impl SegrRecord {
+    /// Creates the record for a freshly admitted SegR.
+    pub fn new(
+        key: ReservationKey,
+        hop: HopField,
+        hop_index: usize,
+        n_hops: usize,
+        ver: u8,
+        bw: Bandwidth,
+        exp: Instant,
+    ) -> Self {
+        Self {
+            key,
+            ingress: hop.ingress,
+            egress: hop.egress,
+            hop_index,
+            n_hops,
+            ver,
+            bw,
+            exp,
+            pending: None,
+            usage: SegrUsage::new(bw),
+            split: TransferSplit::new(),
+        }
+    }
+
+    /// Whether the active version is expired at `now`.
+    pub fn is_expired(&self, now: Instant) -> bool {
+        now >= self.exp
+    }
+
+    /// The hop field this AS expects in packets over the reservation.
+    pub fn hop_field(&self) -> HopField {
+        HopField { ingress: self.ingress, egress: self.egress }
+    }
+
+    /// Activates the pending version (explicit switch, §4.2). Returns
+    /// `false` if there is none or the version number does not match.
+    pub fn activate(&mut self, ver: u8) -> bool {
+        match self.pending {
+            Some(p) if p.ver == ver => {
+                self.ver = p.ver;
+                self.bw = p.bw;
+                self.exp = p.exp;
+                self.usage.set_bandwidth(p.bw);
+                self.pending = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The `ResInfo` describing the active version.
+    pub fn res_info(&self) -> ResInfo {
+        ResInfo {
+            src_as: self.key.src_as,
+            res_id: self.key.res_id,
+            bw: colibri_base::BwClass::from_bandwidth_ceil(self.bw),
+            exp_t: self.exp,
+            ver: self.ver,
+        }
+    }
+}
+
+/// A renewed-but-not-yet-activated version at the initiator, including its
+/// tokens.
+#[derive(Debug, Clone)]
+pub struct PendingOwned {
+    /// Version number.
+    pub ver: u8,
+    /// Agreed bandwidth.
+    pub bw: Bandwidth,
+    /// Expiration.
+    pub exp: Instant,
+    /// Per-AS tokens for the pending version.
+    pub tokens: Vec<[u8; HVF_LEN]>,
+}
+
+/// Initiator-side state of a SegR: everything in [`SegrRecord`] plus the
+/// segment and the per-AS tokens needed to send packets over it.
+#[derive(Debug, Clone)]
+pub struct OwnedSegr {
+    /// Globally unique reservation key.
+    pub key: ReservationKey,
+    /// The underlying path segment.
+    pub segment: Segment,
+    /// Active version.
+    pub ver: u8,
+    /// Active bandwidth.
+    pub bw: Bandwidth,
+    /// Expiration of the active version.
+    pub exp: Instant,
+    /// Per-AS SegR tokens (Eq. 3) of the active version, in segment order.
+    pub tokens: Vec<[u8; HVF_LEN]>,
+    /// Renewal awaiting activation, if any.
+    pub pending: Option<PendingOwned>,
+}
+
+impl OwnedSegr {
+    /// The `ResInfo` for packets sent over the active version. The
+    /// bandwidth class is reconstructed exactly as the backward pass bound
+    /// it into the tokens.
+    pub fn res_info(&self) -> ResInfo {
+        ResInfo {
+            src_as: self.key.src_as,
+            res_id: self.key.res_id,
+            bw: colibri_base::BwClass::from_bandwidth_ceil(self.bw),
+            exp_t: self.exp,
+            ver: self.ver,
+        }
+    }
+
+    /// Promotes the pending version to active. Returns `false` if the
+    /// version does not match.
+    pub fn activate(&mut self, ver: u8) -> bool {
+        match self.pending.take() {
+            Some(p) if p.ver == ver => {
+                self.ver = p.ver;
+                self.bw = p.bw;
+                self.exp = p.exp;
+                self.tokens = p.tokens;
+                true
+            }
+            other => {
+                self.pending = other;
+                false
+            }
+        }
+    }
+}
+
+/// One live version of an owned EER, with the hop authenticators the
+/// gateway needs to stamp packets.
+#[derive(Debug, Clone)]
+pub struct OwnedEerVersion {
+    /// Version number.
+    pub ver: u8,
+    /// Bandwidth of this version.
+    pub bw: Bandwidth,
+    /// Expiration of this version.
+    pub exp: Instant,
+    /// σᵢ for every on-path AS, in path order.
+    pub hop_auths: Vec<Key>,
+}
+
+/// Source-AS state of an EER (the gateway's working set).
+#[derive(Debug, Clone)]
+pub struct OwnedEer {
+    /// Globally unique reservation key.
+    pub key: ReservationKey,
+    /// End-host addressing.
+    pub eer_info: EerInfo,
+    /// The ASes on the path.
+    pub path_ases: Vec<IsdAsId>,
+    /// The hop fields, in path order.
+    pub hop_fields: Vec<HopField>,
+    /// Live versions, oldest first.
+    pub versions: Vec<OwnedEerVersion>,
+}
+
+impl OwnedEer {
+    /// The newest version valid at `now` (the gateway "generally uses a
+    /// single version (the latest one) to send traffic", §4.2).
+    pub fn latest_version(&self, now: Instant) -> Option<&OwnedEerVersion> {
+        self.versions.iter().rev().find(|v| v.exp > now)
+    }
+
+    /// Drops expired versions.
+    pub fn gc(&mut self, now: Instant) {
+        self.versions.retain(|v| v.exp > now);
+    }
+}
+
+/// The per-AS reservation database.
+#[derive(Debug, Default)]
+pub struct ReservationStore {
+    /// All SegRs traversing this AS.
+    segrs: HashMap<ReservationKey, SegrRecord>,
+    /// SegRs this AS initiated.
+    owned_segrs: HashMap<ReservationKey, OwnedSegr>,
+    /// EERs originating in this AS.
+    owned_eers: HashMap<ReservationKey, OwnedEer>,
+    /// EERs terminating at a local host (destination side), for delivery
+    /// accounting: key → destination host.
+    terminating_eers: HashMap<ReservationKey, HostAddr>,
+    /// For owned EERs: the SegRs and junction indices of the original
+    /// request, needed to issue renewals.
+    eer_requests: HashMap<ReservationKey, (Vec<ReservationKey>, Vec<u8>)>,
+}
+
+impl ReservationStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a SegR record.
+    pub fn insert_segr(&mut self, rec: SegrRecord) {
+        self.segrs.insert(rec.key, rec);
+    }
+
+    /// Looks up a SegR record.
+    pub fn segr(&self, key: ReservationKey) -> Option<&SegrRecord> {
+        self.segrs.get(&key)
+    }
+
+    /// Mutable SegR lookup.
+    pub fn segr_mut(&mut self, key: ReservationKey) -> Option<&mut SegrRecord> {
+        self.segrs.get_mut(&key)
+    }
+
+    /// Removes a SegR record.
+    pub fn remove_segr(&mut self, key: ReservationKey) -> Option<SegrRecord> {
+        self.segrs.remove(&key)
+    }
+
+    /// Number of SegR records.
+    pub fn segr_count(&self) -> usize {
+        self.segrs.len()
+    }
+
+    /// Inserts an initiator-side SegR.
+    pub fn insert_owned_segr(&mut self, segr: OwnedSegr) {
+        self.owned_segrs.insert(segr.key, segr);
+    }
+
+    /// Initiator-side SegR lookup.
+    pub fn owned_segr(&self, key: ReservationKey) -> Option<&OwnedSegr> {
+        self.owned_segrs.get(&key)
+    }
+
+    /// Mutable initiator-side SegR lookup.
+    pub fn owned_segr_mut(&mut self, key: ReservationKey) -> Option<&mut OwnedSegr> {
+        self.owned_segrs.get_mut(&key)
+    }
+
+    /// All initiator-side SegRs.
+    pub fn owned_segrs(&self) -> impl Iterator<Item = &OwnedSegr> {
+        self.owned_segrs.values()
+    }
+
+    /// Inserts or replaces an owned EER.
+    pub fn insert_owned_eer(&mut self, eer: OwnedEer) {
+        self.owned_eers.insert(eer.key, eer);
+    }
+
+    /// Owned-EER lookup.
+    pub fn owned_eer(&self, key: ReservationKey) -> Option<&OwnedEer> {
+        self.owned_eers.get(&key)
+    }
+
+    /// Mutable owned-EER lookup.
+    pub fn owned_eer_mut(&mut self, key: ReservationKey) -> Option<&mut OwnedEer> {
+        self.owned_eers.get_mut(&key)
+    }
+
+    /// Number of owned EERs.
+    pub fn owned_eer_count(&self) -> usize {
+        self.owned_eers.len()
+    }
+
+    /// Registers an EER terminating at a local host.
+    pub fn insert_terminating_eer(&mut self, key: ReservationKey, dst: HostAddr) {
+        self.terminating_eers.insert(key, dst);
+    }
+
+    /// The local host an EER terminates at, if any.
+    pub fn terminating_eer(&self, key: ReservationKey) -> Option<HostAddr> {
+        self.terminating_eers.get(&key).copied()
+    }
+
+    /// Remembers the SegRs and junctions an owned EER was requested over,
+    /// so renewals can reuse them.
+    pub fn remember_eer_request(
+        &mut self,
+        key: ReservationKey,
+        segr_ids: Vec<ReservationKey>,
+        junctions: Vec<u8>,
+    ) {
+        self.eer_requests.insert(key, (segr_ids, junctions));
+    }
+
+    /// The SegRs underlying an owned EER.
+    pub fn eer_segrs(&self, key: ReservationKey) -> Option<&[ReservationKey]> {
+        self.eer_requests.get(&key).map(|(s, _)| s.as_slice())
+    }
+
+    /// The junction indices of an owned EER's path.
+    pub fn eer_junctions(&self, key: ReservationKey) -> Option<&[u8]> {
+        self.eer_requests.get(&key).map(|(_, j)| j.as_slice())
+    }
+
+    /// Visits every SegR key (used by the CServ's garbage collector
+    /// without exposing the internal map).
+    pub fn for_each_segr_key(&self, mut f: impl FnMut(ReservationKey)) {
+        for k in self.segrs.keys() {
+            f(*k);
+        }
+    }
+
+    /// Removes expired reservations everywhere. Returns how many SegR
+    /// records were dropped.
+    pub fn gc(&mut self, now: Instant) -> usize {
+        let before = self.segrs.len();
+        self.segrs.retain(|_, r| !r.is_expired(now) || r.pending.is_some());
+        for r in self.segrs.values_mut() {
+            r.usage.gc(now);
+        }
+        self.owned_segrs.retain(|_, s| s.exp > now);
+        for eer in self.owned_eers.values_mut() {
+            eer.gc(now);
+        }
+        self.owned_eers.retain(|_, e| !e.versions.is_empty());
+        before - self.segrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::ResId;
+
+    fn key(rid: u32) -> ReservationKey {
+        ReservationKey::new(IsdAsId::new(1, 10), ResId(rid))
+    }
+
+    fn rec(rid: u32, exp_s: u64) -> SegrRecord {
+        SegrRecord::new(
+            key(rid),
+            HopField::new(1, 2),
+            1,
+            3,
+            0,
+            Bandwidth::from_mbps(100),
+            Instant::from_secs(exp_s),
+        )
+    }
+
+    #[test]
+    fn segr_record_lifecycle() {
+        let mut store = ReservationStore::new();
+        store.insert_segr(rec(1, 300));
+        assert_eq!(store.segr_count(), 1);
+        assert_eq!(store.segr(key(1)).unwrap().hop_field(), HopField::new(1, 2));
+        assert!(store.remove_segr(key(1)).is_some());
+        assert_eq!(store.segr_count(), 0);
+    }
+
+    #[test]
+    fn pending_version_activation() {
+        let mut r = rec(1, 300);
+        r.pending =
+            Some(PendingVersion { ver: 1, bw: Bandwidth::from_mbps(200), exp: Instant::from_secs(600) });
+        assert!(!r.activate(2), "wrong version must not activate");
+        assert!(r.activate(1));
+        assert_eq!(r.ver, 1);
+        assert_eq!(r.bw, Bandwidth::from_mbps(200));
+        assert_eq!(r.exp, Instant::from_secs(600));
+        assert_eq!(r.usage.bandwidth(), Bandwidth::from_mbps(200));
+        assert!(r.pending.is_none());
+        assert!(!r.activate(1), "activation is one-shot");
+    }
+
+    #[test]
+    fn expiry() {
+        let r = rec(1, 300);
+        assert!(!r.is_expired(Instant::from_secs(299)));
+        assert!(r.is_expired(Instant::from_secs(300)));
+    }
+
+    #[test]
+    fn gc_drops_expired_segrs_but_keeps_pending() {
+        let mut store = ReservationStore::new();
+        store.insert_segr(rec(1, 100));
+        let mut r2 = rec(2, 100);
+        r2.pending =
+            Some(PendingVersion { ver: 1, bw: Bandwidth::from_mbps(1), exp: Instant::from_secs(400) });
+        store.insert_segr(r2);
+        store.insert_segr(rec(3, 500));
+        let dropped = store.gc(Instant::from_secs(200));
+        assert_eq!(dropped, 1);
+        assert!(store.segr(key(1)).is_none());
+        assert!(store.segr(key(2)).is_some(), "pending renewal keeps the record alive");
+        assert!(store.segr(key(3)).is_some());
+    }
+
+    #[test]
+    fn owned_eer_latest_version() {
+        let mk = |ver, exp_s| OwnedEerVersion {
+            ver,
+            bw: Bandwidth::from_mbps(10),
+            exp: Instant::from_secs(exp_s),
+            hop_auths: vec![],
+        };
+        let mut eer = OwnedEer {
+            key: key(9),
+            eer_info: EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) },
+            path_ases: vec![],
+            hop_fields: vec![],
+            versions: vec![mk(0, 16), mk(1, 32)],
+        };
+        assert_eq!(eer.latest_version(Instant::from_secs(0)).unwrap().ver, 1);
+        assert_eq!(eer.latest_version(Instant::from_secs(20)).unwrap().ver, 1);
+        assert!(eer.latest_version(Instant::from_secs(40)).is_none());
+        eer.gc(Instant::from_secs(20));
+        assert_eq!(eer.versions.len(), 1);
+    }
+
+    #[test]
+    fn res_info_reflects_active_version() {
+        let r = rec(1, 300);
+        let ri = r.res_info();
+        assert_eq!(ri.src_as, IsdAsId::new(1, 10));
+        assert_eq!(ri.ver, 0);
+        assert!(ri.bw.bandwidth() >= Bandwidth::from_mbps(100));
+    }
+}

@@ -1,0 +1,192 @@
+//! Appendix C end to end: an end host builds an EER entirely from SegRs it
+//! *discovered* through the hierarchical dissemination machinery — remote
+//! registries, local caching, whitelists, and lazy invalidation on version
+//! switches — rather than from reservations it created itself.
+
+use colibri_base::{Bandwidth, Duration, HostAddr, Instant, IsdAsId, ReservationKey};
+use colibri_ctrl::{
+    activate_segr, renew_segr, setup_eer, setup_segr, CservConfig, CservError, CservRegistry,
+    SegrCache, SegrRegistry, SetupError,
+};
+use colibri_topology::gen::sample_two_isd;
+use colibri_topology::stitch;
+use colibri_wire::EerInfo;
+use std::collections::{HashMap, HashSet};
+
+/// A deployment where every AS publishes its SegRs in a registry, and the
+/// source AS's CServ keeps a cache of remote lookups.
+struct Deployment {
+    sample: colibri_topology::gen::GeneratedTopology,
+    reg: CservRegistry,
+    registries: HashMap<IsdAsId, SegrRegistry>,
+    cache: SegrCache,
+}
+
+fn deploy(now: Instant, whitelist_leaf_a: bool) -> (Deployment, Vec<ReservationKey>) {
+    let sample = sample_two_isd();
+    let mut reg = CservRegistry::provision(&sample.topo, CservConfig::default());
+    let mut registries: HashMap<IsdAsId, SegrRegistry> =
+        sample.topo.as_ids().map(|a| (a, SegrRegistry::new())).collect();
+
+    // The on-path ASes set up SegRs from their own traffic forecasts and
+    // publish them (Fig. 1a + Appendix C registration).
+    let up = sample.segments.up_segments(sample.leaf_a, sample.core_11)[0].clone();
+    let core = sample.segments.core_segments(sample.core_11, sample.core_21)[0].clone();
+    let down = sample.segments.down_segments(sample.core_21, sample.leaf_d)[0].clone();
+    let mut keys = Vec::new();
+    for seg in [&up, &core, &down] {
+        let g = setup_segr(&mut reg, seg, Bandwidth::from_gbps(1), Bandwidth::from_mbps(1), now)
+            .unwrap();
+        let initiator = seg.first_as();
+        let owned = reg.get(initiator).unwrap().store().owned_segr(g.key).unwrap().clone();
+        let whitelist = if whitelist_leaf_a {
+            let mut w = HashSet::new();
+            w.insert(sample.leaf_a);
+            Some(w)
+        } else {
+            None
+        };
+        registries.get_mut(&initiator).unwrap().register(owned, whitelist);
+        keys.push(g.key);
+    }
+    (Deployment { sample, reg, registries, cache: SegrCache::new() }, keys)
+}
+
+/// The host-side lookup: local cache first, then the remote registry.
+fn discover(
+    d: &mut Deployment,
+    key: ReservationKey,
+    requester: IsdAsId,
+    now: Instant,
+) -> Option<colibri_ctrl::OwnedSegr> {
+    let registries = &d.registries;
+    d.cache
+        .get_or_fetch(key, now, || {
+            registries
+                .get(&key.src_as)
+                .and_then(|r| r.lookup(key, requester, now))
+                .map(|r| r.segr.clone())
+        })
+        .cloned()
+}
+
+#[test]
+fn eer_built_from_discovered_segrs() {
+    let now = Instant::from_secs(1);
+    let (mut d, keys) = deploy(now, false);
+    // The host discovers all three SegRs (cache misses → remote fetches).
+    let requester = d.sample.leaf_a;
+    let discovered: Vec<_> =
+        keys.iter().map(|&k| discover(&mut d, k, requester, now).expect("discovered")).collect();
+    assert_eq!(d.cache.stats(), (0, 3));
+    // Stitch the discovered segments and reserve.
+    let segs: Vec<_> = discovered.iter().map(|o| o.segment.clone()).collect();
+    let path = stitch(&segs).unwrap();
+    let eer = setup_eer(
+        &mut d.reg,
+        &path,
+        &keys,
+        EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) },
+        Bandwidth::from_mbps(50),
+        now,
+    )
+    .expect("EER over discovered SegRs");
+    assert_eq!(eer.bw, Bandwidth::from_mbps(50));
+    // Subsequent discoveries are pure cache hits.
+    for &k in &keys {
+        discover(&mut d, k, requester, now).unwrap();
+    }
+    assert_eq!(d.cache.stats(), (3, 3));
+}
+
+#[test]
+fn whitelist_blocks_foreign_requesters() {
+    let now = Instant::from_secs(1);
+    let (mut d, keys) = deploy(now, true);
+    // leaf_a is whitelisted, leaf_b is not.
+    let requester = d.sample.leaf_a;
+    assert!(discover(&mut d, keys[0], requester, now).is_some());
+    let mut fresh = SegrCache::new();
+    let got = fresh
+        .get_or_fetch(keys[0], now, || {
+            d.registries
+                .get(&keys[0].src_as)
+                .and_then(|r| r.lookup(keys[0], d.sample.leaf_b, now))
+                .map(|r| r.segr.clone())
+        })
+        .cloned();
+    assert!(got.is_none(), "non-whitelisted AS obtained the SegR");
+}
+
+#[test]
+fn stale_cache_recovers_via_invalidation() {
+    // Appendix C: "an EER setup over a stale version fails with an
+    // indication, the cache entry is invalidated, and the host retries."
+    let now = Instant::from_secs(1);
+    let (mut d, keys) = deploy(now, false);
+    let requester = d.sample.leaf_a;
+    let discovered: Vec<_> =
+        keys.iter().map(|&k| discover(&mut d, k, requester, now).unwrap()).collect();
+    let segs: Vec<_> = discovered.iter().map(|o| o.segment.clone()).collect();
+    let path = stitch(&segs).unwrap();
+
+    // The up-SegR's initiator renews + activates; the old version expires
+    // from the admission state after its lifetime. Let time pass beyond
+    // the cached version's expiry.
+    let later = now + Duration::from_secs(200);
+    let g = renew_segr(&mut d.reg, keys[0], Bandwidth::from_gbps(1), Bandwidth::from_mbps(1), later)
+        .unwrap();
+    activate_segr(&mut d.reg, keys[0], g.ver, later).unwrap();
+    // Re-publish the refreshed reservation.
+    let owned =
+        d.reg.get(keys[0].src_as).unwrap().store().owned_segr(keys[0]).unwrap().clone();
+    d.registries.get_mut(&keys[0].src_as).unwrap().register(owned, None);
+
+    // Far past the *cached* expiry, an EER over the cached (stale) view
+    // fails with SegrExpired…
+    let stale_time = now + Duration::from_secs(400);
+    let err = setup_eer(
+        &mut d.reg,
+        &path,
+        &keys,
+        EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) },
+        Bandwidth::from_mbps(10),
+        stale_time,
+    )
+    .unwrap_err();
+    let retriable = matches!(
+        err,
+        SetupError::Refused {
+            reason: CservError::SegrExpired(_) | CservError::UnknownSegr(_),
+            ..
+        }
+    );
+    assert!(retriable, "{err:?}");
+    // …the host invalidates, re-discovers the renewed version, renews the
+    // SegRs that lapsed, and retries successfully.
+    d.cache.invalidate(keys[0]);
+    for &k in &keys[1..] {
+        // The other SegRs expired too (they were never renewed): their
+        // initiators refresh them the same way.
+        let g = renew_segr(&mut d.reg, k, Bandwidth::from_gbps(1), Bandwidth::from_mbps(1), stale_time)
+            .unwrap();
+        activate_segr(&mut d.reg, k, g.ver, stale_time).unwrap();
+        let owned = d.reg.get(k.src_as).unwrap().store().owned_segr(k).unwrap().clone();
+        d.registries.get_mut(&k.src_as).unwrap().register(owned, None);
+        d.cache.invalidate(k);
+    }
+    let fresh: Vec<_> = keys
+        .iter()
+        .map(|&k| discover(&mut d, k, requester, stale_time).expect("rediscovered"))
+        .collect();
+    assert!(fresh.iter().all(|o| o.exp > stale_time));
+    setup_eer(
+        &mut d.reg,
+        &path,
+        &keys,
+        EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) },
+        Bandwidth::from_mbps(10),
+        stale_time,
+    )
+    .expect("retry after invalidation");
+}

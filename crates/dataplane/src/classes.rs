@@ -1,0 +1,227 @@
+//! Traffic classes and isolation (paper §3.4 "Traffic Split", Appendix B).
+//!
+//! Colibri shares physical links with best-effort traffic by defining
+//! three classes — best-effort, Colibri control, Colibri data — and
+//! scheduling them with class-based weighted fair queuing. The split
+//! reserves a fixed minimum (e.g. 20%) for best-effort traffic, 5% for
+//! Colibri control (protected SegR renewal and EER setup), and 75% for
+//! EER data. Crucially, *no bandwidth is wasted*: an underutilized class's
+//! share is scavenged by the others — in practice by best-effort traffic.
+//!
+//! [`CbwfqScheduler`] implements the byte-level allocation the simulator
+//! and the protection experiment (Table 2) use: given per-class offered
+//! load over an interval, it computes how many bytes of each class the
+//! link serves. Colibri data never exceeds its admitted reservations (the
+//! CServ guarantees ΣEERs ≤ capacity share), so strict prioritization of
+//! Colibri classes cannot starve best-effort below its floor.
+
+use colibri_base::Bandwidth;
+
+/// The three traffic classes of Appendix B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Colibri control traffic (SegReqs/EEReqs over reservations): highest
+    /// priority, tiny volume.
+    ColibriControl,
+    /// Colibri EER data traffic: admitted, authenticated, monitored.
+    ColibriData,
+    /// Everything else; scavenges unused Colibri bandwidth.
+    BestEffort,
+}
+
+/// The capacity split between classes.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSplit {
+    /// Guaranteed minimum share for best-effort traffic (default 0.20).
+    pub best_effort: f64,
+    /// Share for Colibri control traffic (default 0.05).
+    pub control: f64,
+    /// Share for Colibri EER data (default 0.75).
+    pub data: f64,
+}
+
+impl Default for TrafficSplit {
+    fn default() -> Self {
+        Self { best_effort: 0.20, control: 0.05, data: 0.75 }
+    }
+}
+
+impl TrafficSplit {
+    /// Validates that the shares sum to 1 (within ε).
+    pub fn is_valid(&self) -> bool {
+        self.best_effort >= 0.0
+            && self.control >= 0.0
+            && self.data >= 0.0
+            && (self.best_effort + self.control + self.data - 1.0).abs() < 1e-9
+    }
+
+    /// The guaranteed bandwidth of one class on a link of `capacity`.
+    pub fn guaranteed(&self, class: TrafficClass, capacity: Bandwidth) -> Bandwidth {
+        let share = match class {
+            TrafficClass::ColibriControl => self.control,
+            TrafficClass::ColibriData => self.data,
+            TrafficClass::BestEffort => self.best_effort,
+        };
+        capacity.scale(share)
+    }
+}
+
+/// Byte-level class-based weighted fair queueing over one interval.
+///
+/// Semantics (per scheduling interval of a link with byte budget `B`):
+///
+/// 1. every class is served up to its guaranteed share;
+/// 2. leftover budget (from classes offering less than their share) is
+///    granted in priority order control → data → best-effort, which in
+///    the common case means best-effort scavenges all unused Colibri
+///    bandwidth.
+#[derive(Debug, Clone)]
+pub struct CbwfqScheduler {
+    split: TrafficSplit,
+}
+
+/// Bytes served per class in one interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Served {
+    /// Colibri control bytes served.
+    pub control: u64,
+    /// Colibri data bytes served.
+    pub data: u64,
+    /// Best-effort bytes served.
+    pub best_effort: u64,
+}
+
+impl Served {
+    /// Total bytes served.
+    pub fn total(&self) -> u64 {
+        self.control + self.data + self.best_effort
+    }
+}
+
+impl CbwfqScheduler {
+    /// Creates a scheduler with the given split.
+    pub fn new(split: TrafficSplit) -> Self {
+        assert!(split.is_valid(), "traffic split must sum to 1");
+        Self { split }
+    }
+
+    /// The configured split.
+    pub fn split(&self) -> TrafficSplit {
+        self.split
+    }
+
+    /// Allocates a byte budget among the offered loads.
+    pub fn allocate(&self, budget_bytes: u64, offered: Served) -> Served {
+        let b = budget_bytes as f64;
+        let g_ctrl = (b * self.split.control) as u64;
+        let g_data = (b * self.split.data) as u64;
+        let g_be = (b * self.split.best_effort) as u64;
+
+        let mut served = Served {
+            control: offered.control.min(g_ctrl),
+            data: offered.data.min(g_data),
+            best_effort: offered.best_effort.min(g_be),
+        };
+        let mut leftover = budget_bytes - served.total();
+        // Scavenging in priority order.
+        for (off, srv) in [
+            (offered.control, &mut served.control),
+            (offered.data, &mut served.data),
+            (offered.best_effort, &mut served.best_effort),
+        ] {
+            let want = off - *srv;
+            let extra = want.min(leftover);
+            *srv += extra;
+            leftover -= extra;
+        }
+        served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> CbwfqScheduler {
+        CbwfqScheduler::new(TrafficSplit::default())
+    }
+
+    #[test]
+    fn split_validation() {
+        assert!(TrafficSplit::default().is_valid());
+        assert!(!TrafficSplit { best_effort: 0.5, control: 0.5, data: 0.5 }.is_valid());
+    }
+
+    #[test]
+    fn guaranteed_shares() {
+        let s = TrafficSplit::default();
+        let cap = Bandwidth::from_gbps(40);
+        assert_eq!(s.guaranteed(TrafficClass::BestEffort, cap), Bandwidth::from_gbps(8));
+        assert_eq!(s.guaranteed(TrafficClass::ColibriControl, cap), Bandwidth::from_gbps(2));
+        assert_eq!(s.guaranteed(TrafficClass::ColibriData, cap), Bandwidth::from_gbps(30));
+    }
+
+    #[test]
+    fn underload_serves_everything() {
+        let served = sched().allocate(
+            1_000_000,
+            Served { control: 10_000, data: 500_000, best_effort: 200_000 },
+        );
+        assert_eq!(served, Served { control: 10_000, data: 500_000, best_effort: 200_000 });
+    }
+
+    #[test]
+    fn best_effort_scavenges_unused_colibri() {
+        // No Colibri traffic at all: best-effort gets ~the whole link
+        // ("no bandwidth is wasted", §3.4).
+        let served =
+            sched().allocate(1_000_000, Served { control: 0, data: 0, best_effort: 5_000_000 });
+        assert_eq!(served.best_effort, 1_000_000);
+    }
+
+    #[test]
+    fn reserved_data_protected_from_best_effort_flood() {
+        // Table 2 phase 1 in miniature: reserved data within its share is
+        // untouched by an overwhelming best-effort load.
+        let served = sched().allocate(
+            1_000_000,
+            Served { control: 0, data: 30_000, best_effort: 100_000_000 },
+        );
+        assert_eq!(served.data, 30_000);
+        assert_eq!(served.best_effort, 970_000);
+    }
+
+    #[test]
+    fn data_class_capped_at_its_share_plus_leftover() {
+        // Colibri data exceeding its 75% share can scavenge the unused
+        // control share, but best-effort keeps its floor if it offers load.
+        let served = sched().allocate(
+            1_000_000,
+            Served { control: 0, data: 900_000, best_effort: 900_000 },
+        );
+        // data: 750k guaranteed + 50k scavenged from control = 800k.
+        assert_eq!(served.data, 800_000);
+        assert_eq!(served.best_effort, 200_000);
+        assert_eq!(served.total(), 1_000_000);
+    }
+
+    #[test]
+    fn control_has_top_scavenging_priority() {
+        let served = sched().allocate(
+            1_000_000,
+            Served { control: 100_000, data: 950_000, best_effort: 0 },
+        );
+        // control: 50k guaranteed + takes 50k of leftover before data.
+        assert_eq!(served.control, 100_000);
+        assert_eq!(served.data, 900_000);
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let served = sched().allocate(
+            123_456,
+            Served { control: u64::MAX / 4, data: u64::MAX / 4, best_effort: u64::MAX / 4 },
+        );
+        assert!(served.total() <= 123_456);
+    }
+}

@@ -1,0 +1,85 @@
+//! Stamping control-plane packets onto segment reservations.
+//!
+//! SegRs carry only control traffic: SegR renewals and EER setup requests
+//! (paper §4.4). The initiator's CServ stamps these packets with the SegR
+//! tokens it received at setup (Eq. 3); on-path routers validate them
+//! statelessly exactly like EER HVFs, which is what protects renewals and
+//! EEReqs from denial-of-capability flooding (§5.3).
+
+use colibri_base::Instant;
+use colibri_ctrl::OwnedSegr;
+use colibri_wire::{PacketBuilder, PacketViewMut, WireError};
+
+/// Builds a Colibri control packet over an owned SegR: path and tokens
+/// from the reservation, `Ts` stamped from `now`, payload as given.
+pub fn stamp_segr_packet(
+    segr: &OwnedSegr,
+    payload: &[u8],
+    now: Instant,
+) -> Result<Vec<u8>, WireError> {
+    let res_info = segr.res_info();
+    let ts = res_info.exp_t.as_nanos().saturating_sub(now.as_nanos());
+    let mut bytes = PacketBuilder::segr(res_info)
+        .control()
+        .path(segr.segment.hop_fields())
+        .ts(ts)
+        .build(payload)?;
+    {
+        let mut view = PacketViewMut::parse(&mut bytes)?;
+        for (i, token) in segr.tokens.iter().enumerate() {
+            view.set_hvf(i, *token);
+        }
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{Bandwidth, IsdAsId, ResId, ReservationKey};
+    use colibri_topology::{Segment, SegmentHop, SegmentType};
+    use colibri_wire::PacketView;
+
+    fn owned() -> OwnedSegr {
+        use colibri_base::InterfaceId;
+        let seg = Segment::new(
+            SegmentType::Up,
+            vec![
+                SegmentHop {
+                    isd_as: IsdAsId::new(1, 10),
+                    ingress: InterfaceId::LOCAL,
+                    egress: InterfaceId(1),
+                },
+                SegmentHop {
+                    isd_as: IsdAsId::new(1, 1),
+                    ingress: InterfaceId(2),
+                    egress: InterfaceId::LOCAL,
+                },
+            ],
+        );
+        OwnedSegr {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(3)),
+            segment: seg,
+            ver: 2,
+            bw: Bandwidth::from_mbps(100),
+            exp: Instant::from_secs(300),
+            tokens: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+            pending: None,
+        }
+    }
+
+    #[test]
+    fn stamped_packet_carries_tokens_and_metadata() {
+        let pkt = stamp_segr_packet(&owned(), b"renewal request", Instant::from_secs(100)).unwrap();
+        let v = PacketView::parse(&pkt).unwrap();
+        assert!(!v.is_eer());
+        assert!(v.is_control());
+        assert_eq!(v.hvf(0), [1, 2, 3, 4]);
+        assert_eq!(v.hvf(1), [5, 6, 7, 8]);
+        assert_eq!(v.res_info().ver, 2);
+        assert_eq!(v.payload(), b"renewal request");
+        // Ts encodes 200 s until expiry.
+        assert_eq!(v.ts(), 200_000_000_000);
+        assert_eq!(v.send_time(), Instant::from_secs(100));
+    }
+}

@@ -1,0 +1,418 @@
+//! The Colibri gateway (paper §3.2, §4.6).
+//!
+//! All Colibri traffic of an AS's end hosts passes through the gateway,
+//! which is the *only* stateful data-plane component: it maps the `ResId`
+//! of incoming EER packets to the reservation state obtained during setup
+//! (path, `ResInfo`, `EERInfo`, hop authenticators), performs
+//! deterministic token-bucket monitoring, stamps the high-precision
+//! timestamp, and computes the hop validation field for every on-path AS
+//! (Eq. 6) — thereby certifying to the rest of the path that the mandatory
+//! flow monitoring has been performed.
+//!
+//! The paper's implementation keys a DPDK `rte_hash` by `ResId`; here it
+//! is a `HashMap` with the same access pattern. Performance behaviour is
+//! preserved: per-packet cost grows with path length (one CMAC per on-path
+//! AS) and with the table size through cache misses (Fig. 5).
+
+use colibri_base::{Bandwidth, Duration, HostAddr, Instant, ResId};
+use colibri_crypto::Key;
+use colibri_ctrl::OwnedEer;
+use colibri_monitor::TokenBucket;
+use colibri_wire::mac::eer_hvf;
+use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
+use std::collections::HashMap;
+
+/// Why the gateway refused to send a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayError {
+    /// No reservation with this ID is installed.
+    UnknownReservation(ResId),
+    /// All versions of the reservation have expired.
+    Expired(ResId),
+    /// The flow exceeded its reserved bandwidth; the packet is dropped
+    /// (backpressure to the sender's congestion control, §3.2).
+    RateLimited(ResId),
+    /// The claimed source host does not own this reservation.
+    WrongHost,
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::UnknownReservation(r) => write!(f, "unknown reservation {r}"),
+            GatewayError::Expired(r) => write!(f, "reservation {r} expired"),
+            GatewayError::RateLimited(r) => write!(f, "reservation {r} rate-limited"),
+            GatewayError::WrongHost => write!(f, "source host does not own the reservation"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// One installed version: everything needed to stamp packets.
+#[derive(Clone)]
+struct InstalledVersion {
+    res_info: ResInfo,
+    /// The hop authenticators σᵢ, one 16-byte key per on-path AS —
+    /// exactly the per-reservation state the paper's gateway keeps in its
+    /// `rte_hash` table. Stored raw (not pre-expanded) so the memory
+    /// footprint per reservation matches the reference system; the AES
+    /// key schedule is recomputed per packet, just like on the router.
+    hop_auths: Vec<Key>,
+    bw: Bandwidth,
+    exp: Instant,
+}
+
+/// One reservation's gateway state.
+struct Entry {
+    eer_info: EerInfo,
+    hops: Vec<HopField>,
+    versions: Vec<InstalledVersion>,
+    monitor: TokenBucket,
+    /// Last timestamp issued *per version*, to guarantee uniqueness of
+    /// `Ts` (the duplicate-suppression ID, §4.3). Tracked per version
+    /// because `Ts` is relative to the version's `ExpT`: a renewal moves
+    /// the expiry forward and restarts the countdown higher up. Distinct
+    /// versions cannot collide within the replay window, since their
+    /// expiries differ by far more than the window.
+    last_ts: HashMap<u8, u64>,
+}
+
+/// A successfully stamped packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampedPacket {
+    /// The serialized Colibri packet, HVFs filled.
+    pub bytes: Vec<u8>,
+    /// The egress interface of the first AS (where the gateway hands the
+    /// packet to the border router).
+    pub first_egress: colibri_base::InterfaceId,
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Token-bucket burst allowance.
+    pub burst: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self { burst: Duration::from_millis(50) }
+    }
+}
+
+/// The Colibri gateway of one AS.
+pub struct Gateway {
+    cfg: GatewayConfig,
+    table: HashMap<ResId, Entry>,
+    /// Counters for observability and the protection experiment.
+    pub stats: GatewayStats,
+}
+
+/// Gateway counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Packets stamped and forwarded.
+    pub forwarded: u64,
+    /// Packets dropped by deterministic monitoring.
+    pub rate_limited: u64,
+    /// Packets dropped for other reasons.
+    pub rejected: u64,
+}
+
+impl Gateway {
+    /// An empty gateway.
+    pub fn new(cfg: GatewayConfig) -> Self {
+        Self { cfg, table: HashMap::new(), stats: GatewayStats::default() }
+    }
+
+    /// Installs (or refreshes) a reservation from the CServ's owned-EER
+    /// state (Fig. 1b ➎). Call after every successful setup or renewal.
+    pub fn install(&mut self, eer: &OwnedEer, now: Instant) {
+        let versions: Vec<InstalledVersion> = eer
+            .versions
+            .iter()
+            .filter(|v| v.exp > now)
+            .map(|v| InstalledVersion {
+                res_info: ResInfo {
+                    src_as: eer.key.src_as,
+                    res_id: eer.key.res_id,
+                    bw: colibri_base::BwClass::from_bandwidth_ceil(v.bw),
+                    exp_t: v.exp,
+                    ver: v.ver,
+                },
+                hop_auths: v.hop_auths.clone(),
+                bw: v.bw,
+                exp: v.exp,
+            })
+            .collect();
+        if versions.is_empty() {
+            self.table.remove(&eer.key.res_id);
+            return;
+        }
+        // The monitored rate is the maximum over live versions: using
+        // several versions cannot multiply bandwidth (§4.2/§4.8).
+        let rate = versions.iter().map(|v| v.bw).max().unwrap();
+        match self.table.get_mut(&eer.key.res_id) {
+            Some(entry) => {
+                entry.versions = versions;
+                entry.monitor.set_rate(rate);
+            }
+            None => {
+                self.table.insert(
+                    eer.key.res_id,
+                    Entry {
+                        eer_info: eer.eer_info,
+                        hops: eer.hop_fields.clone(),
+                        versions,
+                        monitor: TokenBucket::with_burst_duration(rate, self.cfg.burst, now),
+                        last_ts: HashMap::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Attack harness: overrides the deterministic-monitoring rate of one
+    /// reservation, modeling a *faulty or malicious source AS* that does
+    /// not police its hosts (the threat of §7.1 attack 3 / Table 2
+    /// phase 3). Packets remain fully authentic — their `Bw` field and
+    /// HVFs are unchanged — so only downstream probabilistic monitoring
+    /// can catch the overuse.
+    pub fn override_monitor_rate(&mut self, res_id: ResId, rate: Bandwidth) {
+        if let Some(e) = self.table.get_mut(&res_id) {
+            e.monitor.set_rate(rate);
+        }
+    }
+
+    /// Removes a reservation.
+    pub fn remove(&mut self, res_id: ResId) {
+        self.table.remove(&res_id);
+    }
+
+    /// Number of installed reservations (the `r` parameter of Figs. 5–6).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Processes one packet from end host `src_host` over reservation
+    /// `res_id` (Fig. 1c ➊–➋): monitor, stamp `Ts`, compute all HVFs, and
+    /// emit the wire packet.
+    pub fn process(
+        &mut self,
+        src_host: HostAddr,
+        res_id: ResId,
+        payload: &[u8],
+        now: Instant,
+    ) -> Result<StampedPacket, GatewayError> {
+        let entry = match self.table.get_mut(&res_id) {
+            Some(e) => e,
+            None => {
+                self.stats.rejected += 1;
+                return Err(GatewayError::UnknownReservation(res_id));
+            }
+        };
+        if entry.eer_info.src_host != src_host {
+            self.stats.rejected += 1;
+            return Err(GatewayError::WrongHost);
+        }
+        // Use the latest live version (§4.2).
+        let Some(version) = entry.versions.iter().rev().find(|v| v.exp > now) else {
+            self.stats.rejected += 1;
+            return Err(GatewayError::Expired(res_id));
+        };
+        let pkt_size = colibri_wire::header_len(entry.hops.len(), true) + payload.len();
+        // Deterministic monitoring (§4.8), sized by the full packet.
+        if !entry.monitor.try_consume(pkt_size as u64, now) {
+            self.stats.rate_limited += 1;
+            return Err(GatewayError::RateLimited(res_id));
+        }
+        // High-precision timestamp: ns until expiry, strictly decreasing
+        // per version so every packet is unique.
+        let ver = version.res_info.ver;
+        let mut ts = version.exp.as_nanos().saturating_sub(now.as_nanos());
+        if let Some(&last) = entry.last_ts.get(&ver) {
+            if ts >= last {
+                ts = last.saturating_sub(1);
+            }
+        }
+        entry.last_ts.insert(ver, ts);
+
+        let mut bytes = PacketBuilder::eer(version.res_info, entry.eer_info)
+            .path(entry.hops.iter().copied())
+            .ts(ts)
+            .build(payload)
+            .expect("installed path is valid");
+        debug_assert_eq!(bytes.len(), pkt_size);
+        {
+            let mut view = PacketViewMut::parse(&mut bytes).expect("self-built packet");
+            for (i, sigma) in version.hop_auths.iter().enumerate() {
+                view.set_hvf(i, eer_hvf(sigma, ts, pkt_size));
+            }
+        }
+        self.stats.forwarded += 1;
+        Ok(StampedPacket { bytes, first_egress: entry.hops[0].egress })
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("reservations", &self.table.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{IsdAsId, ReservationKey};
+    use colibri_crypto::Key;
+    use colibri_ctrl::OwnedEerVersion;
+    use colibri_wire::PacketView;
+
+    const HOST: HostAddr = HostAddr(7);
+
+    fn owned(res_id: u32, versions: Vec<(u8, Bandwidth, Instant)>) -> OwnedEer {
+        OwnedEer {
+            key: ReservationKey::new(IsdAsId::new(1, 10), colibri_base::ResId(res_id)),
+            eer_info: EerInfo { src_host: HOST, dst_host: HostAddr(8) },
+            path_ases: vec![IsdAsId::new(1, 10), IsdAsId::new(1, 1)],
+            hop_fields: vec![HopField::new(0, 1), HopField::new(2, 0)],
+            versions: versions
+                .into_iter()
+                .map(|(ver, bw, exp)| OwnedEerVersion {
+                    ver,
+                    bw,
+                    exp,
+                    hop_auths: vec![Key([ver; 16]), Key([ver + 100; 16])],
+                })
+                .collect(),
+        }
+    }
+
+    fn gw() -> Gateway {
+        Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) })
+    }
+
+    #[test]
+    fn install_skips_expired_versions() {
+        let mut g = gw();
+        let now = Instant::from_secs(100);
+        g.install(
+            &owned(1, vec![(0, Bandwidth::from_mbps(5), Instant::from_secs(50))]),
+            now,
+        );
+        assert!(g.is_empty(), "fully expired EER must not be installed");
+        g.install(
+            &owned(
+                1,
+                vec![
+                    (0, Bandwidth::from_mbps(5), Instant::from_secs(50)),
+                    (1, Bandwidth::from_mbps(5), Instant::from_secs(200)),
+                ],
+            ),
+            now,
+        );
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn reinstall_with_all_expired_removes_entry() {
+        let mut g = gw();
+        let t0 = Instant::from_secs(0);
+        let o = owned(1, vec![(0, Bandwidth::from_mbps(5), Instant::from_secs(50))]);
+        g.install(&o, t0);
+        assert_eq!(g.len(), 1);
+        g.install(&o, Instant::from_secs(60));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn latest_valid_version_used() {
+        let mut g = gw();
+        let t0 = Instant::from_secs(0);
+        g.install(
+            &owned(
+                1,
+                vec![
+                    (0, Bandwidth::from_mbps(5), Instant::from_secs(16)),
+                    (1, Bandwidth::from_mbps(9), Instant::from_secs(32)),
+                ],
+            ),
+            t0,
+        );
+        let pkt = g.process(HOST, colibri_base::ResId(1), b"x", t0).unwrap();
+        assert_eq!(PacketView::parse(&pkt.bytes).unwrap().res_info().ver, 1);
+        // After version 1 expires, nothing remains (version 0 is older).
+        let late = Instant::from_secs(40);
+        assert_eq!(
+            g.process(HOST, colibri_base::ResId(1), b"x", late),
+            Err(GatewayError::Expired(colibri_base::ResId(1)))
+        );
+    }
+
+    #[test]
+    fn ts_unique_and_decreasing_within_version() {
+        let mut g = gw();
+        let t0 = Instant::from_secs(0);
+        g.install(&owned(1, vec![(0, Bandwidth::from_mbps(5), Instant::from_secs(16))]), t0);
+        let mut prev = u64::MAX;
+        for _ in 0..50 {
+            // Same `now` for every packet: Ts must still be unique.
+            let pkt = g.process(HOST, colibri_base::ResId(1), b"", t0).unwrap();
+            let ts = PacketView::parse(&pkt.bytes).unwrap().ts();
+            assert!(ts < prev, "ts {ts} not strictly decreasing");
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn monitor_counts_header_bytes() {
+        // Reservation of 8 kbps with a 1500-byte burst: a single
+        // zero-payload packet (64-byte header) passes, but its header
+        // bytes are charged — after ~23 packets the bucket is empty even
+        // though no payload was ever sent (defense against header-only
+        // flooding, §4.8).
+        let mut g = Gateway::new(GatewayConfig { burst: Duration::from_millis(1) });
+        let t0 = Instant::from_secs(0);
+        let mut o = owned(1, vec![(0, Bandwidth::from_kbps(8), Instant::from_secs(16))]);
+        o.versions[0].bw = Bandwidth::from_kbps(8);
+        g.install(&o, t0);
+        let mut sent = 0;
+        for _ in 0..100 {
+            if g.process(HOST, colibri_base::ResId(1), b"", t0).is_ok() {
+                sent += 1;
+            }
+        }
+        assert!(sent < 30, "header bytes not charged: {sent} empty packets passed");
+        assert!(g.stats.rate_limited > 0);
+    }
+
+    #[test]
+    fn first_egress_reported() {
+        let mut g = gw();
+        let t0 = Instant::from_secs(0);
+        g.install(&owned(1, vec![(0, Bandwidth::from_mbps(5), Instant::from_secs(16))]), t0);
+        let pkt = g.process(HOST, colibri_base::ResId(1), b"x", t0).unwrap();
+        assert_eq!(pkt.first_egress, colibri_base::InterfaceId(1));
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut g = gw();
+        let t0 = Instant::from_secs(0);
+        g.install(&owned(1, vec![(0, Bandwidth::from_mbps(5), Instant::from_secs(16))]), t0);
+        g.process(HOST, colibri_base::ResId(1), b"x", t0).unwrap();
+        let _ = g.process(HostAddr(99), colibri_base::ResId(1), b"x", t0);
+        let _ = g.process(HOST, colibri_base::ResId(2), b"x", t0);
+        assert_eq!(g.stats.forwarded, 1);
+        assert_eq!(g.stats.rejected, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! The Colibri data plane (paper §3.4, §4.6): gateway, border router, and
+//! traffic isolation.
+//!
+//! * [`gateway`] — the stateful edge component: maps `ResId` → reservation
+//!   state, monitors deterministically, stamps timestamps and per-AS hop
+//!   validation fields (Eq. 6);
+//! * [`router`] — the stateless border router: validates format,
+//!   freshness, expiry, and the HVF recomputed from the AS secret, then
+//!   forwards via packet-carried state; runs the transit monitoring
+//!   pipeline;
+//! * [`control`] — stamping control packets onto SegRs with their tokens;
+//! * [`classes`] — the best-effort / control / data traffic split with
+//!   CBWFQ scavenging (Appendix B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod control;
+pub mod gateway;
+pub mod router;
+pub mod sharded;
+
+pub use classes::{CbwfqScheduler, Served, TrafficClass, TrafficSplit};
+pub use control::stamp_segr_packet;
+pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
+pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, RouterVerdict};
+pub use sharded::ShardedGateway;

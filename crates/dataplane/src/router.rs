@@ -1,0 +1,435 @@
+//! The Colibri border router (paper §4.6) — stateless per-flow forwarding.
+//!
+//! Per packet, the router
+//!
+//! 1. validates the packet format, header contents, freshness, and
+//!    reservation expiry;
+//! 2. recomputes the hop validation field from nothing but its AS-local
+//!    secret value — for a SegR packet via Eq. 3, for an EER packet via
+//!    the two-step Eq. 4 → Eq. 6 construction (Fig. 2) — and compares it
+//!    in constant time;
+//! 3. runs the transit monitoring pipeline (blocklist, duplicate
+//!    suppression, probabilistic overuse detection);
+//! 4. forwards to the egress interface from the packet-carried path, to
+//!    the local CServ (SegR/control packets), or to the destination host
+//!    (last hop of an EER).
+//!
+//! No lookup touches per-flow or per-reservation state; the only
+//! router-resident state is the monitoring sketch and the (tiny)
+//! blocklist, both bounded.
+
+use colibri_base::{Bandwidth, Duration, HostAddr, Instant, InterfaceId, IsdAsId};
+use colibri_crypto::{ct_eq, Cmac, Epoch, SecretValueGen};
+use colibri_monitor::{MonitorAction, OveruseReport, TransitMonitor, TransitMonitorConfig};
+use colibri_wire::mac::{eer_hvf, hop_auth, segr_token};
+use colibri_wire::{PacketView, PacketViewMut};
+
+/// Why the router dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Malformed packet.
+    ParseError,
+    /// The reservation has expired.
+    ReservationExpired,
+    /// The timestamp is outside the freshness window.
+    Stale,
+    /// The hop validation field did not verify — unauthentic traffic.
+    BadHvf,
+    /// The source AS is blocklisted (policing).
+    Blocked,
+    /// Duplicate packet (replay suppression).
+    Duplicate,
+    /// Excess traffic of a deterministically shaped flow.
+    Shaped,
+}
+
+/// The router's verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterVerdict {
+    /// Forward out of `egress` towards the next AS; `curr_hop` has been
+    /// advanced so the next router checks its own HVF.
+    Forward(InterfaceId),
+    /// Last hop of an EER: deliver to the destination host.
+    DeliverHost(HostAddr),
+    /// SegR/control packet terminating here: hand to the local CServ.
+    DeliverCserv,
+    /// Drop, with the reason (counted in [`RouterStats`]).
+    Drop(DropReason),
+}
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Maximum acceptable packet age (plus skew) — the paper assumes
+    /// inter-AS clock synchronization within ±0.1 s.
+    pub freshness: Duration,
+    /// Clock-skew allowance for timestamps slightly in the future.
+    pub skew: Duration,
+    /// Monitoring pipeline parameters.
+    pub monitor: TransitMonitorConfig,
+    /// Whether the monitoring pipeline (blocklist, duplicate suppression,
+    /// OFD) runs. The paper's §7.1 evaluates the router with the
+    /// duplicate-suppression system considered a separate component;
+    /// benchmarks reproduce that by disabling monitoring here. Production
+    /// configurations keep it on.
+    pub monitoring: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            freshness: Duration::from_secs(1),
+            skew: Duration::from_millis(100),
+            monitor: TransitMonitorConfig::default(),
+            monitoring: true,
+        }
+    }
+}
+
+/// Per-verdict counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets forwarded or delivered.
+    pub forwarded: u64,
+    /// Drops by reason: parse, expired, stale, bad HVF, blocked, duplicate.
+    pub parse_errors: u64,
+    /// Expired-reservation drops.
+    pub expired: u64,
+    /// Freshness-window drops.
+    pub stale: u64,
+    /// Cryptographic verification failures.
+    pub bad_hvf: u64,
+    /// Blocklist drops.
+    pub blocked: u64,
+    /// Replay drops.
+    pub duplicates: u64,
+    /// Shaping drops (deterministically monitored flows over their rate).
+    pub shaped: u64,
+}
+
+/// The border router of one AS.
+pub struct BorderRouter {
+    isd_as: IsdAsId,
+    cfg: RouterConfig,
+    svgen: SecretValueGen,
+    k_i_cache: Option<(Epoch, Cmac)>,
+    monitor: TransitMonitor,
+    /// Counters.
+    pub stats: RouterStats,
+}
+
+impl BorderRouter {
+    /// Creates a border router sharing the AS's master secret (routers and
+    /// the CServ derive the same per-epoch secret value `K_i`).
+    pub fn new(isd_as: IsdAsId, master_secret: &[u8; 16], cfg: RouterConfig) -> Self {
+        Self {
+            isd_as,
+            svgen: SecretValueGen::new(master_secret),
+            k_i_cache: None,
+            monitor: TransitMonitor::new(cfg.monitor),
+            cfg,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The AS this router belongs to.
+    pub fn isd_as(&self) -> IsdAsId {
+        self.isd_as
+    }
+
+    fn k_i(&mut self, epoch: Epoch) -> &Cmac {
+        if self.k_i_cache.as_ref().map(|(e, _)| *e) != Some(epoch) {
+            self.k_i_cache = Some((epoch, self.svgen.secret_value(epoch).cmac()));
+        }
+        &self.k_i_cache.as_ref().unwrap().1
+    }
+
+    fn drop(&mut self, reason: DropReason) -> RouterVerdict {
+        match reason {
+            DropReason::ParseError => self.stats.parse_errors += 1,
+            DropReason::ReservationExpired => self.stats.expired += 1,
+            DropReason::Stale => self.stats.stale += 1,
+            DropReason::BadHvf => self.stats.bad_hvf += 1,
+            DropReason::Blocked => self.stats.blocked += 1,
+            DropReason::Duplicate => self.stats.duplicates += 1,
+            DropReason::Shaped => self.stats.shaped += 1,
+        }
+        RouterVerdict::Drop(reason)
+    }
+
+    /// Processes one Colibri packet in place (mutable: `curr_hop` is
+    /// advanced on forward).
+    pub fn process(&mut self, pkt: &mut [u8], now: Instant) -> RouterVerdict {
+        let (res_info, eer_info, ts, hop, curr, pkt_size, is_eer) = {
+            let view = match PacketView::parse(pkt) {
+                Ok(v) => v,
+                Err(_) => return self.drop(DropReason::ParseError),
+            };
+            (
+                view.res_info(),
+                view.eer_info(),
+                view.ts(),
+                view.hop(view.curr_hop()),
+                view.curr_hop(),
+                view.pkt_size(),
+                view.is_eer(),
+            )
+        };
+        // Reservation must not be expired (§4.6).
+        if now >= res_info.exp_t {
+            return self.drop(DropReason::ReservationExpired);
+        }
+        // Freshness: Ts encodes the send time relative to ExpT.
+        let send_time = Instant::from_nanos(res_info.exp_t.as_nanos().saturating_sub(ts));
+        if send_time.saturating_since(now) > self.cfg.skew
+            || now.saturating_since(send_time) > self.cfg.freshness
+        {
+            return self.drop(DropReason::Stale);
+        }
+        let epoch = Epoch::containing(now);
+        // Cryptographic validation — stateless, from the AS secret only.
+        let valid = if is_eer {
+            let info = eer_info.expect("EER flag implies EERInfo");
+            let k_i = self.k_i(epoch);
+            let sigma = hop_auth(k_i, &res_info, &info, hop);
+            let expected = eer_hvf(&sigma, ts, pkt_size);
+            ct_eq(&expected, &view_hvf(pkt, curr))
+        } else {
+            let k_i = self.k_i(epoch);
+            let expected = segr_token(k_i, &res_info, hop);
+            ct_eq(&expected, &view_hvf(pkt, curr))
+        };
+        if !valid {
+            return self.drop(DropReason::BadHvf);
+        }
+        // Monitoring & policing — only for authenticated EER data traffic;
+        // SegR control traffic is rate-limited at the CServ (§4.8).
+        if is_eer && self.cfg.monitoring {
+            let action = self.monitor.process_packet(
+                res_info.key(),
+                res_info.bw.bandwidth(),
+                pkt_size as u64,
+                ts,
+                now,
+            );
+            match action {
+                MonitorAction::Forward => {}
+                MonitorAction::DropBlocked => return self.drop(DropReason::Blocked),
+                MonitorAction::DropDuplicate => return self.drop(DropReason::Duplicate),
+                MonitorAction::DropShaped => return self.drop(DropReason::Shaped),
+            }
+        }
+        self.stats.forwarded += 1;
+        if hop.egress.is_local() {
+            if is_eer {
+                RouterVerdict::DeliverHost(eer_info.unwrap().dst_host)
+            } else {
+                RouterVerdict::DeliverCserv
+            }
+        } else {
+            let mut view = PacketViewMut::parse(pkt).expect("validated above");
+            view.advance_hop();
+            RouterVerdict::Forward(hop.egress)
+        }
+    }
+
+    /// Drains pending overuse reports (router → local CServ, §4.8).
+    pub fn take_overuse_reports(&mut self) -> Vec<OveruseReport> {
+        self.monitor.take_reports()
+    }
+
+    /// Blocks a source AS on instruction (e.g. from the CServ).
+    pub fn block_source(&mut self, src_as: IsdAsId, until: Option<Instant>) {
+        self.monitor.block(src_as, until);
+    }
+
+    /// Places a flow under deterministic token-bucket shaping at `bw`
+    /// (the Table 2 phase 3 router state: suspicious flows are limited to
+    /// their guaranteed bandwidth, not blocked).
+    pub fn force_shape(&mut self, key: colibri_base::ReservationKey, bw: Bandwidth, now: Instant) {
+        self.monitor.force_shape(key, bw, now);
+    }
+
+    /// Whether a source is currently blocked.
+    pub fn is_blocked(&mut self, src_as: IsdAsId, now: Instant) -> bool {
+        self.monitor.is_blocked(src_as, now)
+    }
+}
+
+/// Reads the current hop's HVF without re-parsing the whole packet (the
+/// packet was validated by the caller).
+fn view_hvf(pkt: &[u8], curr: usize) -> [u8; colibri_wire::HVF_LEN] {
+    let view = PacketView::parse(pkt).expect("caller validated");
+    view.hvf(curr)
+}
+
+impl std::fmt::Debug for BorderRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BorderRouter")
+            .field("isd_as", &self.isd_as)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{BwClass, IsdAsId, ResId};
+    use colibri_wire::mac::{eer_hvf, hop_auth, segr_token};
+    use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
+
+    const SECRET: [u8; 16] = [0x55; 16];
+
+    fn router() -> BorderRouter {
+        BorderRouter::new(IsdAsId::new(1, 5), &SECRET, RouterConfig::default())
+    }
+
+    fn res_info(exp_s: u64) -> ResInfo {
+        ResInfo {
+            src_as: IsdAsId::new(1, 10),
+            res_id: ResId(3),
+            bw: BwClass(30),
+            exp_t: Instant::from_secs(exp_s),
+            ver: 0,
+        }
+    }
+
+    /// Builds a correctly authenticated EER packet positioned at hop 1
+    /// (this router's hop), sent at `send` towards expiry `exp_s`.
+    fn valid_eer_packet(exp_s: u64, send: Instant) -> Vec<u8> {
+        let ri = res_info(exp_s);
+        let info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+        let path = [HopField::new(0, 1), HopField::new(2, 3), HopField::new(4, 0)];
+        let ts = ri.exp_t.as_nanos() - send.as_nanos();
+        let mut pkt =
+            PacketBuilder::eer(ri, info).path(path).ts(ts).build(b"payload").unwrap();
+        let k_i = SecretValueGen::new(&SECRET).secret_value(Epoch::containing(send)).cmac();
+        let size = pkt.len();
+        {
+            let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+            let sigma = hop_auth(&k_i, &ri, &info, path[1]);
+            v.set_hvf(1, eer_hvf(&sigma, ts, size));
+            v.set_curr_hop(1);
+        }
+        pkt
+    }
+
+    #[test]
+    fn forwards_valid_packet_and_advances_hop() {
+        let mut r = router();
+        let now = Instant::from_secs(10);
+        let mut pkt = valid_eer_packet(20, now);
+        assert_eq!(r.process(&mut pkt, now), RouterVerdict::Forward(InterfaceId(3)));
+        assert_eq!(colibri_wire::PacketView::parse(&pkt).unwrap().curr_hop(), 2);
+        assert_eq!(r.stats.forwarded, 1);
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        let mut r = router();
+        let mut junk = vec![0xFFu8; 64];
+        assert_eq!(
+            r.process(&mut junk, Instant::from_secs(1)),
+            RouterVerdict::Drop(DropReason::ParseError)
+        );
+        assert_eq!(r.stats.parse_errors, 1);
+    }
+
+    #[test]
+    fn expiry_checked_before_crypto() {
+        let mut r = router();
+        let now = Instant::from_secs(30);
+        let mut pkt = valid_eer_packet(20, Instant::from_secs(10));
+        assert_eq!(r.process(&mut pkt, now), RouterVerdict::Drop(DropReason::ReservationExpired));
+    }
+
+    #[test]
+    fn future_packets_rejected_beyond_skew() {
+        let mut r = router();
+        let now = Instant::from_secs(10);
+        // Claims to have been sent 5 s in the future.
+        let mut pkt = valid_eer_packet(20, now + Duration::from_secs(5));
+        assert_eq!(r.process(&mut pkt, now), RouterVerdict::Drop(DropReason::Stale));
+        // Within the 100 ms skew allowance it passes.
+        let mut pkt = valid_eer_packet(20, now + Duration::from_millis(50));
+        assert!(matches!(r.process(&mut pkt, now), RouterVerdict::Forward(_)));
+        assert_eq!(r.stats.stale, 1);
+    }
+
+    #[test]
+    fn segr_packet_delivered_to_cserv() {
+        let mut r = router();
+        let now = Instant::from_secs(10);
+        let ri = res_info(300);
+        let path = [HopField::new(0, 1), HopField::new(2, 0)];
+        let ts = ri.exp_t.as_nanos() - now.as_nanos();
+        let mut pkt = PacketBuilder::segr(ri).control().path(path).ts(ts).build(b"req").unwrap();
+        let k_i = SecretValueGen::new(&SECRET).secret_value(Epoch::containing(now)).cmac();
+        {
+            let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+            v.set_hvf(1, segr_token(&k_i, &ri, path[1]));
+            v.set_curr_hop(1);
+        }
+        assert_eq!(r.process(&mut pkt, now), RouterVerdict::DeliverCserv);
+    }
+
+    #[test]
+    fn last_hop_delivers_to_destination_host() {
+        let mut r = router();
+        let now = Instant::from_secs(10);
+        let ri = res_info(20);
+        let info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(42) };
+        let path = [HopField::new(0, 1), HopField::new(2, 0)];
+        let ts = ri.exp_t.as_nanos() - now.as_nanos();
+        let mut pkt = PacketBuilder::eer(ri, info).path(path).ts(ts).build(b"x").unwrap();
+        let k_i = SecretValueGen::new(&SECRET).secret_value(Epoch::containing(now)).cmac();
+        let size = pkt.len();
+        {
+            let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+            let sigma = hop_auth(&k_i, &ri, &info, path[1]);
+            v.set_hvf(1, eer_hvf(&sigma, ts, size));
+            v.set_curr_hop(1);
+        }
+        assert_eq!(r.process(&mut pkt, now), RouterVerdict::DeliverHost(HostAddr(42)));
+    }
+
+    #[test]
+    fn monitoring_toggle_controls_replay_checks() {
+        let now = Instant::from_secs(10);
+        let mut on = router();
+        let pkt = valid_eer_packet(20, now);
+        let mut a = pkt.clone();
+        let mut b = pkt.clone();
+        assert!(matches!(on.process(&mut a, now), RouterVerdict::Forward(_)));
+        assert_eq!(on.process(&mut b, now), RouterVerdict::Drop(DropReason::Duplicate));
+        let mut off = BorderRouter::new(
+            IsdAsId::new(1, 5),
+            &SECRET,
+            RouterConfig { monitoring: false, ..RouterConfig::default() },
+        );
+        let mut a = pkt.clone();
+        let mut b = pkt;
+        assert!(matches!(off.process(&mut a, now), RouterVerdict::Forward(_)));
+        assert!(matches!(off.process(&mut b, now), RouterVerdict::Forward(_)));
+    }
+
+    #[test]
+    fn shaped_flow_limited() {
+        let mut r = router();
+        let now = Instant::from_secs(10);
+        let key = res_info(20).key();
+        r.force_shape(key, Bandwidth::from_kbps(8), now);
+        let mut passed = 0;
+        for i in 0..100u64 {
+            // Distinct timestamps (within skew) so the replay filter does
+            // not mask the shaping path.
+            let mut pkt = valid_eer_packet(20, now + Duration::from_nanos(i));
+            if matches!(r.process(&mut pkt, now), RouterVerdict::Forward(_)) {
+                passed += 1;
+            }
+        }
+        assert!(passed < 30, "shaping ineffective: {passed}");
+        assert!(r.stats.shaped > 0);
+    }
+}

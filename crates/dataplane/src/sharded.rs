@@ -1,0 +1,187 @@
+//! Sharded gateway deployment (paper §7.2).
+//!
+//! "In such cases the Colibri gateway could be further sped up by adding
+//! more cache memory, or by using multiple gateways, each handling only a
+//! fraction of all reservations."
+//!
+//! [`ShardedGateway`] fronts `n` independent [`Gateway`] instances and
+//! routes every operation by `ResId` hash. Shards share nothing — each
+//! holds its own reservation table and token buckets — so they can run on
+//! separate cores or machines; the per-EER invariant that all versions of
+//! one reservation are monitored together is preserved because a
+//! reservation's `ResId` pins it to one shard.
+
+use crate::gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
+use colibri_base::{HostAddr, Instant, ResId};
+use colibri_ctrl::OwnedEer;
+
+/// A bank of share-nothing gateways, addressed by `ResId` hash.
+pub struct ShardedGateway {
+    shards: Vec<Gateway>,
+}
+
+impl ShardedGateway {
+    /// Creates `n` shards with identical configuration.
+    pub fn new(n: usize, cfg: GatewayConfig) -> Self {
+        assert!(n >= 1);
+        Self { shards: (0..n).map(|_| Gateway::new(cfg)).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard responsible for a reservation.
+    pub fn shard_of(&self, res_id: ResId) -> usize {
+        let mut x = res_id.0 as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (x >> 33) as usize % self.shards.len()
+    }
+
+    /// Installs a reservation on its shard.
+    pub fn install(&mut self, eer: &OwnedEer, now: Instant) {
+        let s = self.shard_of(eer.key.res_id);
+        self.shards[s].install(eer, now);
+    }
+
+    /// Removes a reservation from its shard.
+    pub fn remove(&mut self, res_id: ResId) {
+        let s = self.shard_of(res_id);
+        self.shards[s].remove(res_id);
+    }
+
+    /// Processes a packet on the owning shard.
+    pub fn process(
+        &mut self,
+        src_host: HostAddr,
+        res_id: ResId,
+        payload: &[u8],
+        now: Instant,
+    ) -> Result<StampedPacket, GatewayError> {
+        let s = self.shard_of(res_id);
+        self.shards[s].process(src_host, res_id, payload, now)
+    }
+
+    /// Total installed reservations across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Gateway::len).sum()
+    }
+
+    /// Whether no reservations are installed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Gateway::is_empty)
+    }
+
+    /// Aggregated statistics over all shards.
+    pub fn stats(&self) -> GatewayStats {
+        self.shards.iter().fold(GatewayStats::default(), |mut acc, g| {
+            acc.forwarded += g.stats.forwarded;
+            acc.rate_limited += g.stats.rate_limited;
+            acc.rejected += g.stats.rejected;
+            acc
+        })
+    }
+
+    /// Direct access to one shard (e.g. to hand each to its own thread).
+    pub fn shard_mut(&mut self, i: usize) -> &mut Gateway {
+        &mut self.shards[i]
+    }
+
+    /// Splits the bank into its shards for per-core deployment.
+    pub fn into_shards(self) -> Vec<Gateway> {
+        self.shards
+    }
+}
+
+impl std::fmt::Debug for ShardedGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedGateway")
+            .field("shards", &self.shards.len())
+            .field("reservations", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{Bandwidth, Duration, IsdAsId, ReservationKey};
+    use colibri_crypto::Key;
+    use colibri_ctrl::OwnedEerVersion;
+    use colibri_wire::{EerInfo, HopField};
+
+    fn owned(res_id: u32) -> OwnedEer {
+        OwnedEer {
+            key: ReservationKey::new(IsdAsId::new(1, 10), ResId(res_id)),
+            eer_info: EerInfo { src_host: HostAddr(7), dst_host: HostAddr(8) },
+            path_ases: vec![IsdAsId::new(1, 10), IsdAsId::new(1, 1)],
+            hop_fields: vec![HopField::new(0, 1), HopField::new(2, 0)],
+            versions: vec![OwnedEerVersion {
+                ver: 0,
+                bw: Bandwidth::from_mbps(10),
+                exp: Instant::from_secs(100),
+                hop_auths: vec![Key([1; 16]), Key([2; 16])],
+            }],
+        }
+    }
+
+    #[test]
+    fn operations_route_to_stable_shards() {
+        let mut sg = ShardedGateway::new(4, GatewayConfig::default());
+        let now = Instant::from_secs(1);
+        for i in 0..64 {
+            sg.install(&owned(i), now);
+        }
+        assert_eq!(sg.len(), 64);
+        // Every reservation is reachable.
+        for i in 0..64 {
+            sg.process(HostAddr(7), ResId(i), b"x", now).unwrap();
+        }
+        assert_eq!(sg.stats().forwarded, 64);
+        // Distribution is not degenerate.
+        let used: std::collections::HashSet<_> =
+            (0..64).map(|i| sg.shard_of(ResId(i))).collect();
+        assert!(used.len() >= 3, "only {} shards used", used.len());
+        // Removal hits the right shard.
+        sg.remove(ResId(5));
+        assert_eq!(sg.len(), 63);
+        assert!(matches!(
+            sg.process(HostAddr(7), ResId(5), b"x", now),
+            Err(GatewayError::UnknownReservation(_))
+        ));
+    }
+
+    #[test]
+    fn rate_limit_stays_per_reservation_across_shards() {
+        let mut sg = ShardedGateway::new(8, GatewayConfig { burst: Duration::from_millis(1) });
+        let now = Instant::from_secs(1);
+        sg.install(&owned(1), now);
+        sg.install(&owned(2), now);
+        // Exhaust reservation 1's bucket…
+        let mut dropped = false;
+        for _ in 0..200 {
+            if sg.process(HostAddr(7), ResId(1), &[0u8; 1000], now).is_err() {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped);
+        // …reservation 2 (a different shard with overwhelming probability,
+        // but correct regardless) is unaffected.
+        sg.process(HostAddr(7), ResId(2), b"x", now).unwrap();
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_gateway() {
+        let mut sg = ShardedGateway::new(1, GatewayConfig::default());
+        let now = Instant::from_secs(1);
+        sg.install(&owned(1), now);
+        assert_eq!(sg.shard_of(ResId(1)), 0);
+        assert_eq!(sg.shard_count(), 1);
+        sg.process(HostAddr(7), ResId(1), b"x", now).unwrap();
+        let shards = sg.into_shards();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].stats.forwarded, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based robustness tests for the border router: arbitrary and
+//! adversarially mutated packets must never panic, never forward without
+//! a valid HVF, and never corrupt router state.
+
+use colibri_base::{Duration, HostAddr, Instant, IsdAsId, ResId};
+use colibri_ctrl::master_secret_for;
+use colibri_crypto::{Epoch, SecretValueGen};
+use colibri_dataplane::{BorderRouter, RouterConfig, RouterVerdict};
+use colibri_wire::mac::{eer_hvf, hop_auth};
+use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
+use proptest::prelude::*;
+
+const AS_ID: IsdAsId = IsdAsId::new(1, 5);
+
+fn router() -> BorderRouter {
+    BorderRouter::new(AS_ID, &master_secret_for(AS_ID), RouterConfig::default())
+}
+
+/// A correctly authenticated packet for hop 1 of a 3-hop path.
+fn valid_packet(now: Instant, payload: &[u8], ts_offset: u64) -> Vec<u8> {
+    let ri = ResInfo {
+        src_as: IsdAsId::new(1, 10),
+        res_id: ResId(3),
+        bw: colibri_base::BwClass(30),
+        exp_t: now + Duration::from_secs(10),
+        ver: 0,
+    };
+    let info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+    let path = [HopField::new(0, 1), HopField::new(2, 3), HopField::new(4, 0)];
+    let ts = ri.exp_t.as_nanos() - now.as_nanos() + ts_offset;
+    let mut pkt = PacketBuilder::eer(ri, info).path(path).ts(ts).build(payload).unwrap();
+    let k_i = SecretValueGen::new(&master_secret_for(AS_ID))
+        .secret_value(Epoch::containing(now))
+        .cmac();
+    let size = pkt.len();
+    {
+        let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+        let sigma = hop_auth(&k_i, &ri, &info, path[1]);
+        v.set_hvf(1, eer_hvf(&sigma, ts, size));
+        v.set_curr_hop(1);
+    }
+    pkt
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the router and never get forwarded.
+    #[test]
+    fn random_bytes_never_forwarded(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = router();
+        let mut pkt = bytes;
+        let verdict = r.process(&mut pkt, Instant::from_secs(100));
+        prop_assert!(
+            matches!(verdict, RouterVerdict::Drop(_)),
+            "random bytes produced {verdict:?}"
+        );
+    }
+
+    /// Any single-byte mutation of a valid packet is either dropped or —
+    /// if it only touched payload/other-hop bytes not covered by this
+    /// AS's HVF — forwarded with identical routing behaviour. It must
+    /// never panic, and flipped *header* fields relevant to this hop must
+    /// always cause a drop.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        pos_seed in any::<usize>(),
+        xor in 1u8..,
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let now = Instant::from_secs(100);
+        let mut pkt = valid_packet(now, &payload, seed % 1000);
+        let pos = pos_seed % pkt.len();
+        pkt[pos] ^= xor;
+        let mut r = router();
+        let _ = r.process(&mut pkt, now);
+    }
+
+    /// Mutations of the fields bound by Eq. 4/6 — ResInfo, EERInfo, this
+    /// hop's interfaces, Ts — are always rejected.
+    #[test]
+    fn authenticated_field_mutations_rejected(
+        field in 4usize..40, // ResInfo (4..24), Ts (24..32), EERInfo (32..40)
+        xor in 1u8..,
+        seed in any::<u64>(),
+    ) {
+        let now = Instant::from_secs(100);
+        let mut pkt = valid_packet(now, b"payload", seed % 1000);
+        // Skip the reserved bytes (22..24): flipping them is a parse error,
+        // which is also a drop but tested elsewhere.
+        prop_assume!(!(22..24).contains(&field));
+        pkt[field] ^= xor;
+        let mut r = router();
+        let verdict = r.process(&mut pkt, now);
+        prop_assert!(
+            matches!(verdict, RouterVerdict::Drop(_)),
+            "mutated authenticated byte {field} produced {verdict:?}"
+        );
+    }
+
+    /// The untouched packet always forwards (sanity of the fixture), and
+    /// payload mutations are the one thing the HVF does *not* cover — the
+    /// payload is end-to-end data; only its length is authenticated.
+    #[test]
+    fn payload_mutations_still_forward(
+        idx in any::<usize>(),
+        xor in 1u8..,
+        seed in any::<u64>(),
+    ) {
+        let now = Instant::from_secs(100);
+        let payload = [7u8; 32];
+        let mut pkt = valid_packet(now, &payload, seed % 1000);
+        let payload_start = pkt.len() - payload.len();
+        let pos = payload_start + idx % payload.len();
+        pkt[pos] ^= xor;
+        let mut r = router();
+        let verdict = r.process(&mut pkt, now);
+        prop_assert!(matches!(verdict, RouterVerdict::Forward(_)), "{verdict:?}");
+    }
+
+    /// Growing or shrinking the packet (changing PktSize) is rejected.
+    #[test]
+    fn size_changes_rejected(grow in any::<bool>(), amount in 1usize..32, seed in any::<u64>()) {
+        let now = Instant::from_secs(100);
+        let mut pkt = valid_packet(now, &[0u8; 64], seed % 1000);
+        if grow {
+            pkt.extend(std::iter::repeat_n(0u8, amount));
+        } else {
+            pkt.truncate(pkt.len() - amount);
+        }
+        let mut r = router();
+        let verdict = r.process(&mut pkt, now);
+        prop_assert!(matches!(verdict, RouterVerdict::Drop(_)), "{verdict:?}");
+    }
+}

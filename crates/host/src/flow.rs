@@ -1,0 +1,372 @@
+//! Flow management: the end-host side of Colibri (paper §3.2).
+//!
+//! The paper modifies the SCION daemon so applications can "explicitly
+//! request and renew EERs". [`FlowManager`] is that daemon's reservation
+//! logic for one source AS:
+//!
+//! * **opening a flow** resolves candidate paths, ensures SegRs exist on
+//!   the chosen path's segments (creating them through the respective
+//!   initiating ASes if needed), sets up the EER, and installs it in the
+//!   gateway — falling back to alternative paths when admission fails
+//!   (path choice, §2.1);
+//! * **ticking** renews EERs ahead of expiry for seamless transitions and
+//!   renews+activates the underlying SegRs before they lapse (§4.2);
+//! * **sending** stamps application payloads through the gateway;
+//! * tiny flows are steered to **best-effort** instead — "reservations
+//!   are only useful for flows of some minimum size" (§3.4).
+
+use colibri_base::{Bandwidth, Duration, HostAddr, Instant, IsdAsId, ReservationKey};
+use colibri_ctrl::{
+    activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, CservRegistry, SetupError,
+};
+use colibri_dataplane::{Gateway, GatewayError, StampedPacket};
+use colibri_topology::{find_paths, FullPath, SegmentStore, Topology};
+use colibri_wire::EerInfo;
+use std::collections::HashMap;
+
+/// Everything the flow manager needs from the surrounding deployment.
+pub struct Env<'a> {
+    /// All Colibri services.
+    pub reg: &'a mut CservRegistry,
+    /// The AS-level topology.
+    pub topo: &'a Topology,
+    /// Beaconed segments.
+    pub segments: &'a SegmentStore,
+    /// The source AS's gateway.
+    pub gateway: &'a mut Gateway,
+}
+
+/// Flow-manager policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Renew an EER when less than this remains of its lifetime.
+    pub eer_renew_ahead: Duration,
+    /// Renew a SegR when less than this remains.
+    pub segr_renew_ahead: Duration,
+    /// Flows declaring less than this expected volume ride best-effort.
+    pub min_reserved_flow_bytes: u64,
+    /// How many candidate paths to try before giving up.
+    pub max_path_attempts: usize,
+    /// Bandwidth to request for SegRs created on demand.
+    pub segr_demand: Bandwidth,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            eer_renew_ahead: Duration::from_secs(8),
+            segr_renew_ahead: Duration::from_secs(60),
+            min_reserved_flow_bytes: 100_000,
+            max_path_attempts: 4,
+            segr_demand: Bandwidth::from_gbps(1),
+        }
+    }
+}
+
+/// Handle to an open flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// How a flow is carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Over an EER (with the reservation key).
+    Reserved(ReservationKey),
+    /// As best-effort traffic (too small to reserve, §3.4).
+    BestEffort,
+}
+
+/// One managed flow.
+#[derive(Debug)]
+pub struct Flow {
+    /// Destination AS.
+    pub dst_as: IsdAsId,
+    /// Host addressing.
+    pub hosts: EerInfo,
+    /// Reserved bandwidth (0 for best-effort flows).
+    pub demand: Bandwidth,
+    /// Carrier.
+    pub kind: FlowKind,
+    /// The path in use (reserved flows only).
+    pub path: Option<FullPath>,
+    /// The SegRs underlying the EER.
+    pub segr_keys: Vec<ReservationKey>,
+    /// Expiry of the newest EER version.
+    pub eer_exp: Instant,
+    /// Number of successful renewals so far.
+    pub renewals: u64,
+}
+
+/// Errors opening a flow.
+#[derive(Debug)]
+pub enum OpenError {
+    /// No path between the ASes.
+    NoPath,
+    /// All candidate paths refused the reservation; the last error.
+    AllPathsRefused(SetupError),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::NoPath => write!(f, "no path to destination"),
+            OpenError::AllPathsRefused(e) => write!(f, "all candidate paths refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// The per-source-AS flow manager.
+pub struct FlowManager {
+    src_as: IsdAsId,
+    cfg: FlowConfig,
+    flows: HashMap<FlowId, Flow>,
+    next_id: u64,
+    /// SegRs this manager created, by segment AS-path (for reuse across
+    /// flows sharing segments).
+    segr_cache: HashMap<Vec<IsdAsId>, ReservationKey>,
+}
+
+impl FlowManager {
+    /// Creates a manager for hosts of `src_as`.
+    pub fn new(src_as: IsdAsId, cfg: FlowConfig) -> Self {
+        Self { src_as, cfg, flows: HashMap::new(), next_id: 0, segr_cache: HashMap::new() }
+    }
+
+    /// The flows currently managed.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(&id)
+    }
+
+    /// Number of managed flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flows are open.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    fn ensure_segr(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: &colibri_topology::Segment,
+        now: Instant,
+    ) -> Result<ReservationKey, SetupError> {
+        let as_path = seg.as_path();
+        if let Some(&key) = self.segr_cache.get(&as_path) {
+            // Reuse if the initiator still holds a live reservation.
+            if let Some(cserv) = env.reg.get(key.src_as) {
+                if let Some(owned) = cserv.store().owned_segr(key) {
+                    if owned.exp > now {
+                        return Ok(key);
+                    }
+                }
+            }
+            self.segr_cache.remove(&as_path);
+        }
+        let grant = setup_segr(env.reg, seg, self.cfg.segr_demand, Bandwidth::from_mbps(1), now)?;
+        self.segr_cache.insert(as_path, grant.key);
+        Ok(grant.key)
+    }
+
+    /// Opens a flow towards `dst_host` in `dst_as`, requesting `demand`.
+    /// `expected_bytes` drives the reserved-vs-best-effort decision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        &mut self,
+        env: &mut Env<'_>,
+        dst_as: IsdAsId,
+        src_host: HostAddr,
+        dst_host: HostAddr,
+        demand: Bandwidth,
+        expected_bytes: u64,
+        now: Instant,
+    ) -> Result<FlowId, OpenError> {
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let hosts = EerInfo { src_host, dst_host };
+        if expected_bytes < self.cfg.min_reserved_flow_bytes {
+            self.flows.insert(
+                id,
+                Flow {
+                    dst_as,
+                    hosts,
+                    demand: Bandwidth::ZERO,
+                    kind: FlowKind::BestEffort,
+                    path: None,
+                    segr_keys: Vec::new(),
+                    eer_exp: Instant::EPOCH,
+                    renewals: 0,
+                },
+            );
+            return Ok(id);
+        }
+        let paths = find_paths(env.topo, env.segments, self.src_as, dst_as, self.cfg.max_path_attempts);
+        if paths.is_empty() {
+            return Err(OpenError::NoPath);
+        }
+        let mut last_err = None;
+        for path in paths {
+            // Ensure SegRs over the path's segments.
+            let mut segr_keys = Vec::with_capacity(path.segments.len());
+            let mut ok = true;
+            for seg in &path.segments {
+                match self.ensure_segr(env, seg, now) {
+                    Ok(k) => segr_keys.push(k),
+                    Err(e) => {
+                        last_err = Some(e);
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            match setup_eer(env.reg, &path, &segr_keys, hosts, demand, now) {
+                Ok(grant) => {
+                    let owned = env
+                        .reg
+                        .get(self.src_as)
+                        .unwrap()
+                        .store()
+                        .owned_eer(grant.key)
+                        .expect("owned after setup")
+                        .clone();
+                    env.gateway.install(&owned, now);
+                    self.flows.insert(
+                        id,
+                        Flow {
+                            dst_as,
+                            hosts,
+                            demand,
+                            kind: FlowKind::Reserved(grant.key),
+                            path: Some(path),
+                            segr_keys,
+                            eer_exp: grant.exp,
+                            renewals: 0,
+                        },
+                    );
+                    return Ok(id);
+                }
+                Err(e) => last_err = Some(e), // try the next path
+            }
+        }
+        Err(OpenError::AllPathsRefused(last_err.expect("at least one attempt")))
+    }
+
+    /// Periodic maintenance: renews EERs and SegRs nearing expiry. Returns
+    /// the number of renewals performed. Call at least once per
+    /// `eer_renew_ahead`.
+    pub fn tick(&mut self, env: &mut Env<'_>, now: Instant) -> usize {
+        let mut renewed = 0;
+        // SegRs first, so EER renewals land on fresh segments.
+        let segr_keys: Vec<ReservationKey> = self.segr_cache.values().copied().collect();
+        for key in segr_keys {
+            let Some(owned) =
+                env.reg.get(key.src_as).and_then(|c| c.store().owned_segr(key)).map(|o| (o.exp, o.bw, o.ver))
+            else {
+                continue;
+            };
+            let (exp, bw, _ver) = owned;
+            if exp.saturating_since(now) < self.cfg.segr_renew_ahead
+                || now + self.cfg.segr_renew_ahead >= exp
+            {
+                if let Ok(grant) = renew_segr(env.reg, key, bw, Bandwidth::from_mbps(1), now) {
+                    if activate_segr(env.reg, key, grant.ver, now).is_ok() {
+                        renewed += 1;
+                    }
+                }
+            }
+        }
+        for flow in self.flows.values_mut() {
+            let FlowKind::Reserved(key) = flow.kind else { continue };
+            if now + self.cfg.eer_renew_ahead >= flow.eer_exp {
+                match renew_eer(env.reg, key, flow.demand, now) {
+                    Ok(grant) => {
+                        let owned = env
+                            .reg
+                            .get(self.src_as)
+                            .unwrap()
+                            .store()
+                            .owned_eer(key)
+                            .expect("owned")
+                            .clone();
+                        env.gateway.install(&owned, now);
+                        flow.eer_exp = grant.exp;
+                        flow.renewals += 1;
+                        renewed += 1;
+                    }
+                    Err(_) => {
+                        // Renewal refused (e.g. SegR contention): the flow
+                        // keeps its current version until expiry; the next
+                        // tick retries.
+                    }
+                }
+            }
+        }
+        renewed
+    }
+
+    /// Sends one payload on a reserved flow through the gateway.
+    pub fn send(
+        &self,
+        gateway: &mut Gateway,
+        id: FlowId,
+        payload: &[u8],
+        now: Instant,
+    ) -> Result<StampedPacket, SendError> {
+        let flow = self.flows.get(&id).ok_or(SendError::UnknownFlow)?;
+        match flow.kind {
+            FlowKind::Reserved(key) => gateway
+                .process(flow.hosts.src_host, key.res_id, payload, now)
+                .map_err(SendError::Gateway),
+            FlowKind::BestEffort => Err(SendError::BestEffortFlow),
+        }
+    }
+
+    /// Closes a flow (reservations expire on their own; the gateway entry
+    /// is removed immediately).
+    pub fn close(&mut self, gateway: &mut Gateway, id: FlowId) {
+        if let Some(flow) = self.flows.remove(&id) {
+            if let FlowKind::Reserved(key) = flow.kind {
+                gateway.remove(key.res_id);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FlowManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowManager")
+            .field("src_as", &self.src_as)
+            .field("flows", &self.flows.len())
+            .finish()
+    }
+}
+
+/// Errors sending on a flow.
+#[derive(Debug)]
+pub enum SendError {
+    /// No such flow.
+    UnknownFlow,
+    /// The flow is best-effort; send it through the normal stack instead.
+    BestEffortFlow,
+    /// The gateway refused the packet.
+    Gateway(GatewayError),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownFlow => write!(f, "unknown flow"),
+            SendError::BestEffortFlow => write!(f, "flow is carried best-effort"),
+            SendError::Gateway(e) => write!(f, "gateway: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}

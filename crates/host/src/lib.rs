@@ -1,0 +1,21 @@
+//! End-host networking stack for Colibri (paper §3.2).
+//!
+//! Applications do not speak to border routers directly; the modified
+//! SCION daemon requests and renews reservations on their behalf and the
+//! transport paces at the reserved rate:
+//!
+//! * [`flow`] — the [`flow::FlowManager`]: path resolution, on-demand SegR
+//!   creation with reuse, EER setup with alternative-path fallback,
+//!   automatic ahead-of-expiry renewal of both reservation tiers, and the
+//!   reserved-vs-best-effort traffic split decision;
+//! * [`transport`] — congestion-control-free pacing at the reserved
+//!   bandwidth ([`transport::PacedSender`]) and receiver-side accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod transport;
+
+pub use flow::{Env, Flow, FlowConfig, FlowId, FlowKind, FlowManager, OpenError, SendError};
+pub use transport::{PacedSender, ReceiverTracker};

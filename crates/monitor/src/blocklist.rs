@@ -1,0 +1,118 @@
+//! Policing: the source-AS blocklist (paper §4.8).
+//!
+//! "Measure (i) is crucial to avoid deteriorating service to legitimate
+//! reservations and is achieved by keeping a list of blocked source ASes.
+//! As this blocklist is very short — only a tiny share of the 70 000 ASes
+//! is expected to misbehave at any point in time — it can be implemented
+//! as a simple hash set."
+//!
+//! Entries can be permanent or carry an expiry; the border router consults
+//! the list on every packet, so lookup is a single hash probe.
+
+use colibri_base::{Instant, IsdAsId};
+use std::collections::HashMap;
+
+/// A set of blocked source ASes with optional expiry.
+#[derive(Debug, Clone, Default)]
+pub struct Blocklist {
+    /// AS → expiry (`None` = blocked until manually unblocked).
+    entries: HashMap<IsdAsId, Option<Instant>>,
+}
+
+impl Blocklist {
+    /// An empty blocklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks `src_as` until `until` (or forever with `None`). Extending an
+    /// existing block keeps the later expiry; a permanent block wins.
+    pub fn block(&mut self, src_as: IsdAsId, until: Option<Instant>) {
+        let entry = self.entries.entry(src_as).or_insert(until);
+        *entry = match (*entry, until) {
+            (None, _) | (_, None) => None,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        };
+    }
+
+    /// Removes a block.
+    pub fn unblock(&mut self, src_as: IsdAsId) {
+        self.entries.remove(&src_as);
+    }
+
+    /// Whether traffic from `src_as` must be dropped at time `now`.
+    /// Expired entries are removed lazily.
+    pub fn is_blocked(&mut self, src_as: IsdAsId, now: Instant) -> bool {
+        match self.entries.get(&src_as) {
+            None => false,
+            Some(None) => true,
+            Some(Some(expiry)) if now < *expiry => true,
+            Some(Some(_)) => {
+                self.entries.remove(&src_as);
+                false
+            }
+        }
+    }
+
+    /// Number of (possibly expired) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no ASes are blocked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::Duration;
+
+    const AS_A: IsdAsId = IsdAsId::new(1, 10);
+    const AS_B: IsdAsId = IsdAsId::new(2, 20);
+
+    #[test]
+    fn block_and_unblock() {
+        let mut bl = Blocklist::new();
+        let now = Instant::from_secs(0);
+        assert!(!bl.is_blocked(AS_A, now));
+        bl.block(AS_A, None);
+        assert!(bl.is_blocked(AS_A, now));
+        assert!(!bl.is_blocked(AS_B, now));
+        bl.unblock(AS_A);
+        assert!(!bl.is_blocked(AS_A, now));
+    }
+
+    #[test]
+    fn expiry() {
+        let mut bl = Blocklist::new();
+        let now = Instant::from_secs(0);
+        bl.block(AS_A, Some(now + Duration::from_secs(60)));
+        assert!(bl.is_blocked(AS_A, now + Duration::from_secs(59)));
+        assert!(!bl.is_blocked(AS_A, now + Duration::from_secs(60)));
+        // Lazily removed.
+        assert_eq!(bl.len(), 0);
+    }
+
+    #[test]
+    fn permanent_wins_over_expiry() {
+        let mut bl = Blocklist::new();
+        let now = Instant::from_secs(0);
+        bl.block(AS_A, Some(now + Duration::from_secs(1)));
+        bl.block(AS_A, None);
+        assert!(bl.is_blocked(AS_A, now + Duration::from_secs(100)));
+        bl.block(AS_A, Some(now + Duration::from_secs(1)));
+        assert!(bl.is_blocked(AS_A, now + Duration::from_secs(100)));
+    }
+
+    #[test]
+    fn later_expiry_wins() {
+        let mut bl = Blocklist::new();
+        let now = Instant::from_secs(0);
+        bl.block(AS_A, Some(now + Duration::from_secs(10)));
+        bl.block(AS_A, Some(now + Duration::from_secs(5)));
+        assert!(bl.is_blocked(AS_A, now + Duration::from_secs(7)));
+    }
+}

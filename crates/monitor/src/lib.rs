@@ -1,0 +1,32 @@
+//! Monitoring and policing subsystems for Colibri (paper §4.8).
+//!
+//! Colibri splits monitoring hierarchically:
+//!
+//! * **Deterministic monitoring at the source AS** — the Colibri gateway
+//!   rate-limits every local EER with a [`token_bucket::TokenBucket`];
+//! * **Probabilistic monitoring at transit/transfer ASes** — the
+//!   [`ofd::OveruseFlowDetector`] sketch flags suspicious flows, the
+//!   [`watchlist::Watchlist`] confirms overuse exactly, and the
+//!   [`blocklist::Blocklist`] polices confirmed offenders;
+//! * **Replay suppression** — [`replay::ReplaySuppressor`] drops
+//!   duplicated packets so on-path adversaries cannot frame honest
+//!   sources;
+//! * [`transit::TransitMonitor`] composes the last three into the
+//!   per-packet pipeline a border router runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocklist;
+pub mod ofd;
+pub mod replay;
+pub mod token_bucket;
+pub mod transit;
+pub mod watchlist;
+
+pub use blocklist::Blocklist;
+pub use ofd::{normalized_ns, OfdConfig, OveruseFlowDetector};
+pub use replay::{ReplaySuppressor, ReplayVerdict};
+pub use token_bucket::TokenBucket;
+pub use transit::{MonitorAction, OveruseReport, TransitMonitor, TransitMonitorConfig};
+pub use watchlist::{Verdict, Watchlist};

@@ -1,0 +1,261 @@
+//! Probabilistic overuse-flow detector (OFD, paper §4.8).
+//!
+//! Transit and transfer ASes see far too many EERs for per-flow state, so
+//! they monitor probabilistically: a count-min sketch accumulates the
+//! *normalized* packet size of every packet — total packet size divided by
+//! the reservation bandwidth, i.e. the amount of reservation-time the
+//! packet consumes, measured here in nanoseconds. A flow that respects its
+//! reservation accumulates at most (about) one window worth of nanoseconds
+//! per window; a flow whose estimate exceeds the window by the configured
+//! headroom factor is flagged *suspicious* and handed to the deterministic
+//! watchlist for exact confirmation (the sketch can only over-estimate, so
+//! it produces false positives but no false negatives beyond the factor).
+//!
+//! Normalization (paper §4.8) is what lets a single sketch monitor
+//! reservations of wildly different bandwidths, and makes all versions of
+//! an EER — which share the flow label `(SrcAS, ResId)` but may have
+//! different bandwidths — jointly consume at most the largest version's
+//! allowance.
+
+use colibri_base::{Bandwidth, Duration, Instant, ReservationKey};
+
+/// Configuration of the sketch and detection threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct OfdConfig {
+    /// Number of sketch rows (independent hash functions).
+    pub depth: usize,
+    /// Counters per row (power of two).
+    pub width: usize,
+    /// Measurement window.
+    pub window: Duration,
+    /// A flow is suspicious when its normalized usage estimate exceeds
+    /// `window × factor`. Must be > 1 to absorb bursts and sketch noise.
+    pub factor: f64,
+}
+
+impl Default for OfdConfig {
+    fn default() -> Self {
+        Self { depth: 4, width: 1 << 14, window: Duration::from_millis(100), factor: 1.25 }
+    }
+}
+
+/// Computes a packet's normalized size in nanoseconds of reservation time:
+/// `bytes · 8 / bw · 10⁹`. Zero-bandwidth reservations normalize to the
+/// whole window (instantly suspicious), since no traffic is allowed on
+/// them.
+pub fn normalized_ns(bytes: u64, bw: Bandwidth) -> u64 {
+    if bw.as_bps() == 0 {
+        return u64::MAX / 4;
+    }
+    ((bytes as u128 * 8 * 1_000_000_000) / bw.as_bps() as u128) as u64
+}
+
+/// The count-min-sketch-based overuse-flow detector.
+#[derive(Debug, Clone)]
+pub struct OveruseFlowDetector {
+    cfg: OfdConfig,
+    /// `depth` rows of `width` counters, flattened.
+    counters: Vec<u64>,
+    seeds: Vec<u64>,
+    window_idx: u64,
+    threshold_ns: u64,
+}
+
+impl OveruseFlowDetector {
+    /// Creates a detector. `width` is rounded up to a power of two.
+    pub fn new(cfg: OfdConfig) -> Self {
+        assert!(cfg.depth >= 1 && cfg.width >= 2 && cfg.factor > 1.0);
+        let width = cfg.width.next_power_of_two();
+        let cfg = OfdConfig { width, ..cfg };
+        let seeds = (0..cfg.depth)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(2 * i as u64 + 1))
+            .collect();
+        let threshold_ns = (cfg.window.as_nanos() as f64 * cfg.factor) as u64;
+        Self { counters: vec![0; cfg.depth * width], cfg, seeds, window_idx: 0, threshold_ns }
+    }
+
+    /// Memory footprint of the counter array in bytes (the paper stresses
+    /// the OFD must fit in fast cache).
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * 8
+    }
+
+    fn maybe_roll(&mut self, now: Instant) {
+        let idx = now.as_nanos() / self.cfg.window.as_nanos();
+        if idx != self.window_idx {
+            self.counters.fill(0);
+            self.window_idx = idx;
+        }
+    }
+
+    fn row_index(&self, row: usize, key: ReservationKey) -> usize {
+        let mut x = key.src_as.to_u64() ^ ((key.res_id.0 as u64) << 17) ^ self.seeds[row];
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        row * self.cfg.width + (x as usize & (self.cfg.width - 1))
+    }
+
+    /// Records one packet and returns whether the flow now looks
+    /// suspicious. `norm_ns` is the output of [`normalized_ns`].
+    pub fn observe(&mut self, key: ReservationKey, norm_ns: u64, now: Instant) -> bool {
+        self.maybe_roll(now);
+        let mut estimate = u64::MAX;
+        for row in 0..self.cfg.depth {
+            let i = self.row_index(row, key);
+            self.counters[i] = self.counters[i].saturating_add(norm_ns);
+            estimate = estimate.min(self.counters[i]);
+        }
+        estimate > self.threshold_ns
+    }
+
+    /// Current usage estimate of a flow within this window, in ns.
+    pub fn estimate(&mut self, key: ReservationKey, now: Instant) -> u64 {
+        self.maybe_roll(now);
+        (0..self.cfg.depth).map(|row| self.counters[self.row_index(row, key)]).min().unwrap_or(0)
+    }
+
+    /// The suspicion threshold in normalized nanoseconds per window.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> Duration {
+        self.cfg.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{IsdAsId, ResId};
+
+    fn key(i: u32) -> ReservationKey {
+        ReservationKey::new(IsdAsId::new(1, 100 + i / 7), ResId(i))
+    }
+
+    fn drive(
+        ofd: &mut OveruseFlowDetector,
+        k: ReservationKey,
+        bw: Bandwidth,
+        send_rate: Bandwidth,
+        pkt_bytes: u64,
+        duration: Duration,
+    ) -> bool {
+        // Send `pkt_bytes` packets at `send_rate` for `duration`; report
+        // whether any observation flagged the flow.
+        let gap_ns = send_rate.transmit_time_ns(pkt_bytes);
+        let mut now = Instant::from_nanos(1); // stay inside window 0
+        let end = now + duration;
+        let mut flagged = false;
+        while now < end {
+            flagged |= ofd.observe(k, normalized_ns(pkt_bytes, bw), now);
+            now += Duration::from_nanos(gap_ns);
+        }
+        flagged
+    }
+
+    #[test]
+    fn normalization() {
+        // 1250 bytes at 100 Mbps = 10 µs of reservation time.
+        assert_eq!(normalized_ns(1250, Bandwidth::from_mbps(100)), 100_000);
+        assert_eq!(normalized_ns(1250, Bandwidth::from_gbps(1)), 10_000);
+        assert!(normalized_ns(1, Bandwidth::ZERO) > 1_000_000_000_000);
+    }
+
+    #[test]
+    fn compliant_flow_not_flagged() {
+        let mut ofd = OveruseFlowDetector::new(OfdConfig::default());
+        let bw = Bandwidth::from_mbps(100);
+        let flagged = drive(&mut ofd, key(1), bw, bw, 1250, Duration::from_millis(90));
+        assert!(!flagged);
+    }
+
+    #[test]
+    fn overusing_flow_flagged() {
+        let mut ofd = OveruseFlowDetector::new(OfdConfig::default());
+        let bw = Bandwidth::from_mbps(100);
+        // Sending at 3× the reservation.
+        let flagged =
+            drive(&mut ofd, key(1), bw, Bandwidth::from_mbps(300), 1250, Duration::from_millis(90));
+        assert!(flagged);
+    }
+
+    #[test]
+    fn no_false_negative_above_factor() {
+        // Property: a flow sending ≥ 2× its reservation for a full window
+        // is always flagged — CM sketches only over-estimate.
+        for seed in 0..20u32 {
+            let mut ofd = OveruseFlowDetector::new(OfdConfig::default());
+            let bw = Bandwidth::from_mbps(10 + 17 * seed as u64);
+            let flagged = drive(
+                &mut ofd,
+                key(seed),
+                bw,
+                Bandwidth(bw.as_bps() * 2),
+                1000,
+                Duration::from_millis(95),
+            );
+            assert!(flagged, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn versions_share_budget() {
+        // Two "versions" of one EER (same key, different bandwidths): each
+        // sending at its own full rate; combined they exceed the max
+        // version's budget and must be flagged.
+        let mut ofd = OveruseFlowDetector::new(OfdConfig::default());
+        let k = key(9);
+        let bw1 = Bandwidth::from_mbps(100);
+        let bw2 = Bandwidth::from_mbps(50);
+        let mut now = Instant::from_nanos(1);
+        let end = now + Duration::from_millis(90);
+        let mut flagged = false;
+        while now < end {
+            flagged |= ofd.observe(k, normalized_ns(1250, bw1), now);
+            flagged |= ofd.observe(k, normalized_ns(1250, bw2), now);
+            // Interleave at the rate that saturates bw1 alone.
+            now += Duration::from_nanos(bw1.transmit_time_ns(1250));
+        }
+        assert!(flagged);
+    }
+
+    #[test]
+    fn window_roll_resets() {
+        let mut ofd = OveruseFlowDetector::new(OfdConfig::default());
+        let k = key(2);
+        let big = ofd.threshold_ns() + 1;
+        assert!(ofd.observe(k, big, Instant::from_nanos(1)));
+        // Next window: estimate is reset.
+        let next_window = Instant::from_millis(150);
+        assert_eq!(ofd.estimate(k, next_window), 0);
+        assert!(!ofd.observe(k, 10, next_window));
+    }
+
+    #[test]
+    fn estimate_only_overestimates() {
+        // With many flows hashed into a small sketch, each flow's estimate
+        // must be ≥ its true usage.
+        let mut ofd = OveruseFlowDetector::new(OfdConfig {
+            width: 256,
+            ..OfdConfig::default()
+        });
+        let now = Instant::from_nanos(1);
+        let per_flow = 1_000u64;
+        for i in 0..500 {
+            ofd.observe(key(i), per_flow, now);
+        }
+        for i in 0..500 {
+            assert!(ofd.estimate(key(i), now) >= per_flow, "flow {i}");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let ofd = OveruseFlowDetector::new(OfdConfig::default());
+        // 4 × 16384 × 8 B = 512 KiB — cache-resident as the paper requires.
+        assert_eq!(ofd.memory_bytes(), 4 * 16384 * 8);
+    }
+}

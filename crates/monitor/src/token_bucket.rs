@@ -1,0 +1,194 @@
+//! The token-bucket rate limiter (paper §4.8).
+//!
+//! "An efficient approach to limit the transmission rate of the flows from
+//! customers while still permitting short-term spikes in traffic is the
+//! token bucket algorithm, which only needs to keep a time stamp and a
+//! counter in memory for each flow."
+//!
+//! The implementation is fully integer (no floating point on the fast
+//! path): tokens are tracked in units of 10⁻⁹ bytes, so that refill at
+//! `rate` bits per second over `dt` nanoseconds is the exact product
+//! `dt · rate / 8` with no rounding drift.
+
+use colibri_base::{Bandwidth, Duration, Instant};
+
+/// A token bucket: rate-limits to `rate` with bursts up to `burst` bytes.
+///
+/// Exactly the "time stamp and a counter" of the paper: 16 bytes of mutable
+/// state.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Sustained rate.
+    rate: Bandwidth,
+    /// Bucket depth in nano-bytes (bytes × 10⁹).
+    capacity_nb: u128,
+    /// Current fill in nano-bytes.
+    tokens_nb: u128,
+    /// Last refill time.
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(rate: Bandwidth, burst_bytes: u64, now: Instant) -> Self {
+        let capacity_nb = burst_bytes as u128 * 1_000_000_000;
+        Self { rate, capacity_nb, tokens_nb: capacity_nb, last: now }
+    }
+
+    /// Convenience: a bucket allowing `burst` seconds of traffic at `rate`.
+    pub fn with_burst_duration(rate: Bandwidth, burst: Duration, now: Instant) -> Self {
+        let burst_bytes = (rate.as_bps() as u128 * burst.as_nanos() as u128 / 8 / 1_000_000_000)
+            .max(1500) as u64; // at least one MTU so single packets pass
+        Self::new(rate, burst_bytes, now)
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Updates the rate (EER renewals can change the reserved bandwidth).
+    pub fn set_rate(&mut self, rate: Bandwidth) {
+        self.rate = rate;
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.saturating_since(self.last).as_nanos();
+        if dt == 0 {
+            return;
+        }
+        self.last = now;
+        // nano-bytes gained = ns · (bits/s) / 8.
+        let gained = dt as u128 * self.rate.as_bps() as u128 / 8;
+        self.tokens_nb = (self.tokens_nb + gained).min(self.capacity_nb);
+    }
+
+    /// Tries to send `bytes` at time `now`. Consumes tokens and returns
+    /// `true` if allowed; otherwise leaves the bucket unchanged and returns
+    /// `false` (the packet is dropped, giving backpressure to the sender's
+    /// congestion control, §3.2).
+    pub fn try_consume(&mut self, bytes: u64, now: Instant) -> bool {
+        self.refill(now);
+        let cost = bytes as u128 * 1_000_000_000;
+        if cost <= self.tokens_nb {
+            self.tokens_nb -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current fill level in bytes (after refilling to `now`).
+    pub fn available_bytes(&mut self, now: Instant) -> u64 {
+        self.refill(now);
+        (self.tokens_nb / 1_000_000_000) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBPS100: Bandwidth = Bandwidth(100_000_000);
+
+    #[test]
+    fn starts_full_and_drains() {
+        let t0 = Instant::from_secs(0);
+        let mut tb = TokenBucket::new(MBPS100, 10_000, t0);
+        assert!(tb.try_consume(10_000, t0));
+        assert!(!tb.try_consume(1, t0));
+    }
+
+    #[test]
+    fn refills_at_exact_rate() {
+        let t0 = Instant::from_secs(0);
+        let mut tb = TokenBucket::new(MBPS100, 12_500_000, t0);
+        assert!(tb.try_consume(12_500_000, t0)); // drain
+        // 100 Mbps = 12.5 MB/s ⇒ after 1 s exactly 12.5 MB refilled.
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!(tb.available_bytes(t1), 12_500_000);
+        assert!(tb.try_consume(12_500_000, t1));
+        assert!(!tb.try_consume(1, t1));
+    }
+
+    #[test]
+    fn burst_capped_at_capacity() {
+        let t0 = Instant::from_secs(0);
+        let mut tb = TokenBucket::new(MBPS100, 1000, t0);
+        let much_later = t0 + Duration::from_secs(3600);
+        assert_eq!(tb.available_bytes(much_later), 1000);
+    }
+
+    #[test]
+    fn sustained_rate_enforced() {
+        // Send 1500-byte packets as fast as allowed for 1 s; accepted bytes
+        // must be ≤ burst + rate·t.
+        let t0 = Instant::from_secs(0);
+        let mut tb = TokenBucket::new(Bandwidth::from_mbps(8), 3000, t0); // 1 MB/s
+        let mut sent = 0u64;
+        let mut now = t0;
+        for _ in 0..10_000 {
+            if tb.try_consume(1500, now) {
+                sent += 1500;
+            }
+            now += Duration::from_micros(100);
+        }
+        let elapsed_s = 1.0;
+        let max = 3000.0 + 1_000_000.0 * elapsed_s;
+        assert!(sent as f64 <= max, "sent {sent} > {max}");
+        // And it should achieve close to the full rate.
+        assert!(sent as f64 >= 0.95 * 1_000_000.0, "sent only {sent}");
+    }
+
+    #[test]
+    fn short_spike_allowed_then_limited() {
+        let t0 = Instant::from_secs(0);
+        let mut tb = TokenBucket::new(Bandwidth::from_mbps(8), 15_000, t0);
+        // Spike: 10 × 1500 B back-to-back passes (burst).
+        for _ in 0..10 {
+            assert!(tb.try_consume(1500, t0));
+        }
+        // 11th is dropped.
+        assert!(!tb.try_consume(1500, t0));
+        // After 1.5 ms at 1 MB/s, 1500 B are available again.
+        assert!(tb.try_consume(1500, t0 + Duration::from_micros(1500)));
+    }
+
+    #[test]
+    fn rate_change_applies() {
+        let t0 = Instant::from_secs(0);
+        let mut tb = TokenBucket::new(Bandwidth::from_mbps(8), 1500, t0);
+        assert!(tb.try_consume(1500, t0));
+        tb.set_rate(Bandwidth::from_mbps(80)); // 10 MB/s
+        // 150 µs at 10 MB/s = 1500 B.
+        assert!(tb.try_consume(1500, t0 + Duration::from_micros(150)));
+    }
+
+    #[test]
+    fn no_time_travel_refill() {
+        let t1 = Instant::from_secs(10);
+        let mut tb = TokenBucket::new(MBPS100, 1000, t1);
+        assert!(tb.try_consume(1000, t1));
+        // An earlier timestamp (clock skew) must not mint tokens.
+        assert!(!tb.try_consume(100, Instant::from_secs(5)));
+    }
+
+    #[test]
+    fn burst_duration_constructor() {
+        let t0 = Instant::from_secs(0);
+        // 80 Mbps for 50 ms = 500 kB burst.
+        let mut tb = TokenBucket::with_burst_duration(
+            Bandwidth::from_mbps(80),
+            Duration::from_millis(50),
+            t0,
+        );
+        assert_eq!(tb.available_bytes(t0), 500_000);
+        // Tiny rates still admit one MTU.
+        let mut tiny = TokenBucket::with_burst_duration(
+            Bandwidth::from_kbps(1),
+            Duration::from_millis(1),
+            t0,
+        );
+        assert!(tiny.try_consume(1500, t0));
+    }
+}

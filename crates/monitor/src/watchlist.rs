@@ -1,0 +1,196 @@
+//! Deterministic confirmation of suspicious flows (paper §4.8).
+//!
+//! "Due to the probabilistic nature of the OFD, it may report false
+//! positives […] For this reason, the suspicious EERs are subjected to
+//! deterministic monitoring, which inspects the reservation precisely to
+//! determine overuse with certainty."
+//!
+//! The watchlist keeps exact byte counts for a small, bounded set of
+//! flagged flows over a confirmation window and then issues a verdict.
+//! Confirmed overuse triggers policing (blocklist + report to the CServ);
+//! cleared flows return to purely probabilistic monitoring.
+
+use colibri_base::{Bandwidth, Duration, Instant, ReservationKey};
+use std::collections::HashMap;
+
+/// Outcome of deterministic monitoring for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The flow measurably exceeded its reservation — overuse is certain.
+    Overuse {
+        /// Bytes observed during the confirmation window.
+        observed_bytes: u64,
+        /// Bytes the reservation allowed in that window (incl. tolerance).
+        allowed_bytes: u64,
+    },
+    /// The flow stayed within its reservation; it was a false positive.
+    Cleared,
+}
+
+/// One watched flow.
+#[derive(Debug, Clone)]
+struct Entry {
+    bw: Bandwidth,
+    window_start: Instant,
+    bytes: u64,
+}
+
+/// Exact, bounded-size monitor for flows flagged by the OFD.
+#[derive(Debug, Clone)]
+pub struct Watchlist {
+    entries: HashMap<ReservationKey, Entry>,
+    /// Confirmation window length.
+    window: Duration,
+    /// Multiplicative tolerance above the nominal reservation (e.g. 0.05
+    /// for 5%), absorbing timestamp granularity and in-flight bursts.
+    tolerance: f64,
+    /// Maximum number of concurrently watched flows.
+    capacity: usize,
+}
+
+impl Watchlist {
+    /// Creates a watchlist.
+    pub fn new(window: Duration, tolerance: f64, capacity: usize) -> Self {
+        assert!(window.as_nanos() > 0 && tolerance >= 0.0 && capacity > 0);
+        Self { entries: HashMap::new(), window, tolerance, capacity }
+    }
+
+    /// Begins watching `key` with reserved bandwidth `bw`. No-op if the
+    /// flow is already watched or the list is full (the flow will be
+    /// re-flagged by the OFD and retried later).
+    pub fn watch(&mut self, key: ReservationKey, bw: Bandwidth, now: Instant) -> bool {
+        if self.entries.contains_key(&key) {
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(key, Entry { bw, window_start: now, bytes: 0 });
+        true
+    }
+
+    /// Whether `key` is currently being watched.
+    pub fn is_watched(&self, key: ReservationKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Number of currently watched flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no flows are watched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a packet of a watched flow. Returns a verdict once the
+    /// confirmation window has elapsed; `None` while still measuring or if
+    /// the flow is not watched. A verdict removes the flow from the list.
+    pub fn observe(&mut self, key: ReservationKey, bytes: u64, now: Instant) -> Option<Verdict> {
+        let entry = self.entries.get_mut(&key)?;
+        let elapsed = now.saturating_since(entry.window_start);
+        if elapsed < self.window {
+            entry.bytes += bytes;
+            return None;
+        }
+        // Window complete: judge what was accumulated (the current packet
+        // belongs to the next window and is judged by the OFD afresh).
+        let entry = self.entries.remove(&key).unwrap();
+        let allowed = (entry.bw.as_bps() as u128 * self.window.as_nanos() as u128
+            / 8
+            / 1_000_000_000) as u64;
+        // One MTU of absolute slack on top of the multiplicative tolerance:
+        // a flow sending exactly at its reservation can overshoot the
+        // window by a fraction of one packet (boundary quantization), and
+        // deterministic monitoring must never convict a compliant flow.
+        let allowed = (allowed as f64 * (1.0 + self.tolerance)) as u64 + 1500;
+        if entry.bytes > allowed {
+            Some(Verdict::Overuse { observed_bytes: entry.bytes, allowed_bytes: allowed })
+        } else {
+            Some(Verdict::Cleared)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{IsdAsId, ResId};
+
+    fn key(i: u32) -> ReservationKey {
+        ReservationKey::new(IsdAsId::new(1, 5), ResId(i))
+    }
+
+    const W: Duration = Duration(100_000_000); // 100 ms
+    const BW: Bandwidth = Bandwidth(100_000_000); // 100 Mbps → 1.25 MB per window
+
+    fn run_flow(wl: &mut Watchlist, k: ReservationKey, total_bytes: u64, pkts: u64) -> Verdict {
+        let t0 = Instant::from_secs(1);
+        wl.watch(k, BW, t0);
+        let per = total_bytes / pkts;
+        for i in 0..pkts {
+            let t = t0 + Duration::from_nanos(W.as_nanos() * i / pkts);
+            assert_eq!(wl.observe(k, per, t), None, "verdict before window end");
+        }
+        wl.observe(k, per, t0 + W).expect("verdict at window end")
+    }
+
+    #[test]
+    fn compliant_flow_cleared() {
+        let mut wl = Watchlist::new(W, 0.05, 16);
+        // 1.0 MB in 100 ms at 100 Mbps (1.25 MB allowed) — compliant.
+        assert_eq!(run_flow(&mut wl, key(1), 1_000_000, 100), Verdict::Cleared);
+        assert!(!wl.is_watched(key(1)));
+    }
+
+    #[test]
+    fn overusing_flow_confirmed() {
+        let mut wl = Watchlist::new(W, 0.05, 16);
+        let v = run_flow(&mut wl, key(2), 2_500_000, 100); // 2× reservation
+        match v {
+            Verdict::Overuse { observed_bytes, allowed_bytes } => {
+                assert_eq!(observed_bytes, 2_500_000);
+                assert!(allowed_bytes < observed_bytes);
+                assert!(allowed_bytes >= 1_250_000); // tolerance applied
+            }
+            Verdict::Cleared => panic!("overuse not detected"),
+        }
+    }
+
+    #[test]
+    fn borderline_within_tolerance_cleared() {
+        let mut wl = Watchlist::new(W, 0.05, 16);
+        // 1.28 MB ≤ 1.25 MB × 1.05 = 1.3125 MB.
+        assert_eq!(run_flow(&mut wl, key(3), 1_280_000, 128), Verdict::Cleared);
+    }
+
+    #[test]
+    fn unwatched_flow_ignored() {
+        let mut wl = Watchlist::new(W, 0.05, 16);
+        assert_eq!(wl.observe(key(4), 1000, Instant::from_secs(0)), None);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut wl = Watchlist::new(W, 0.05, 2);
+        let t = Instant::from_secs(0);
+        assert!(wl.watch(key(1), BW, t));
+        assert!(wl.watch(key(2), BW, t));
+        assert!(!wl.watch(key(3), BW, t));
+        assert_eq!(wl.len(), 2);
+        // Re-watching an existing flow succeeds without growing.
+        assert!(wl.watch(key(1), BW, t));
+        assert_eq!(wl.len(), 2);
+    }
+
+    #[test]
+    fn verdict_frees_capacity() {
+        let mut wl = Watchlist::new(W, 0.0, 1);
+        let t0 = Instant::from_secs(0);
+        wl.watch(key(1), BW, t0);
+        wl.observe(key(1), 10, t0);
+        assert!(wl.observe(key(1), 10, t0 + W).is_some());
+        assert!(wl.watch(key(2), BW, t0 + W));
+    }
+}

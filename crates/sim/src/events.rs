@@ -1,0 +1,140 @@
+//! The discrete-event core: a time-ordered event queue.
+//!
+//! Events are totally ordered by `(time, sequence)` — the sequence number
+//! makes simulation runs deterministic even when many events share a
+//! timestamp.
+
+use colibri_base::Instant;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The event payloads the network simulator reacts to.
+#[derive(Debug)]
+pub enum Event {
+    /// A link finished (or may start) transmitting; dequeue the next
+    /// packet.
+    LinkDequeue {
+        /// The link.
+        link: usize,
+    },
+    /// A packet arrives at the receiving end of a link.
+    Arrival {
+        /// The link it traveled over.
+        link: usize,
+        /// The packet.
+        packet: crate::net::SimPacket,
+    },
+    /// A traffic generator emits its next packet.
+    GeneratorTick {
+        /// Index of the generator.
+        gen: usize,
+    },
+}
+
+struct Entry {
+    at: Instant,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn push(&mut self, at: Instant, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Instant, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// The time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventQueue({} pending)", self.heap.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_secs(3), Event::LinkDequeue { link: 3 });
+        q.push(Instant::from_secs(1), Event::LinkDequeue { link: 1 });
+        q.push(Instant::from_secs(2), Event::LinkDequeue { link: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(order, vec![1_000_000_000, 2_000_000_000, 3_000_000_000]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..10usize {
+            q.push(Instant::from_secs(1), Event::LinkDequeue { link: i });
+        }
+        for i in 0..10usize {
+            match q.pop().unwrap().1 {
+                Event::LinkDequeue { link } => assert_eq!(link, i),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Instant::from_secs(5), Event::LinkDequeue { link: 0 });
+        assert_eq!(q.peek_time(), Some(Instant::from_secs(5)));
+        assert_eq!(q.len(), 1);
+    }
+}

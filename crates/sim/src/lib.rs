@@ -1,0 +1,32 @@
+//! Discrete-event network simulator for Colibri.
+//!
+//! The paper's data-plane protection experiment (§7, Table 2) ran on a
+//! hardware traffic generator feeding three 40 Gbps ports into one
+//! machine; this simulator is the software substitute. It moves *real*
+//! Colibri packets — produced by the real gateway and validated by the
+//! real border router — over capacity-limited links with class-based
+//! scheduling, so every throughput number it reports is the product of
+//! the actual cryptographic checks, monitoring pipeline, and queueing
+//! discipline.
+//!
+//! * [`events`] — deterministic discrete-event queue;
+//! * [`net`] — nodes, links, per-class queues, delivery meters;
+//! * [`traffic`] — EER / best-effort / forged-Colibri generators and the
+//!   [`traffic::Simulation`] driver;
+//! * [`scenario`] — the three-phase Table 2 protection experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod net;
+pub mod scenario;
+pub mod traffic;
+
+pub use events::{Event, EventQueue};
+pub use net::{FlowTag, Meter, Node, PacketKind, SimNet, SimPacket};
+pub use scenario::{
+    doc_protection_experiment, egress_towards, protection_experiment, DocResult, PhaseResult,
+    ProtectionConfig, ProtectionResult,
+};
+pub use traffic::{forged_eer_packet, Generator, Schedule, Simulation};

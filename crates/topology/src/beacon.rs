@@ -1,0 +1,325 @@
+//! Segment discovery ("beaconing").
+//!
+//! SCION core ASes periodically flood path-construction beacons: down the
+//! provider→customer hierarchy inside their ISD (yielding up- and
+//! down-segments) and across core links (yielding core-segments). This
+//! module implements the steady-state *outcome* of that process — the set
+//! of discovered segments — as a deterministic graph exploration, since
+//! Colibri consumes segments but does not care about beacon timing.
+//!
+//! Path *stability* (paper §2.1) is modeled by the fact that the discovered
+//! segment set is a pure function of the topology: reservations made over a
+//! segment remain valid for as long as the segment exists, independent of
+//! any routing re-convergence.
+
+use crate::graph::{LinkRel, Topology};
+use crate::segment::{Segment, SegmentHop, SegmentType};
+use colibri_base::{InterfaceId, IsdAsId};
+use std::collections::BTreeMap;
+
+/// Limits applied during discovery, mirroring how real beaconing policies
+/// bound the number of candidate paths.
+#[derive(Debug, Clone, Copy)]
+pub struct BeaconConfig {
+    /// Maximum ASes on an intra-ISD segment (core AS included).
+    pub max_up_down_len: usize,
+    /// Maximum ASes on a core segment.
+    pub max_core_len: usize,
+    /// Maximum segments kept per (first AS, last AS) pair, preferring
+    /// shorter segments.
+    pub max_per_pair: usize,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        Self { max_up_down_len: 6, max_core_len: 5, max_per_pair: 8 }
+    }
+}
+
+/// The discovered segments, queryable by endpoint.
+///
+/// Down-segments are stored explicitly even though each is the reverse of
+/// an up-segment; this mirrors SCION's segment registration and keeps
+/// lookups trivial.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentStore {
+    /// up-segments keyed by (leaf AS, core AS).
+    up: BTreeMap<(IsdAsId, IsdAsId), Vec<Segment>>,
+    /// down-segments keyed by (core AS, leaf AS).
+    down: BTreeMap<(IsdAsId, IsdAsId), Vec<Segment>>,
+    /// core-segments keyed by (src core AS, dst core AS).
+    core: BTreeMap<(IsdAsId, IsdAsId), Vec<Segment>>,
+}
+
+impl SegmentStore {
+    /// Runs discovery over `topo` with the given limits.
+    pub fn discover(topo: &Topology, cfg: BeaconConfig) -> Self {
+        let mut store = SegmentStore::default();
+        // Intra-ISD: DFS down the customer hierarchy from every core AS.
+        for core_as in topo.all_core_ases() {
+            let mut path: Vec<(IsdAsId, InterfaceId, InterfaceId)> = Vec::new();
+            dfs_down(topo, &cfg, core_as, InterfaceId::LOCAL, &mut path, &mut store);
+        }
+        // Inter-core: DFS over core links from every core AS.
+        for core_as in topo.all_core_ases() {
+            let mut path: Vec<(IsdAsId, InterfaceId, InterfaceId)> = Vec::new();
+            dfs_core(topo, &cfg, core_as, InterfaceId::LOCAL, &mut path, &mut store);
+        }
+        store.sort_and_truncate(cfg.max_per_pair);
+        store
+    }
+
+    fn sort_and_truncate(&mut self, k: usize) {
+        for m in [&mut self.up, &mut self.down, &mut self.core] {
+            for v in m.values_mut() {
+                v.sort_by_key(|s| (s.len(), s.as_path()));
+                v.dedup();
+                v.truncate(k);
+            }
+        }
+    }
+
+    fn push(&mut self, seg: Segment) {
+        let key = (seg.first_as(), seg.last_as());
+        let map = match seg.seg_type {
+            SegmentType::Up => &mut self.up,
+            SegmentType::Down => &mut self.down,
+            SegmentType::Core => &mut self.core,
+        };
+        map.entry(key).or_default().push(seg);
+    }
+
+    /// Up-segments from `leaf` to `core`.
+    pub fn up_segments(&self, leaf: IsdAsId, core: IsdAsId) -> &[Segment] {
+        self.up.get(&(leaf, core)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All up-segments originating at `leaf` (to any core AS).
+    pub fn up_segments_from(&self, leaf: IsdAsId) -> Vec<&Segment> {
+        self.up
+            .range((leaf, IsdAsId::new(0, 0))..=(leaf, IsdAsId::new(u16::MAX, u32::MAX)))
+            .flat_map(|(_, v)| v.iter())
+            .collect()
+    }
+
+    /// Down-segments from `core` to `leaf`.
+    pub fn down_segments(&self, core: IsdAsId, leaf: IsdAsId) -> &[Segment] {
+        self.down.get(&(core, leaf)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All down-segments terminating at `leaf` (from any core AS).
+    pub fn down_segments_to(&self, leaf: IsdAsId) -> Vec<&Segment> {
+        self.down.iter().filter(|((_, l), _)| *l == leaf).flat_map(|(_, v)| v.iter()).collect()
+    }
+
+    /// Core-segments from `a` to `b`.
+    pub fn core_segments(&self, a: IsdAsId, b: IsdAsId) -> &[Segment] {
+        self.core.get(&(a, b)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of stored segments (all types).
+    pub fn len(&self) -> usize {
+        self.up.values().map(Vec::len).sum::<usize>()
+            + self.down.values().map(Vec::len).sum::<usize>()
+            + self.core.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether no segments were discovered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// DFS from a core AS down `Child` links. `path` holds, per visited AS, the
+/// (AS, ingress-from-parent, egress-to-child) triple in core→leaf order;
+/// the egress of the last element is patched as we descend.
+fn dfs_down(
+    topo: &Topology,
+    cfg: &BeaconConfig,
+    cur: IsdAsId,
+    entered_through: InterfaceId,
+    path: &mut Vec<(IsdAsId, InterfaceId, InterfaceId)>,
+    store: &mut SegmentStore,
+) {
+    path.push((cur, entered_through, InterfaceId::LOCAL));
+    if path.len() >= 2 {
+        // Register the down-segment core→cur and its reverse up-segment.
+        let hops: Vec<SegmentHop> = path
+            .iter()
+            .map(|&(a, ing, eg)| SegmentHop { isd_as: a, ingress: ing, egress: eg })
+            .collect();
+        let down = Segment::new(SegmentType::Down, hops);
+        store.push(down.reversed());
+        store.push(down);
+    }
+    if path.len() < cfg.max_up_down_len {
+        let node = topo.node(cur).expect("AS on path must exist");
+        for (&iface, info) in &node.interfaces {
+            if info.rel != LinkRel::Child {
+                continue;
+            }
+            if path.iter().any(|&(a, _, _)| a == info.neighbor) {
+                continue; // loop-free
+            }
+            path.last_mut().unwrap().2 = iface;
+            dfs_down(topo, cfg, info.neighbor, info.neighbor_iface, path, store);
+        }
+        path.last_mut().unwrap().2 = InterfaceId::LOCAL;
+    }
+    path.pop();
+}
+
+/// DFS over core links from a core AS, registering one core-segment per
+/// simple path (in traversal order start→current).
+fn dfs_core(
+    topo: &Topology,
+    cfg: &BeaconConfig,
+    cur: IsdAsId,
+    entered_through: InterfaceId,
+    path: &mut Vec<(IsdAsId, InterfaceId, InterfaceId)>,
+    store: &mut SegmentStore,
+) {
+    path.push((cur, entered_through, InterfaceId::LOCAL));
+    if path.len() >= 2 {
+        let hops: Vec<SegmentHop> = path
+            .iter()
+            .map(|&(a, ing, eg)| SegmentHop { isd_as: a, ingress: ing, egress: eg })
+            .collect();
+        store.push(Segment::new(SegmentType::Core, hops));
+    }
+    if path.len() < cfg.max_core_len {
+        let node = topo.node(cur).expect("AS on path must exist");
+        for (&iface, info) in &node.interfaces {
+            if info.rel != LinkRel::Core {
+                continue;
+            }
+            if path.iter().any(|&(a, _, _)| a == info.neighbor) {
+                continue;
+            }
+            path.last_mut().unwrap().2 = iface;
+            dfs_core(topo, cfg, info.neighbor, info.neighbor_iface, path, store);
+        }
+        path.last_mut().unwrap().2 = InterfaceId::LOCAL;
+    }
+    path.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::Bandwidth;
+
+    /// ISD 1: core C; C→A→B chain plus C→B direct.
+    fn small_topo() -> (Topology, IsdAsId, IsdAsId, IsdAsId) {
+        let c = IsdAsId::new(1, 1);
+        let a = IsdAsId::new(1, 10);
+        let b = IsdAsId::new(1, 11);
+        let mut t = Topology::new();
+        t.add_as(c, true);
+        t.add_as(a, false);
+        t.add_as(b, false);
+        t.add_link(c, a, Bandwidth::from_gbps(40), LinkRel::Child);
+        t.add_link(a, b, Bandwidth::from_gbps(10), LinkRel::Child);
+        t.add_link(c, b, Bandwidth::from_gbps(20), LinkRel::Child);
+        (t, c, a, b)
+    }
+
+    #[test]
+    fn discovers_up_and_down_segments() {
+        let (t, c, a, b) = small_topo();
+        let store = SegmentStore::discover(&t, BeaconConfig::default());
+        // A has exactly one up-segment to C.
+        let ups_a = store.up_segments(a, c);
+        assert_eq!(ups_a.len(), 1);
+        assert_eq!(ups_a[0].as_path(), vec![a, c]);
+        assert_eq!(ups_a[0].seg_type, SegmentType::Up);
+        // B has two: direct and via A; direct (shorter) sorts first.
+        let ups_b = store.up_segments(b, c);
+        assert_eq!(ups_b.len(), 2);
+        assert_eq!(ups_b[0].as_path(), vec![b, c]);
+        assert_eq!(ups_b[1].as_path(), vec![b, a, c]);
+        // Matching down-segments exist and are the reverses.
+        let downs_b = store.down_segments(c, b);
+        assert_eq!(downs_b.len(), 2);
+        assert_eq!(downs_b[0].as_path(), vec![c, b]);
+        assert_eq!(downs_b[0], ups_b[0].reversed());
+    }
+
+    #[test]
+    fn interfaces_match_topology_links() {
+        let (t, c, a, _) = small_topo();
+        let store = SegmentStore::discover(&t, BeaconConfig::default());
+        let up = &store.up_segments(a, c)[0];
+        // Leaf egress interface must be A's interface on the A–C link.
+        let leaf_hop = up.hops[0];
+        let iface = t.interface(a, leaf_hop.egress).unwrap();
+        assert_eq!(iface.neighbor, c);
+        // Core ingress must be the matching interface on C.
+        assert_eq!(up.hops[1].ingress, iface.neighbor_iface);
+    }
+
+    #[test]
+    fn discovers_core_segments() {
+        let c1 = IsdAsId::new(1, 1);
+        let c2 = IsdAsId::new(2, 1);
+        let c3 = IsdAsId::new(3, 1);
+        let mut t = Topology::new();
+        for c in [c1, c2, c3] {
+            t.add_as(c, true);
+        }
+        t.add_link(c1, c2, Bandwidth::from_gbps(100), LinkRel::Core);
+        t.add_link(c2, c3, Bandwidth::from_gbps(100), LinkRel::Core);
+        let store = SegmentStore::discover(&t, BeaconConfig::default());
+        assert_eq!(store.core_segments(c1, c2).len(), 1);
+        let c1c3 = store.core_segments(c1, c3);
+        assert_eq!(c1c3.len(), 1);
+        assert_eq!(c1c3[0].as_path(), vec![c1, c2, c3]);
+        // Both directions discovered independently.
+        assert_eq!(store.core_segments(c3, c1)[0].as_path(), vec![c3, c2, c1]);
+    }
+
+    #[test]
+    fn respects_length_and_count_limits() {
+        // A long chain: core → a1 → a2 → ... → a9.
+        let core = IsdAsId::new(1, 1);
+        let mut t = Topology::new();
+        t.add_as(core, true);
+        let mut prev = core;
+        let mut leaves = Vec::new();
+        for i in 0..9 {
+            let a = IsdAsId::new(1, 100 + i);
+            t.add_as(a, false);
+            t.add_link(prev, a, Bandwidth::from_gbps(10), LinkRel::Child);
+            leaves.push(a);
+            prev = a;
+        }
+        let cfg = BeaconConfig { max_up_down_len: 4, ..BeaconConfig::default() };
+        let store = SegmentStore::discover(&t, cfg);
+        // Segments exist only for leaves within depth 3 of the core.
+        assert!(!store.up_segments(leaves[2], core).is_empty());
+        assert!(store.up_segments(leaves[3], core).is_empty());
+    }
+
+    #[test]
+    fn no_core_segments_without_core_links() {
+        let (t, c, _, _) = small_topo();
+        let store = SegmentStore::discover(&t, BeaconConfig::default());
+        assert!(store.core_segments(c, c).is_empty());
+    }
+
+    #[test]
+    fn up_segments_from_lists_all_cores() {
+        let c1 = IsdAsId::new(1, 1);
+        let c2 = IsdAsId::new(1, 2);
+        let a = IsdAsId::new(1, 10);
+        let mut t = Topology::new();
+        t.add_as(c1, true);
+        t.add_as(c2, true);
+        t.add_as(a, false);
+        t.add_link(c1, a, Bandwidth::from_gbps(10), LinkRel::Child);
+        t.add_link(c2, a, Bandwidth::from_gbps(10), LinkRel::Child);
+        let store = SegmentStore::discover(&t, BeaconConfig::default());
+        let ups = store.up_segments_from(a);
+        assert_eq!(ups.len(), 2);
+    }
+}

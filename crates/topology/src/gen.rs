@@ -1,0 +1,299 @@
+//! Topology generators: a fixed sample and parameterized synthetic
+//! Internet-like topologies for tests, examples, and benchmarks.
+//!
+//! The paper evaluates on commodity hardware with synthetic workloads; the
+//! generators here stand in for real Internet topologies while preserving
+//! the properties Colibri relies on: an ISD/core hierarchy, path diversity
+//! (multiple cores and inter-core links), and realistic path lengths
+//! (4–5 AS hops on average, per the paper's footnote 3).
+
+use crate::beacon::{BeaconConfig, SegmentStore};
+use crate::graph::{LinkRel, Topology};
+use colibri_base::{Bandwidth, IsdAsId};
+
+/// A generated topology bundled with its beaconed segments and, for the
+/// fixed sample, named landmark ASes.
+#[derive(Debug, Clone)]
+pub struct GeneratedTopology {
+    /// The AS-level graph.
+    pub topo: Topology,
+    /// Segments discovered over it.
+    pub segments: SegmentStore,
+    /// Core AS 1-1.
+    pub core_11: IsdAsId,
+    /// Core AS 1-2.
+    pub core_12: IsdAsId,
+    /// Core AS 2-1.
+    pub core_21: IsdAsId,
+    /// Leaf AS 1-10 ("source" in most examples).
+    pub leaf_a: IsdAsId,
+    /// Leaf AS 1-11.
+    pub leaf_b: IsdAsId,
+    /// Leaf AS 2-20 ("destination" in most examples).
+    pub leaf_d: IsdAsId,
+    /// Leaf AS 2-21.
+    pub leaf_e: IsdAsId,
+}
+
+/// The fixed two-ISD sample used throughout documentation and tests.
+///
+/// ```text
+///   ISD 1                 ISD 2
+///   C11 ══ C12            C21
+///    │  ╲    │          ╱  │
+///    │   ╲   │   core  ╱   │
+///   1-10  ╲  └────────╱    2-21
+///    │     ╲ ┌───────╱
+///   1-11    (C11══C21, C12══C21)
+///                          2-20 (child of C21)
+/// ```
+///
+/// Leaf 1-11 is a customer of leaf 1-10 (a two-level hierarchy), giving
+/// up-segments of length 3.
+pub fn sample_two_isd() -> GeneratedTopology {
+    let core_11 = IsdAsId::new(1, 1);
+    let core_12 = IsdAsId::new(1, 2);
+    let core_21 = IsdAsId::new(2, 1);
+    let leaf_a = IsdAsId::new(1, 10);
+    let leaf_b = IsdAsId::new(1, 11);
+    let leaf_d = IsdAsId::new(2, 20);
+    let leaf_e = IsdAsId::new(2, 21);
+
+    let mut topo = Topology::new();
+    topo.add_as(core_11, true);
+    topo.add_as(core_12, true);
+    topo.add_as(core_21, true);
+    for leaf in [leaf_a, leaf_b, leaf_d, leaf_e] {
+        topo.add_as(leaf, false);
+    }
+    let g40 = Bandwidth::from_gbps(40);
+    let g100 = Bandwidth::from_gbps(100);
+    // Intra-ISD provider links.
+    topo.add_link(core_11, leaf_a, g40, LinkRel::Child);
+    topo.add_link(core_12, leaf_a, g40, LinkRel::Child);
+    topo.add_link(leaf_a, leaf_b, Bandwidth::from_gbps(10), LinkRel::Child);
+    topo.add_link(core_11, leaf_b, g40, LinkRel::Child);
+    topo.add_link(core_21, leaf_d, g40, LinkRel::Child);
+    topo.add_link(core_21, leaf_e, g40, LinkRel::Child);
+    // Core mesh.
+    topo.add_link(core_11, core_12, g100, LinkRel::Core);
+    topo.add_link(core_11, core_21, g100, LinkRel::Core);
+    topo.add_link(core_12, core_21, g100, LinkRel::Core);
+
+    let segments = SegmentStore::discover(&topo, BeaconConfig::default());
+    GeneratedTopology { topo, segments, core_11, core_12, core_21, leaf_a, leaf_b, leaf_d, leaf_e }
+}
+
+/// Parameters for [`internet_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct InternetConfig {
+    /// Number of ISDs.
+    pub isds: u16,
+    /// Core ASes per ISD.
+    pub cores_per_isd: u32,
+    /// Non-core ASes per ISD.
+    pub leaves_per_isd: u32,
+    /// Providers each leaf connects to (≥ 1).
+    pub providers_per_leaf: u32,
+    /// Capacity of core links.
+    pub core_capacity: Bandwidth,
+    /// Capacity of provider links.
+    pub provider_capacity: Bandwidth,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        Self {
+            isds: 3,
+            cores_per_isd: 2,
+            leaves_per_isd: 8,
+            providers_per_leaf: 2,
+            core_capacity: Bandwidth::from_gbps(100),
+            provider_capacity: Bandwidth::from_gbps(40),
+        }
+    }
+}
+
+/// Tiny deterministic PRNG (xorshift64*) so generators do not depend on the
+/// `rand` crate from library code.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Generates a connected, hierarchical, Internet-like topology:
+///
+/// * cores within an ISD are fully meshed;
+/// * ISDs are connected in a ring of core links plus random chords;
+/// * the first half of each ISD's leaves attach to cores ("tier 2"), the
+///   rest attach to tier-2 leaves ("tier 3"), giving 3–5-hop paths;
+/// * every leaf gets `providers_per_leaf` distinct providers where
+///   possible, creating path diversity.
+///
+/// Deterministic in `seed`.
+pub fn internet_like(cfg: &InternetConfig, seed: u64) -> GeneratedTopology {
+    assert!(cfg.isds >= 1 && cfg.cores_per_isd >= 1 && cfg.providers_per_leaf >= 1);
+    let mut rng = XorShift::new(seed);
+    let mut topo = Topology::new();
+
+    let core_id = |isd: u16, i: u32| IsdAsId::new(isd, 1 + i);
+    let leaf_id = |isd: u16, i: u32| IsdAsId::new(isd, 100 + i);
+
+    for isd in 1..=cfg.isds {
+        for i in 0..cfg.cores_per_isd {
+            topo.add_as(core_id(isd, i), true);
+        }
+        for i in 0..cfg.leaves_per_isd {
+            topo.add_as(leaf_id(isd, i), false);
+        }
+    }
+    // Core full mesh within each ISD.
+    for isd in 1..=cfg.isds {
+        for i in 0..cfg.cores_per_isd {
+            for j in (i + 1)..cfg.cores_per_isd {
+                topo.add_link(core_id(isd, i), core_id(isd, j), cfg.core_capacity, LinkRel::Core);
+            }
+        }
+    }
+    // Inter-ISD ring + chords.
+    if cfg.isds > 1 {
+        for isd in 1..=cfg.isds {
+            let next = if isd == cfg.isds { 1 } else { isd + 1 };
+            topo.add_link(core_id(isd, 0), core_id(next, 0), cfg.core_capacity, LinkRel::Core);
+        }
+        let chords = cfg.isds as u64 / 2;
+        for _ in 0..chords {
+            let a = 1 + rng.below(cfg.isds as u64) as u16;
+            let b = 1 + rng.below(cfg.isds as u64) as u16;
+            if a == b || (a as i32 - b as i32).abs() == 1 {
+                continue;
+            }
+            let ai = rng.below(cfg.cores_per_isd as u64) as u32;
+            let bi = rng.below(cfg.cores_per_isd as u64) as u32;
+            topo.add_link(core_id(a, ai), core_id(b, bi), cfg.core_capacity, LinkRel::Core);
+        }
+    }
+    // Leaves: first half under cores (tier 2), second half under tier 2.
+    for isd in 1..=cfg.isds {
+        let tier2 = cfg.leaves_per_isd.div_ceil(2);
+        for i in 0..cfg.leaves_per_isd {
+            let leaf = leaf_id(isd, i);
+            let mut providers: Vec<IsdAsId> = Vec::new();
+            for _ in 0..cfg.providers_per_leaf {
+                let p = if i < tier2 || tier2 == 0 {
+                    core_id(isd, rng.below(cfg.cores_per_isd as u64) as u32)
+                } else {
+                    leaf_id(isd, rng.below(tier2 as u64) as u32)
+                };
+                if !providers.contains(&p) {
+                    providers.push(p);
+                }
+            }
+            for p in providers {
+                topo.add_link(p, leaf, cfg.provider_capacity, LinkRel::Child);
+            }
+        }
+    }
+    let segments = SegmentStore::discover(&topo, BeaconConfig::default());
+    GeneratedTopology {
+        topo,
+        segments,
+        core_11: core_id(1, 0),
+        core_12: core_id(1, cfg.cores_per_isd.saturating_sub(1)),
+        core_21: core_id(cfg.isds.min(2), 0),
+        leaf_a: leaf_id(1, 0),
+        leaf_b: leaf_id(1, cfg.leaves_per_isd.saturating_sub(1)),
+        leaf_d: leaf_id(cfg.isds.min(2), 0),
+        leaf_e: leaf_id(cfg.isds.min(2), cfg.leaves_per_isd.saturating_sub(1)),
+    }
+}
+
+/// A single-ISD chain `core → a₁ → a₂ → … → a_{n−1}` used by the data-plane
+/// benchmarks, which sweep over path length (Fig. 5 uses 2–16 on-path
+/// ASes). Returns the topology plus the deepest leaf; the unique up-segment
+/// from that leaf has exactly `n` ASes.
+pub fn chain_topology(n: usize, capacity: Bandwidth) -> (Topology, SegmentStore, IsdAsId, IsdAsId) {
+    assert!(n >= 2, "a chain needs at least two ASes");
+    let core = IsdAsId::new(1, 1);
+    let mut topo = Topology::new();
+    topo.add_as(core, true);
+    let mut prev = core;
+    let mut deepest = core;
+    for i in 1..n {
+        let a = IsdAsId::new(1, 100 + i as u32);
+        topo.add_as(a, false);
+        topo.add_link(prev, a, capacity, LinkRel::Child);
+        prev = a;
+        deepest = a;
+    }
+    let cfg = BeaconConfig { max_up_down_len: n, max_core_len: 2, max_per_pair: 2 };
+    let segments = SegmentStore::discover(&topo, cfg);
+    (topo, segments, deepest, core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_consistent() {
+        let s = sample_two_isd();
+        assert_eq!(s.topo.len(), 7);
+        assert!(s.topo.is_core(s.core_11));
+        assert!(!s.topo.is_core(s.leaf_a));
+        assert!(!s.segments.is_empty());
+        // leaf_b has an up-segment through leaf_a and a direct one.
+        assert!(!s.segments.up_segments(s.leaf_b, s.core_11).is_empty());
+    }
+
+    #[test]
+    fn internet_like_deterministic() {
+        let cfg = InternetConfig::default();
+        let a = internet_like(&cfg, 7);
+        let b = internet_like(&cfg, 7);
+        assert_eq!(a.topo.len(), b.topo.len());
+        assert_eq!(a.topo.link_count(), b.topo.link_count());
+        assert_eq!(a.segments.len(), b.segments.len());
+        let c = internet_like(&cfg, 8);
+        assert_eq!(a.topo.len(), c.topo.len()); // same node set
+    }
+
+    #[test]
+    fn internet_like_sizes() {
+        let cfg = InternetConfig { isds: 4, cores_per_isd: 3, leaves_per_isd: 10, ..Default::default() };
+        let g = internet_like(&cfg, 1);
+        assert_eq!(g.topo.len(), 4 * (3 + 10));
+        assert_eq!(g.topo.all_core_ases().len(), 12);
+    }
+
+    #[test]
+    fn chain_has_full_length_segment() {
+        for n in [2usize, 4, 8, 16] {
+            let (_, store, leaf, core) = chain_topology(n, Bandwidth::from_gbps(40));
+            let ups = store.up_segments(leaf, core);
+            assert!(!ups.is_empty(), "n={n}");
+            assert_eq!(ups[0].len(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn chain_rejects_n1() {
+        chain_topology(1, Bandwidth::from_gbps(1));
+    }
+}

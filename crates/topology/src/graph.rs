@@ -1,0 +1,262 @@
+//! The inter-domain topology graph: ASes, interfaces, and links.
+//!
+//! Interfaces follow SCION's model (paper §2.2): each AS numbers its own
+//! inter-domain interfaces independently; a link is a pair of (AS,
+//! interface) endpoints with a capacity. Link relationships follow the
+//! standard Internet model — provider/customer inside an ISD and core links
+//! between core ASes — because SCION's beaconing (and therefore the set of
+//! valid segments) is defined over them.
+
+use colibri_base::{Bandwidth, InterfaceId, IsdAsId, IsdId};
+use std::collections::BTreeMap;
+
+/// The business/topology relationship of a link, as seen from one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkRel {
+    /// The neighbor is this AS's provider (towards the core).
+    Parent,
+    /// The neighbor is this AS's customer (away from the core).
+    Child,
+    /// Core-to-core link (between core ASes only).
+    Core,
+    /// Peering link (not used by beaconing in this implementation, but
+    /// representable so topologies can include it).
+    Peer,
+}
+
+impl LinkRel {
+    /// The same link as seen from the other endpoint.
+    pub fn inverse(self) -> LinkRel {
+        match self {
+            LinkRel::Parent => LinkRel::Child,
+            LinkRel::Child => LinkRel::Parent,
+            LinkRel::Core => LinkRel::Core,
+            LinkRel::Peer => LinkRel::Peer,
+        }
+    }
+}
+
+/// One inter-domain interface of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interface {
+    /// The AS on the other end of the link.
+    pub neighbor: IsdAsId,
+    /// The neighbor's interface for this link.
+    pub neighbor_iface: InterfaceId,
+    /// Link capacity (full physical capacity; the Colibri traffic split is
+    /// applied by the control plane, not stored here).
+    pub capacity: Bandwidth,
+    /// Relationship towards the neighbor.
+    pub rel: LinkRel,
+}
+
+/// Per-AS node data.
+#[derive(Debug, Clone, Default)]
+pub struct AsNode {
+    /// Whether this is a core AS of its ISD.
+    pub core: bool,
+    /// Interfaces, keyed by this AS's own interface IDs.
+    /// `BTreeMap` keeps iteration deterministic.
+    pub interfaces: BTreeMap<InterfaceId, Interface>,
+    next_iface: u16,
+}
+
+impl AsNode {
+    fn alloc_iface(&mut self) -> InterfaceId {
+        self.next_iface += 1;
+        InterfaceId(self.next_iface)
+    }
+}
+
+/// The global topology: the substrate over which segments are beaconed and
+/// reservations are made.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: BTreeMap<IsdAsId, AsNode>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an AS. Panics if it already exists.
+    pub fn add_as(&mut self, id: IsdAsId, core: bool) {
+        let prev = self.nodes.insert(id, AsNode { core, ..AsNode::default() });
+        assert!(prev.is_none(), "AS {id} added twice");
+    }
+
+    /// Connects two ASes with a bidirectional link of the given capacity.
+    ///
+    /// `rel` is the relationship *from `a`'s point of view* (e.g.
+    /// `LinkRel::Child` means `b` is `a`'s customer). Interface IDs are
+    /// allocated automatically on both sides and returned as
+    /// `(a_iface, b_iface)`.
+    ///
+    /// # Panics
+    /// Panics if either AS is missing, or if a `Core` link is requested
+    /// between non-core ASes (beaconing depends on this invariant).
+    pub fn add_link(
+        &mut self,
+        a: IsdAsId,
+        b: IsdAsId,
+        capacity: Bandwidth,
+        rel: LinkRel,
+    ) -> (InterfaceId, InterfaceId) {
+        assert!(a != b, "self-links not allowed");
+        if rel == LinkRel::Core {
+            assert!(
+                self.is_core(a) && self.is_core(b),
+                "core links must connect core ASes ({a} – {b})"
+            );
+        }
+        let ia = self.nodes.get_mut(&a).unwrap_or_else(|| panic!("unknown AS {a}")).alloc_iface();
+        let ib = self.nodes.get_mut(&b).unwrap_or_else(|| panic!("unknown AS {b}")).alloc_iface();
+        self.nodes.get_mut(&a).unwrap().interfaces.insert(
+            ia,
+            Interface { neighbor: b, neighbor_iface: ib, capacity, rel },
+        );
+        self.nodes.get_mut(&b).unwrap().interfaces.insert(
+            ib,
+            Interface { neighbor: a, neighbor_iface: ia, capacity, rel: rel.inverse() },
+        );
+        (ia, ib)
+    }
+
+    /// Whether `id` exists in the topology.
+    pub fn contains(&self, id: IsdAsId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Whether `id` is a core AS. Panics on unknown AS.
+    pub fn is_core(&self, id: IsdAsId) -> bool {
+        self.nodes.get(&id).unwrap_or_else(|| panic!("unknown AS {id}")).core
+    }
+
+    /// The node data for `id`.
+    pub fn node(&self, id: IsdAsId) -> Option<&AsNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Looks up one interface of an AS.
+    pub fn interface(&self, id: IsdAsId, iface: InterfaceId) -> Option<&Interface> {
+        self.nodes.get(&id)?.interfaces.get(&iface)
+    }
+
+    /// All AS identifiers, in deterministic order.
+    pub fn as_ids(&self) -> impl Iterator<Item = IsdAsId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// The core ASes of `isd`, in deterministic order.
+    pub fn core_ases(&self, isd: IsdId) -> Vec<IsdAsId> {
+        self.nodes
+            .iter()
+            .filter(|(id, n)| id.isd == isd && n.core)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All core ASes across all ISDs.
+    pub fn all_core_ases(&self) -> Vec<IsdAsId> {
+        self.nodes.iter().filter(|(_, n)| n.core).map(|(id, _)| *id).collect()
+    }
+
+    /// All ISDs present.
+    pub fn isds(&self) -> Vec<IsdId> {
+        let mut v: Vec<IsdId> = self.nodes.keys().map(|id| id.isd).collect();
+        v.dedup();
+        v
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of links (each counted once).
+    pub fn link_count(&self) -> usize {
+        self.nodes.values().map(|n| n.interfaces.len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (IsdAsId, IsdAsId, IsdAsId) {
+        (IsdAsId::new(1, 1), IsdAsId::new(1, 10), IsdAsId::new(1, 11))
+    }
+
+    #[test]
+    fn build_small_topology() {
+        let (core, a, b) = ids();
+        let mut t = Topology::new();
+        t.add_as(core, true);
+        t.add_as(a, false);
+        t.add_as(b, false);
+        let (ci, ai) = t.add_link(core, a, Bandwidth::from_gbps(40), LinkRel::Child);
+        t.add_link(a, b, Bandwidth::from_gbps(10), LinkRel::Child);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert!(t.is_core(core));
+        assert!(!t.is_core(a));
+        let iface = t.interface(core, ci).unwrap();
+        assert_eq!(iface.neighbor, a);
+        assert_eq!(iface.neighbor_iface, ai);
+        assert_eq!(iface.rel, LinkRel::Child);
+        let back = t.interface(a, ai).unwrap();
+        assert_eq!(back.neighbor, core);
+        assert_eq!(back.rel, LinkRel::Parent);
+        assert_eq!(back.capacity, Bandwidth::from_gbps(40));
+    }
+
+    #[test]
+    fn interface_ids_unique_per_as() {
+        let (core, a, b) = ids();
+        let mut t = Topology::new();
+        t.add_as(core, true);
+        t.add_as(a, false);
+        t.add_as(b, false);
+        let (i1, _) = t.add_link(core, a, Bandwidth::from_gbps(1), LinkRel::Child);
+        let (i2, _) = t.add_link(core, b, Bandwidth::from_gbps(1), LinkRel::Child);
+        assert_ne!(i1, i2);
+        assert!(!i1.is_local() && !i2.is_local());
+    }
+
+    #[test]
+    fn core_as_listing() {
+        let mut t = Topology::new();
+        t.add_as(IsdAsId::new(1, 1), true);
+        t.add_as(IsdAsId::new(1, 2), true);
+        t.add_as(IsdAsId::new(1, 10), false);
+        t.add_as(IsdAsId::new(2, 1), true);
+        assert_eq!(t.core_ases(IsdId(1)), vec![IsdAsId::new(1, 1), IsdAsId::new(1, 2)]);
+        assert_eq!(t.all_core_ases().len(), 3);
+        assert_eq!(t.isds(), vec![IsdId(1), IsdId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "core links must connect core ASes")]
+    fn rejects_core_link_to_leaf() {
+        let (core, a, _) = ids();
+        let mut t = Topology::new();
+        t.add_as(core, true);
+        t.add_as(a, false);
+        t.add_link(core, a, Bandwidth::from_gbps(1), LinkRel::Core);
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn rejects_duplicate_as() {
+        let mut t = Topology::new();
+        t.add_as(IsdAsId::new(1, 1), true);
+        t.add_as(IsdAsId::new(1, 1), false);
+    }
+}

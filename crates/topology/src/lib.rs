@@ -1,0 +1,30 @@
+//! SCION-style path-aware networking substrate for Colibri (paper §2.1–2.2).
+//!
+//! Colibri does not run over today's BGP Internet: it requires path
+//! stability, path choice, and the ISD/segment decomposition of SCION.
+//! This crate provides that substrate from scratch:
+//!
+//! * [`graph`] — ASes, interfaces, capacity-annotated links;
+//! * [`segment`] — up-/down-/core-path segments with per-hop interfaces;
+//! * [`beacon`] — deterministic segment discovery (the steady-state
+//!   outcome of SCION beaconing);
+//! * [`mod@stitch`] — combining ≤ 3 segments into end-to-end paths, with
+//!   shortcut support;
+//! * [`paths`] — candidate-path enumeration ("path choice");
+//! * [`gen`] — sample and synthetic Internet-like topology generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beacon;
+pub mod gen;
+pub mod graph;
+pub mod paths;
+pub mod segment;
+pub mod stitch;
+
+pub use beacon::{BeaconConfig, SegmentStore};
+pub use graph::{AsNode, Interface, LinkRel, Topology};
+pub use paths::find_paths;
+pub use segment::{Segment, SegmentHop, SegmentType};
+pub use stitch::{shortcut_up_down, stitch, FullPath, PathHop, StitchError};

@@ -1,0 +1,215 @@
+//! End-to-end path lookup: the "path choice" primitive (paper §2.1).
+//!
+//! Given the beaconed [`SegmentStore`], this module enumerates candidate
+//! end-to-end paths between two ASes by combining segments, including
+//! shortcut variants. Colibri uses the candidate list for reservation
+//! setup: if admission fails on the first path, the initiator retries on
+//! the alternatives — exactly the fallback the paper credits path-aware
+//! networking for.
+
+use crate::beacon::SegmentStore;
+use crate::graph::Topology;
+use crate::segment::Segment;
+use crate::stitch::{shortcut_up_down, stitch, FullPath};
+use colibri_base::IsdAsId;
+use std::collections::HashSet;
+
+/// Enumerates up to `k` candidate paths from `src` to `dst`, shortest
+/// first. Returns an empty vector when the ASes are not connected (or
+/// identical — intra-AS traffic needs no inter-domain reservation).
+pub fn find_paths(
+    topo: &Topology,
+    store: &SegmentStore,
+    src: IsdAsId,
+    dst: IsdAsId,
+    k: usize,
+) -> Vec<FullPath> {
+    if src == dst || !topo.contains(src) || !topo.contains(dst) {
+        return Vec::new();
+    }
+    let mut candidates: Vec<Vec<Segment>> = Vec::new();
+    match (topo.is_core(src), topo.is_core(dst)) {
+        (true, true) => {
+            for cs in store.core_segments(src, dst) {
+                candidates.push(vec![cs.clone()]);
+            }
+        }
+        (true, false) => {
+            for down in store.down_segments_to(dst) {
+                let c_d = down.first_as();
+                if c_d == src {
+                    candidates.push(vec![down.clone()]);
+                } else {
+                    for cs in store.core_segments(src, c_d) {
+                        candidates.push(vec![cs.clone(), down.clone()]);
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            for up in store.up_segments_from(src) {
+                let c_s = up.last_as();
+                if c_s == dst {
+                    candidates.push(vec![up.clone()]);
+                } else {
+                    for cs in store.core_segments(c_s, dst) {
+                        candidates.push(vec![up.clone(), cs.clone()]);
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            // Ancestor/descendant pairs: the destination may lie *on* one
+            // of the source's segments (or vice versa); the path is then a
+            // prefix/suffix of a single segment — no core detour needed.
+            for up in store.up_segments_from(src) {
+                if let Some(i) = up.position_of(dst) {
+                    if i >= 1 && i + 1 < up.len() {
+                        candidates.push(vec![up.prefix(i)]);
+                    }
+                }
+            }
+            for down in store.down_segments_to(dst) {
+                if let Some(j) = down.position_of(src) {
+                    if j >= 1 && j + 1 < down.len() {
+                        candidates.push(vec![down.suffix(j)]);
+                    }
+                }
+            }
+            for up in store.up_segments_from(src) {
+                let c_s = up.last_as();
+                for down in store.down_segments_to(dst) {
+                    let c_d = down.first_as();
+                    if c_s == c_d {
+                        candidates.push(vec![up.clone(), down.clone()]);
+                        if let Some((u, d)) = shortcut_up_down(up, down) {
+                            candidates.push(vec![u, d]);
+                        }
+                    } else {
+                        for cs in store.core_segments(c_s, c_d) {
+                            candidates.push(vec![up.clone(), cs.clone(), down.clone()]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<FullPath> = Vec::new();
+    let mut seen: HashSet<Vec<IsdAsId>> = HashSet::new();
+    for segs in candidates {
+        if let Ok(path) = stitch(&segs) {
+            if seen.insert(path.as_path()) {
+                out.push(path);
+            }
+        }
+    }
+    out.sort_by_key(|p| (p.len(), p.as_path()));
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon::BeaconConfig;
+    use crate::gen;
+
+    #[test]
+    fn paths_in_sample_topology() {
+        let s = gen::sample_two_isd();
+        // Leaf 1-10 to leaf 2-20: needs up + core + down.
+        let paths = find_paths(&s.topo, &s.segments, s.leaf_a, s.leaf_d, 8);
+        assert!(!paths.is_empty());
+        let p = &paths[0];
+        assert_eq!(p.src_as(), s.leaf_a);
+        assert_eq!(p.dst_as(), s.leaf_d);
+        assert!(p.len() >= 3);
+        // Every returned candidate is loop-free and correctly terminated.
+        for p in &paths {
+            let set: HashSet<_> = p.as_path().into_iter().collect();
+            assert_eq!(set.len(), p.len());
+            assert!(p.hops[0].field.ingress.is_local());
+            assert!(p.hops[p.len() - 1].field.egress.is_local());
+        }
+    }
+
+    #[test]
+    fn multiple_path_choice() {
+        let s = gen::sample_two_isd();
+        // Two cores in ISD 1 and two inter-ISD core links ⇒ several options.
+        let paths = find_paths(&s.topo, &s.segments, s.leaf_a, s.leaf_d, 8);
+        assert!(paths.len() >= 2, "expected path diversity, got {}", paths.len());
+        // Sorted by length.
+        for w in paths.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn intra_isd_leaf_to_leaf() {
+        let s = gen::sample_two_isd();
+        let paths = find_paths(&s.topo, &s.segments, s.leaf_a, s.leaf_b, 8);
+        assert!(!paths.is_empty());
+        assert_eq!(paths[0].src_as(), s.leaf_a);
+        assert_eq!(paths[0].dst_as(), s.leaf_b);
+    }
+
+    #[test]
+    fn leaf_to_core_and_back() {
+        let s = gen::sample_two_isd();
+        let up = find_paths(&s.topo, &s.segments, s.leaf_a, s.core_21, 4);
+        assert!(!up.is_empty());
+        let down = find_paths(&s.topo, &s.segments, s.core_21, s.leaf_a, 4);
+        assert!(!down.is_empty());
+    }
+
+    #[test]
+    fn core_to_core() {
+        let s = gen::sample_two_isd();
+        let paths = find_paths(&s.topo, &s.segments, s.core_11, s.core_21, 4);
+        assert!(!paths.is_empty());
+        assert_eq!(paths[0].len(), 2);
+    }
+
+    #[test]
+    fn same_as_yields_nothing() {
+        let s = gen::sample_two_isd();
+        assert!(find_paths(&s.topo, &s.segments, s.leaf_a, s.leaf_a, 4).is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let s = gen::sample_two_isd();
+        let all = find_paths(&s.topo, &s.segments, s.leaf_a, s.leaf_d, 100);
+        let one = find_paths(&s.topo, &s.segments, s.leaf_a, s.leaf_d, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], all[0]);
+    }
+
+    #[test]
+    fn random_topology_connectivity() {
+        let s = gen::internet_like(&gen::InternetConfig::default(), 0xC011B1);
+        let ids: Vec<_> = s.topo.as_ids().collect();
+        // Every leaf can reach every core-AS of its own ISD.
+        let mut checked = 0;
+        for &a in &ids {
+            if s.topo.is_core(a) {
+                continue;
+            }
+            for c in s.topo.core_ases(a.isd) {
+                let paths = find_paths(&s.topo, &s.segments, a, c, 2);
+                assert!(!paths.is_empty(), "{a} cannot reach its core {c}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn discovery_respects_config() {
+        let s = gen::sample_two_isd();
+        let tight = SegmentStore::discover(&s.topo, BeaconConfig { max_per_pair: 1, ..BeaconConfig::default() });
+        assert!(tight.len() <= s.segments.len());
+    }
+}

@@ -1,0 +1,258 @@
+//! SCION path segments (paper §2.2).
+//!
+//! SCION decomposes global routing into three sub-problems, each producing
+//! a different segment type:
+//!
+//! * **up-segments** — from a non-core AS towards a core AS of its ISD;
+//! * **down-segments** — from a core AS towards a non-core AS;
+//! * **core-segments** — between core ASes, possibly across ISDs.
+//!
+//! A segment is stored in *traversal order*: the first hop is the segment's
+//! initiator. Each hop records the interfaces through which traffic
+//! flowing along the segment enters and leaves the AS; the first hop's
+//! ingress and the last hop's egress are [`InterfaceId::LOCAL`].
+//!
+//! Colibri SegRs are made over exactly these segments, so their shape —
+//! and in particular the per-AS ingress/egress interface pairs — carries
+//! over verbatim into reservation state and packet headers.
+
+use colibri_base::{InterfaceId, IsdAsId};
+use colibri_wire::HopField;
+use serde::{Deserialize, Serialize};
+
+/// The three segment types (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentType {
+    /// Non-core AS → core AS, within one ISD.
+    Up,
+    /// Core AS → non-core AS, within one ISD.
+    Down,
+    /// Core AS → core AS, possibly across ISDs.
+    Core,
+}
+
+impl std::fmt::Display for SegmentType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentType::Up => write!(f, "up"),
+            SegmentType::Down => write!(f, "down"),
+            SegmentType::Core => write!(f, "core"),
+        }
+    }
+}
+
+/// One AS on a segment, with its traversal-direction interfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentHop {
+    /// The AS this hop belongs to.
+    pub isd_as: IsdAsId,
+    /// Interface through which segment traffic enters this AS
+    /// (`LOCAL` for the segment initiator).
+    pub ingress: InterfaceId,
+    /// Interface through which segment traffic leaves this AS
+    /// (`LOCAL` for the segment terminator).
+    pub egress: InterfaceId,
+}
+
+impl SegmentHop {
+    /// The data-plane hop field for this hop.
+    pub fn hop_field(&self) -> HopField {
+        HopField { ingress: self.ingress, egress: self.egress }
+    }
+}
+
+/// A path segment: an ordered list of AS hops of one [`SegmentType`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// The segment's type.
+    pub seg_type: SegmentType,
+    /// Hops in traversal order (≥ 2 for inter-AS segments; a single-hop
+    /// segment would be intra-AS and is not represented).
+    pub hops: Vec<SegmentHop>,
+}
+
+impl Segment {
+    /// Creates a segment after validating its internal consistency.
+    ///
+    /// # Panics
+    /// Panics if the hop interfaces violate the segment invariants; segments
+    /// are only constructed by the beaconing process and generators, so a
+    /// violation is a programming error, not input to be handled.
+    pub fn new(seg_type: SegmentType, hops: Vec<SegmentHop>) -> Self {
+        assert!(hops.len() >= 2, "segment must span at least two ASes");
+        assert!(hops.first().unwrap().ingress.is_local(), "first hop ingress must be LOCAL");
+        assert!(hops.last().unwrap().egress.is_local(), "last hop egress must be LOCAL");
+        for (i, h) in hops.iter().enumerate() {
+            if i > 0 {
+                assert!(!h.ingress.is_local(), "interior ingress must be a real interface");
+            }
+            if i + 1 < hops.len() {
+                assert!(!h.egress.is_local(), "interior egress must be a real interface");
+            }
+        }
+        Self { seg_type, hops }
+    }
+
+    /// The initiating AS (first hop).
+    pub fn first_as(&self) -> IsdAsId {
+        self.hops[0].isd_as
+    }
+
+    /// The terminating AS (last hop).
+    pub fn last_as(&self) -> IsdAsId {
+        self.hops[self.hops.len() - 1].isd_as
+    }
+
+    /// Number of ASes on the segment.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Always false — segments have at least two hops.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `isd_as` appears on this segment, and at which index.
+    pub fn position_of(&self, isd_as: IsdAsId) -> Option<usize> {
+        self.hops.iter().position(|h| h.isd_as == isd_as)
+    }
+
+    /// The same AS-level path traversed in the opposite direction, with the
+    /// complementary type (up ↔ down; core stays core). This is how SCION
+    /// derives a down-segment from the beacon that discovered the
+    /// up-segment.
+    pub fn reversed(&self) -> Segment {
+        let seg_type = match self.seg_type {
+            SegmentType::Up => SegmentType::Down,
+            SegmentType::Down => SegmentType::Up,
+            SegmentType::Core => SegmentType::Core,
+        };
+        let hops = self
+            .hops
+            .iter()
+            .rev()
+            .map(|h| SegmentHop { isd_as: h.isd_as, ingress: h.egress, egress: h.ingress })
+            .collect();
+        Segment::new(seg_type, hops)
+    }
+
+    /// The data-plane hop fields in traversal order.
+    pub fn hop_fields(&self) -> Vec<HopField> {
+        self.hops.iter().map(|h| h.hop_field()).collect()
+    }
+
+    /// The AS identifiers in traversal order.
+    pub fn as_path(&self) -> Vec<IsdAsId> {
+        self.hops.iter().map(|h| h.isd_as).collect()
+    }
+
+    /// Truncates the segment after hop index `end` (inclusive), keeping the
+    /// prefix and terminating it locally. Used for shortcut construction.
+    pub fn prefix(&self, end: usize) -> Segment {
+        assert!(end >= 1 && end < self.hops.len());
+        let mut hops: Vec<SegmentHop> = self.hops[..=end].to_vec();
+        hops.last_mut().unwrap().egress = InterfaceId::LOCAL;
+        Segment::new(self.seg_type, hops)
+    }
+
+    /// Keeps the suffix starting at hop index `start` (inclusive), making it
+    /// the new initiator. Used for shortcut construction.
+    pub fn suffix(&self, start: usize) -> Segment {
+        assert!(start + 1 < self.hops.len());
+        let mut hops: Vec<SegmentHop> = self.hops[start..].to_vec();
+        hops.first_mut().unwrap().ingress = InterfaceId::LOCAL;
+        Segment::new(self.seg_type, hops)
+    }
+}
+
+impl std::fmt::Display for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[", self.seg_type)?;
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{}", h.isd_as)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment::new(
+            SegmentType::Up,
+            vec![
+                SegmentHop { isd_as: IsdAsId::new(1, 10), ingress: InterfaceId::LOCAL, egress: InterfaceId(1) },
+                SegmentHop { isd_as: IsdAsId::new(1, 5), ingress: InterfaceId(3), egress: InterfaceId(4) },
+                SegmentHop { isd_as: IsdAsId::new(1, 1), ingress: InterfaceId(2), egress: InterfaceId::LOCAL },
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let s = seg();
+        assert_eq!(s.first_as(), IsdAsId::new(1, 10));
+        assert_eq!(s.last_as(), IsdAsId::new(1, 1));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.position_of(IsdAsId::new(1, 5)), Some(1));
+        assert_eq!(s.position_of(IsdAsId::new(9, 9)), None);
+        assert_eq!(s.as_path(), vec![IsdAsId::new(1, 10), IsdAsId::new(1, 5), IsdAsId::new(1, 1)]);
+    }
+
+    #[test]
+    fn reverse_flips_type_and_interfaces() {
+        let s = seg();
+        let r = s.reversed();
+        assert_eq!(r.seg_type, SegmentType::Down);
+        assert_eq!(r.first_as(), s.last_as());
+        assert_eq!(r.hops[1].ingress, s.hops[1].egress);
+        assert_eq!(r.hops[1].egress, s.hops[1].ingress);
+        // Double reversal is identity.
+        assert_eq!(r.reversed(), s);
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        let s = seg();
+        let p = s.prefix(1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.last_as(), IsdAsId::new(1, 5));
+        assert!(p.hops[1].egress.is_local());
+        let q = s.suffix(1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.first_as(), IsdAsId::new(1, 5));
+        assert!(q.hops[0].ingress.is_local());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_hop() {
+        Segment::new(
+            SegmentType::Up,
+            vec![SegmentHop {
+                isd_as: IsdAsId::new(1, 1),
+                ingress: InterfaceId::LOCAL,
+                egress: InterfaceId::LOCAL,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "first hop ingress")]
+    fn rejects_nonlocal_start() {
+        let mut hops = seg().hops;
+        hops[0].ingress = InterfaceId(9);
+        Segment::new(SegmentType::Up, hops);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(seg().to_string(), "up[1-10 → 1-5 → 1-1]");
+    }
+}

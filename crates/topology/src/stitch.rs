@@ -1,0 +1,356 @@
+//! Combining path segments into end-to-end paths (paper §2.2, §3.3).
+//!
+//! A source host combines at most one up-, one core-, and one down-segment
+//! into a full path. The junction AS where two segments meet is Colibri's
+//! *transfer AS* (§4.1); it appears once on the merged path, with its
+//! ingress taken from the first segment and its egress from the second.
+//!
+//! Shortcuts: when the up- and down-segment cross at a common non-core AS,
+//! the path may cut over at that AS instead of climbing to the core
+//! (`shortcut_up_down`), avoiding the inefficiency of strictly hierarchical
+//! routing.
+
+use crate::segment::{Segment, SegmentType};
+use colibri_base::IsdAsId;
+use colibri_wire::HopField;
+use std::collections::HashSet;
+
+/// One AS on an end-to-end path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathHop {
+    /// The AS.
+    pub isd_as: IsdAsId,
+    /// Its data-plane ingress/egress interface pair.
+    pub field: HopField,
+}
+
+/// A fully stitched end-to-end path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullPath {
+    /// The ASes in forwarding order; `hops[0]` is the source AS.
+    pub hops: Vec<PathHop>,
+    /// Indices into `hops` of the transfer ASes (segment junctions).
+    pub junctions: Vec<usize>,
+    /// The segments this path was stitched from, in order.
+    pub segments: Vec<Segment>,
+}
+
+impl FullPath {
+    /// The source AS.
+    pub fn src_as(&self) -> IsdAsId {
+        self.hops[0].isd_as
+    }
+
+    /// The destination AS.
+    pub fn dst_as(&self) -> IsdAsId {
+        self.hops[self.hops.len() - 1].isd_as
+    }
+
+    /// Number of on-path ASes.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Paths always have at least two hops.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The packet-carried hop fields, in order.
+    pub fn hop_fields(&self) -> Vec<HopField> {
+        self.hops.iter().map(|h| h.field).collect()
+    }
+
+    /// The AS sequence.
+    pub fn as_path(&self) -> Vec<IsdAsId> {
+        self.hops.iter().map(|h| h.isd_as).collect()
+    }
+
+    /// For each hop index, the index (into `segments`) of the segment that
+    /// admitted it. Transfer hops belong to the *earlier* segment here;
+    /// admission logic treats them specially anyway (they must check both).
+    pub fn segment_of_hop(&self, hop: usize) -> usize {
+        let mut seg = 0;
+        for &j in &self.junctions {
+            if hop > j {
+                seg += 1;
+            }
+        }
+        seg
+    }
+}
+
+impl std::fmt::Display for FullPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            let mark = if self.junctions.contains(&i) { "*" } else { "" };
+            write!(f, "{}{}", h.isd_as, mark)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from segment stitching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// No segments supplied, or more than three.
+    BadSegmentCount(usize),
+    /// The segment types cannot appear in this order.
+    BadTypeOrder(Vec<SegmentType>),
+    /// Adjacent segments do not meet at a common AS.
+    JunctionMismatch {
+        /// Last AS of the earlier segment.
+        end: IsdAsId,
+        /// First AS of the later segment.
+        start: IsdAsId,
+    },
+    /// The merged path would visit an AS twice.
+    Loop(IsdAsId),
+}
+
+impl std::fmt::Display for StitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StitchError::BadSegmentCount(n) => write!(f, "need 1–3 segments, got {n}"),
+            StitchError::BadTypeOrder(ts) => write!(f, "invalid segment type order {ts:?}"),
+            StitchError::JunctionMismatch { end, start } => {
+                write!(f, "segments do not join: {end} vs {start}")
+            }
+            StitchError::Loop(a) => write!(f, "AS {a} would appear twice on the path"),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+fn type_order_valid(types: &[SegmentType]) -> bool {
+    use SegmentType::*;
+    matches!(
+        types,
+        [Up] | [Down]
+            | [Core]
+            | [Up, Core]
+            | [Up, Down]
+            | [Core, Down]
+            | [Up, Core, Down]
+    )
+}
+
+/// Stitches 1–3 segments into a [`FullPath`].
+pub fn stitch(segments: &[Segment]) -> Result<FullPath, StitchError> {
+    if segments.is_empty() || segments.len() > 3 {
+        return Err(StitchError::BadSegmentCount(segments.len()));
+    }
+    let types: Vec<SegmentType> = segments.iter().map(|s| s.seg_type).collect();
+    if !type_order_valid(&types) {
+        return Err(StitchError::BadTypeOrder(types));
+    }
+    let mut hops: Vec<PathHop> = segments[0]
+        .hops
+        .iter()
+        .map(|h| PathHop { isd_as: h.isd_as, field: h.hop_field() })
+        .collect();
+    let mut junctions = Vec::new();
+    for seg in &segments[1..] {
+        let prev_end = hops.last().unwrap().isd_as;
+        if seg.first_as() != prev_end {
+            return Err(StitchError::JunctionMismatch { end: prev_end, start: seg.first_as() });
+        }
+        // Merge junction hop: ingress from the earlier segment, egress from
+        // the later one.
+        junctions.push(hops.len() - 1);
+        let junction = hops.last_mut().unwrap();
+        junction.field.egress = seg.hops[0].egress;
+        for h in &seg.hops[1..] {
+            hops.push(PathHop { isd_as: h.isd_as, field: h.hop_field() });
+        }
+    }
+    // Loop check over the merged path.
+    let mut seen = HashSet::with_capacity(hops.len());
+    for h in &hops {
+        if !seen.insert(h.isd_as) {
+            return Err(StitchError::Loop(h.isd_as));
+        }
+    }
+    Ok(FullPath { hops, junctions, segments: segments.to_vec() })
+}
+
+/// Attempts a shortcut between an up- and a down-segment that cross at a
+/// common non-core AS: the result joins at the *lowest* common AS (the one
+/// closest to the leaves, minimizing path length). Returns the trimmed
+/// `(up, down)` pair, or `None` if the only common AS is the endpoints'
+/// cores (in which case plain stitching is already optimal) or there is no
+/// common AS at all.
+pub fn shortcut_up_down(up: &Segment, down: &Segment) -> Option<(Segment, Segment)> {
+    assert_eq!(up.seg_type, SegmentType::Up);
+    assert_eq!(down.seg_type, SegmentType::Down);
+    // Walk the up-segment from the leaf; the first AS that also appears on
+    // the down-segment is the lowest crossing point.
+    for (i, h) in up.hops.iter().enumerate() {
+        if let Some(j) = down.position_of(h.isd_as) {
+            if i == up.hops.len() - 1 && j == 0 {
+                return None; // they only meet at the core junction
+            }
+            if i == 0 || j == down.hops.len() - 1 {
+                return None; // src lies on down-seg or dst on up-seg: degenerate
+            }
+            return Some((up.prefix(i), down.suffix(j)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentHop;
+    use colibri_base::InterfaceId;
+
+    fn hop(isd: u16, asn: u32, ing: u16, eg: u16) -> SegmentHop {
+        SegmentHop {
+            isd_as: IsdAsId::new(isd, asn),
+            ingress: InterfaceId(ing),
+            egress: InterfaceId(eg),
+        }
+    }
+
+    fn up_seg() -> Segment {
+        // 1-10 → 1-5 → 1-1 (core)
+        Segment::new(
+            SegmentType::Up,
+            vec![hop(1, 10, 0, 1), hop(1, 5, 2, 3), hop(1, 1, 4, 0)],
+        )
+    }
+
+    fn core_seg() -> Segment {
+        // 1-1 → 2-1
+        Segment::new(SegmentType::Core, vec![hop(1, 1, 0, 9), hop(2, 1, 8, 0)])
+    }
+
+    fn down_seg() -> Segment {
+        // 2-1 → 2-20
+        Segment::new(SegmentType::Down, vec![hop(2, 1, 0, 5), hop(2, 20, 6, 0)])
+    }
+
+    #[test]
+    fn stitch_three_segments() {
+        let p = stitch(&[up_seg(), core_seg(), down_seg()]).unwrap();
+        assert_eq!(
+            p.as_path(),
+            vec![
+                IsdAsId::new(1, 10),
+                IsdAsId::new(1, 5),
+                IsdAsId::new(1, 1),
+                IsdAsId::new(2, 1),
+                IsdAsId::new(2, 20)
+            ]
+        );
+        assert_eq!(p.junctions, vec![2, 3]);
+        // Transfer AS 1-1: ingress from up-segment, egress from core-segment.
+        assert_eq!(p.hops[2].field, HopField::new(4, 9));
+        // Transfer AS 2-1: ingress from core-segment, egress from down-segment.
+        assert_eq!(p.hops[3].field, HopField::new(8, 5));
+        // Endpoints are local.
+        assert!(p.hops[0].field.ingress.is_local());
+        assert!(p.hops[4].field.egress.is_local());
+        assert_eq!(p.src_as(), IsdAsId::new(1, 10));
+        assert_eq!(p.dst_as(), IsdAsId::new(2, 20));
+    }
+
+    #[test]
+    fn segment_of_hop_assignment() {
+        let p = stitch(&[up_seg(), core_seg(), down_seg()]).unwrap();
+        assert_eq!(p.segment_of_hop(0), 0);
+        assert_eq!(p.segment_of_hop(2), 0); // transfer hop → earlier segment
+        assert_eq!(p.segment_of_hop(3), 1);
+        assert_eq!(p.segment_of_hop(4), 2);
+    }
+
+    #[test]
+    fn stitch_single_segment() {
+        let p = stitch(&[up_seg()]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.junctions.is_empty());
+    }
+
+    #[test]
+    fn stitch_up_down_without_core() {
+        // up 1-10 → 1-1, down 1-1 → 1-11.
+        let up = Segment::new(SegmentType::Up, vec![hop(1, 10, 0, 1), hop(1, 1, 2, 0)]);
+        let down = Segment::new(SegmentType::Down, vec![hop(1, 1, 0, 7), hop(1, 11, 3, 0)]);
+        let p = stitch(&[up, down]).unwrap();
+        assert_eq!(p.as_path(), vec![IsdAsId::new(1, 10), IsdAsId::new(1, 1), IsdAsId::new(1, 11)]);
+        assert_eq!(p.junctions, vec![1]);
+        assert_eq!(p.hops[1].field, HopField::new(2, 7));
+    }
+
+    #[test]
+    fn rejects_bad_type_orders() {
+        assert!(matches!(
+            stitch(&[core_seg(), up_seg()]),
+            Err(StitchError::BadTypeOrder(_))
+        ));
+        // up followed by its own reverse revisits the leaf AS.
+        assert!(matches!(
+            stitch(&[down_seg().reversed(), down_seg()]),
+            Err(StitchError::Loop(_))
+        ));
+        // down followed by up is not a valid type order.
+        assert!(matches!(
+            stitch(&[down_seg(), up_seg()]),
+            Err(StitchError::BadTypeOrder(_))
+        ));
+        assert!(matches!(stitch(&[]), Err(StitchError::BadSegmentCount(0))));
+    }
+
+    #[test]
+    fn rejects_junction_mismatch() {
+        let up = up_seg(); // ends at 1-1
+        let down = down_seg(); // starts at 2-1
+        assert_eq!(
+            stitch(&[up, down]),
+            Err(StitchError::JunctionMismatch {
+                end: IsdAsId::new(1, 1),
+                start: IsdAsId::new(2, 1)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_loops() {
+        // up: 1-10 → 1-5 → 1-1; down revisits 1-5.
+        let down = Segment::new(
+            SegmentType::Down,
+            vec![hop(1, 1, 0, 11), hop(1, 5, 12, 13), hop(1, 30, 14, 0)],
+        );
+        assert_eq!(stitch(&[up_seg(), down]), Err(StitchError::Loop(IsdAsId::new(1, 5))));
+    }
+
+    #[test]
+    fn shortcut_cuts_at_common_as() {
+        // up: 1-10 → 1-5 → 1-1; down: 1-1 → 1-5 → 1-30. Common AS 1-5.
+        let down = Segment::new(
+            SegmentType::Down,
+            vec![hop(1, 1, 0, 11), hop(1, 5, 12, 13), hop(1, 30, 14, 0)],
+        );
+        let (u, d) = shortcut_up_down(&up_seg(), &down).unwrap();
+        assert_eq!(u.as_path(), vec![IsdAsId::new(1, 10), IsdAsId::new(1, 5)]);
+        assert_eq!(d.as_path(), vec![IsdAsId::new(1, 5), IsdAsId::new(1, 30)]);
+        // The shortcut pair stitches cleanly.
+        let p = stitch(&[u, d]).unwrap();
+        assert_eq!(
+            p.as_path(),
+            vec![IsdAsId::new(1, 10), IsdAsId::new(1, 5), IsdAsId::new(1, 30)]
+        );
+    }
+
+    #[test]
+    fn shortcut_none_when_only_core_common() {
+        let up = up_seg();
+        let down = Segment::new(SegmentType::Down, vec![hop(1, 1, 0, 7), hop(1, 11, 3, 0)]);
+        assert!(shortcut_up_down(&up, &down).is_none());
+    }
+}

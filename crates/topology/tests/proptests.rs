@@ -1,0 +1,92 @@
+//! Property tests over randomly generated topologies: the beaconing and
+//! path-construction invariants Colibri's control plane relies on.
+
+use colibri_base::IsdAsId;
+use colibri_topology::gen::{internet_like, InternetConfig};
+use colibri_topology::{find_paths, stitch, BeaconConfig, SegmentStore};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_config() -> impl Strategy<Value = InternetConfig> {
+    (1u16..4, 1u32..4, 2u32..8, 1u32..3).prop_map(|(isds, cores, leaves, providers)| {
+        InternetConfig {
+            isds,
+            cores_per_isd: cores,
+            leaves_per_isd: leaves,
+            providers_per_leaf: providers,
+            ..InternetConfig::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every discovered segment is internally consistent and its interface
+    /// pairs correspond to real topology links.
+    #[test]
+    fn segments_match_topology(cfg in arb_config(), seed in any::<u64>()) {
+        let g = internet_like(&cfg, seed);
+        for a in g.topo.as_ids() {
+            for seg in g.segments.up_segments_from(a) {
+                prop_assert!(seg.hops[0].ingress.is_local());
+                prop_assert!(seg.hops[seg.len() - 1].egress.is_local());
+                prop_assert!(g.topo.is_core(seg.last_as()));
+                prop_assert!(!g.topo.is_core(seg.first_as()));
+                for w in seg.hops.windows(2) {
+                    let iface = g.topo.interface(w[0].isd_as, w[0].egress)
+                        .expect("segment egress must be a real interface");
+                    prop_assert_eq!(iface.neighbor, w[1].isd_as);
+                    prop_assert_eq!(iface.neighbor_iface, w[1].ingress);
+                }
+            }
+        }
+    }
+
+    /// Every candidate path between every pair of ASes is loop-free, has
+    /// the right endpoints, and stitches from valid segment combinations.
+    #[test]
+    fn candidate_paths_are_well_formed(cfg in arb_config(), seed in any::<u64>()) {
+        let g = internet_like(&cfg, seed);
+        let ids: Vec<IsdAsId> = g.topo.as_ids().collect();
+        for &src in ids.iter().take(6) {
+            for &dst in ids.iter().rev().take(6) {
+                if src == dst {
+                    continue;
+                }
+                for path in find_paths(&g.topo, &g.segments, src, dst, 4) {
+                    prop_assert_eq!(path.src_as(), src);
+                    prop_assert_eq!(path.dst_as(), dst);
+                    let set: HashSet<_> = path.as_path().into_iter().collect();
+                    prop_assert_eq!(set.len(), path.len(), "loop in {}", path);
+                    prop_assert!(path.hops[0].field.ingress.is_local());
+                    prop_assert!(path.hops[path.len() - 1].field.egress.is_local());
+                    // The recorded segments re-stitch to the same path.
+                    let again = stitch(&path.segments).expect("recorded segments stitch");
+                    prop_assert_eq!(again.as_path(), path.as_path());
+                }
+            }
+        }
+    }
+
+    /// Discovery is deterministic and respects the per-pair cap.
+    #[test]
+    fn discovery_deterministic_and_bounded(
+        cfg in arb_config(),
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let g1 = internet_like(&cfg, seed);
+        let g2 = internet_like(&cfg, seed);
+        prop_assert_eq!(g1.segments.len(), g2.segments.len());
+        let bounded = SegmentStore::discover(
+            &g1.topo,
+            BeaconConfig { max_per_pair: k, ..BeaconConfig::default() },
+        );
+        for a in g1.topo.as_ids() {
+            for c in g1.topo.all_core_ases() {
+                prop_assert!(bounded.up_segments(a, c).len() <= k);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal binary codec for control-plane message payloads.
+//!
+//! Control messages (SegR/EER setup and renewal requests and their
+//! responses, paper §4.4) travel as Colibri packet payloads. They are
+//! encoded with this small, explicit big-endian codec — no serde data
+//! format is available offline, and an explicit codec keeps the byte
+//! layout auditable, which matters because these bytes are MACed.
+
+use crate::error::WireError;
+
+/// Append-only big-endian writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+    /// Writes a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+    /// Writes raw bytes without a length prefix.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+    /// Writes a `u16`-length-prefixed byte string.
+    pub fn var_bytes(&mut self, v: &[u8]) -> &mut Self {
+        debug_assert!(v.len() <= u16::MAX as usize);
+        self.u16(v.len() as u16);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finishes and returns the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length of the encoded buffer.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked big-endian reader.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer for reading.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { need: self.pos + n, have: self.buf.len() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+    /// Reads a `u16`-length-prefixed byte string.
+    pub fn var_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u16()? as usize;
+        self.take(n)
+    }
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns an error unless the buffer was fully consumed — trailing
+    /// garbage in an authenticated message indicates tampering or a codec
+    /// mismatch and must not be silently ignored.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::BadLength);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.u8(1).u16(2).u32(3).u64(4).var_bytes(b"abc").bytes(b"xy");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u16().unwrap(), 2);
+        assert_eq!(r.u32().unwrap(), 3);
+        assert_eq!(r.u64().unwrap(), 4);
+        assert_eq!(r.var_bytes().unwrap(), b"abc");
+        assert_eq!(r.bytes(2).unwrap(), b"xy");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overrun() {
+        let buf = [1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert!(r.u32().is_err());
+        // Position must not advance on failure.
+        assert_eq!(r.u16().unwrap(), 0x0102);
+    }
+
+    #[test]
+    fn var_bytes_length_checked() {
+        let mut w = Writer::new();
+        w.u16(10); // claims 10 bytes follow
+        w.bytes(b"abc"); // only 3 present
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(r.var_bytes().is_err());
+    }
+
+    #[test]
+    fn expect_end_catches_trailing_bytes() {
+        let buf = [0u8; 3];
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(matches!(r.expect_end(), Err(WireError::BadLength)));
+        r.bytes(2).unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn array_read() {
+        let buf = [9u8, 8, 7, 6];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.array::<4>().unwrap(), [9, 8, 7, 6]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Wire-format error types.
+
+/// Errors raised while parsing or building Colibri packets and control
+/// messages. Border routers treat any parse error as grounds for an
+/// immediate drop (paper §4.6: "validates the packet format").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the advertised structure.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// Unsupported wire-format version byte.
+    BadVersion(u8),
+    /// Undefined flag bits were set.
+    BadFlags(u8),
+    /// Path length outside `1..=MAX_HOPS`.
+    BadPathLength(usize),
+    /// `curr_hop` points past the end of the path.
+    BadCurrentHop {
+        /// Value found in the header.
+        curr: u8,
+        /// Number of hops in the path.
+        hops: usize,
+    },
+    /// Reserved header bytes were non-zero.
+    NonZeroReserved,
+    /// A length-prefixed element exceeded its container.
+    BadLength,
+    /// An enum discriminant on the wire was out of range.
+    BadDiscriminant(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated packet: need {need} bytes, have {have}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadFlags(fl) => write!(f, "undefined flag bits set: {fl:#04x}"),
+            WireError::BadPathLength(n) => write!(f, "path length {n} out of range"),
+            WireError::BadCurrentHop { curr, hops } => {
+                write!(f, "current hop {curr} out of range for {hops}-hop path")
+            }
+            WireError::NonZeroReserved => write!(f, "reserved header bytes non-zero"),
+            WireError::BadLength => write!(f, "length field exceeds container"),
+            WireError::BadDiscriminant(d) => write!(f, "invalid discriminant {d}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,164 @@
+//! Canonical MAC-input encodings and tag computations (paper Eqs. 3–6).
+//!
+//! Both planes must agree bit-for-bit on what gets MACed: the control plane
+//! computes SegR tokens and EER hop authenticators during reservation
+//! setup, and border routers *recompute* them statelessly for every packet.
+//! Keeping the encodings here, next to the wire format, guarantees the two
+//! sides cannot drift.
+//!
+//! ```text
+//! V_i^(S) = MAC_{K_i}(ResInfo || (In_i, Eg_i))[0..4]          (Eq. 3)
+//! σ_i     = MAC_{K_i}(ResInfo || EERInfo || (In_i, Eg_i))     (Eq. 4)
+//! V_i^(E) = MAC_{σ_i}(Ts || PktSize)[0..4]                    (Eq. 6)
+//! ```
+//!
+//! Note the absence of chaining between hops: unlike SCION/EPIC hop fields,
+//! Colibri tokens include the globally unique `(SrcAS, ResId)` pair, which
+//! already rules out path splicing (paper §4.5).
+
+use crate::packet::{EerInfo, HopField, ResInfo, HVF_LEN};
+use colibri_crypto::{Cmac, Key};
+
+/// Length of the canonical `ResInfo` encoding.
+pub const RES_INFO_ENC_LEN: usize = 18;
+/// Length of the canonical hop-field encoding.
+pub const HOP_ENC_LEN: usize = 4;
+/// Length of the Eq. 4 MAC input (`ResInfo || EERInfo || hop`).
+pub const HOP_AUTH_INPUT_LEN: usize = RES_INFO_ENC_LEN + 8 + HOP_ENC_LEN;
+
+/// Encodes `ResInfo` exactly as it is authenticated.
+pub fn encode_res_info(res: &ResInfo, out: &mut [u8; RES_INFO_ENC_LEN]) {
+    out[0..8].copy_from_slice(&res.src_as.to_u64().to_be_bytes());
+    out[8..12].copy_from_slice(&res.res_id.0.to_be_bytes());
+    out[12] = res.bw.0;
+    out[13] = res.ver;
+    out[14..18].copy_from_slice(&res.exp_secs().to_be_bytes());
+}
+
+fn encode_hop(hop: HopField, out: &mut [u8; HOP_ENC_LEN]) {
+    out[0..2].copy_from_slice(&hop.ingress.0.to_be_bytes());
+    out[2..4].copy_from_slice(&hop.egress.0.to_be_bytes());
+}
+
+/// Computes the SegR token `V_i^(S)` (Eq. 3) under the AS secret `k_i`.
+pub fn segr_token(k_i: &Cmac, res: &ResInfo, hop: HopField) -> [u8; HVF_LEN] {
+    let mut msg = [0u8; RES_INFO_ENC_LEN + HOP_ENC_LEN];
+    encode_res_info(res, (&mut msg[..RES_INFO_ENC_LEN]).try_into().unwrap());
+    encode_hop(hop, (&mut msg[RES_INFO_ENC_LEN..]).try_into().unwrap());
+    k_i.tag_truncated::<HVF_LEN>(&msg)
+}
+
+/// Computes the EER hop authenticator `σ_i` (Eq. 4) under the AS secret
+/// `k_i`. Unlike the SegR token this is *not* truncated: σ_i doubles as a
+/// reservation-specific key for the per-packet MAC.
+pub fn hop_auth(k_i: &Cmac, res: &ResInfo, eer: &EerInfo, hop: HopField) -> Key {
+    let mut msg = [0u8; HOP_AUTH_INPUT_LEN];
+    encode_res_info(res, (&mut msg[..RES_INFO_ENC_LEN]).try_into().unwrap());
+    msg[RES_INFO_ENC_LEN..RES_INFO_ENC_LEN + 4].copy_from_slice(&eer.src_host.0.to_be_bytes());
+    msg[RES_INFO_ENC_LEN + 4..RES_INFO_ENC_LEN + 8].copy_from_slice(&eer.dst_host.0.to_be_bytes());
+    encode_hop(hop, (&mut msg[RES_INFO_ENC_LEN + 8..]).try_into().unwrap());
+    Key(k_i.tag(&msg))
+}
+
+/// Computes the per-packet hop validation field `V_i^(E)` (Eq. 6) from a
+/// hop authenticator. `pkt_size` is the total packet size including the
+/// Colibri header, which prevents header-only flooding (paper §4.8).
+pub fn eer_hvf(sigma: &Key, ts: u64, pkt_size: usize) -> [u8; HVF_LEN] {
+    let mut msg = [0u8; 12];
+    msg[..8].copy_from_slice(&ts.to_be_bytes());
+    msg[8..].copy_from_slice(&(pkt_size as u32).to_be_bytes());
+    sigma.cmac().tag_truncated::<HVF_LEN>(&msg)
+}
+
+/// Computes `V_i^(E)` when the verifier has a ready-made CMAC instance for
+/// σ_i (routers derive σ_i fresh per packet, so they key a new instance;
+/// gateways may cache instances per reservation — both paths meet here).
+pub fn eer_hvf_with(sigma_cmac: &Cmac, ts: u64, pkt_size: usize) -> [u8; HVF_LEN] {
+    let mut msg = [0u8; 12];
+    msg[..8].copy_from_slice(&ts.to_be_bytes());
+    msg[8..].copy_from_slice(&(pkt_size as u32).to_be_bytes());
+    sigma_cmac.tag_truncated::<HVF_LEN>(&msg)
+}
+
+/// Control-plane payload MAC: `MAC_{K_{AS_i→SrcAS}}(payload)` (paper §4.5).
+pub fn control_payload_mac(key: &Key, payload: &[u8]) -> [u8; 16] {
+    key.cmac().tag(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colibri_base::{BwClass, HostAddr, Instant, IsdAsId, ResId};
+
+    fn res() -> ResInfo {
+        ResInfo {
+            src_as: IsdAsId::new(3, 9),
+            res_id: ResId(77),
+            bw: BwClass(12),
+            exp_t: Instant::from_secs(500),
+            ver: 2,
+        }
+    }
+
+    fn eer() -> EerInfo {
+        EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) }
+    }
+
+    fn k() -> Cmac {
+        Cmac::new(&[0x11; 16])
+    }
+
+    #[test]
+    fn segr_token_depends_on_every_field() {
+        let base = segr_token(&k(), &res(), HopField::new(1, 2));
+        let mut r2 = res();
+        r2.res_id = ResId(78);
+        assert_ne!(segr_token(&k(), &r2, HopField::new(1, 2)), base);
+        let mut r3 = res();
+        r3.ver = 3;
+        assert_ne!(segr_token(&k(), &r3, HopField::new(1, 2)), base);
+        let mut r4 = res();
+        r4.exp_t = Instant::from_secs(501);
+        assert_ne!(segr_token(&k(), &r4, HopField::new(1, 2)), base);
+        assert_ne!(segr_token(&k(), &res(), HopField::new(2, 1)), base);
+        assert_ne!(segr_token(&Cmac::new(&[0x12; 16]), &res(), HopField::new(1, 2)), base);
+    }
+
+    #[test]
+    fn hop_auth_binds_hosts() {
+        let a = hop_auth(&k(), &res(), &eer(), HopField::new(1, 2));
+        let mut e2 = eer();
+        e2.dst_host = HostAddr(3);
+        let b = hop_auth(&k(), &res(), &e2, HopField::new(1, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hvf_binds_ts_and_size() {
+        let sigma = hop_auth(&k(), &res(), &eer(), HopField::new(1, 2));
+        let v = eer_hvf(&sigma, 1000, 64);
+        assert_ne!(eer_hvf(&sigma, 1001, 64), v);
+        assert_ne!(eer_hvf(&sigma, 1000, 65), v);
+        // Cached-instance path agrees with the fresh path.
+        assert_eq!(eer_hvf_with(&sigma.cmac(), 1000, 64), v);
+    }
+
+    #[test]
+    fn two_step_construction_fig2() {
+        // Figure 2: V_i = MAC_{σ_i}(..) where σ_i = MAC_{K_i}(..).
+        // Verify that a router deriving σ_i on the fly gets the same HVF
+        // the gateway computed from its stored σ_i.
+        let k_i = k();
+        let gateway_sigma = hop_auth(&k_i, &res(), &eer(), HopField::new(4, 7));
+        let gateway_hvf = eer_hvf(&gateway_sigma, 42, 128);
+        // Router side: recompute from scratch.
+        let router_sigma = hop_auth(&k_i, &res(), &eer(), HopField::new(4, 7));
+        assert_eq!(eer_hvf(&router_sigma, 42, 128), gateway_hvf);
+    }
+
+    #[test]
+    fn control_mac_distinguishes_payloads() {
+        let key = Key([9; 16]);
+        assert_ne!(control_payload_mac(&key, b"grant 5"), control_payload_mac(&key, b"grant 6"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Path choice and multipath reservations (paper §2.1).
+//!
+//! "In case the reservation request cannot be met on the first path,
+//! Colibri can attempt to make a reservation on the alternative paths…
+//! Multiple reservations across multiple paths can also be used, e.g., by
+//! a multipath transport protocol."
+//!
+//! This example saturates the preferred path's bottleneck, shows the
+//! refusal diagnostics (which AS was the bottleneck and what it could
+//! offer), retries on an alternative path, and finally aggregates
+//! bandwidth across two disjoint paths.
+//!
+//! Run with: `cargo run --example multipath`
+
+use colibri::prelude::*;
+
+fn segr_chain(
+    reg: &mut CservRegistry,
+    path: &FullPath,
+    demand: Bandwidth,
+    min_bw: Bandwidth,
+    now: Instant,
+) -> Result<Vec<ReservationKey>, SetupError> {
+    let mut keys = Vec::new();
+    for seg in &path.segments {
+        keys.push(setup_segr(reg, seg, demand, min_bw, now)?.key);
+    }
+    Ok(keys)
+}
+
+fn main() {
+    let sample = colibri::topology::gen::sample_two_isd();
+    let mut reg = CservRegistry::provision(&sample.topo, CservConfig::default());
+    let now = Instant::from_secs(1);
+
+    let src = sample.leaf_a;
+    let dst = sample.leaf_d;
+    let paths = find_paths(&sample.topo, &sample.segments, src, dst, 8);
+    println!("candidate paths {src} → {dst}:");
+    for (i, p) in paths.iter().enumerate() {
+        println!("  [{i}] {p}");
+    }
+    assert!(paths.len() >= 2, "need path diversity for this example");
+
+    // Pick two candidates that use *different* first segments (different
+    // core ASes), so their bottlenecks are independent.
+    let primary = paths[0].clone();
+    let alternative = paths
+        .iter()
+        .find(|p| p.segments[0].last_as() != primary.segments[0].last_as())
+        .expect("a core-disjoint alternative")
+        .clone();
+    println!("\nprimary:     {primary}");
+    println!("alternative: {alternative}");
+
+    // An incumbent hogs the primary path's up-segment: a competing tenant
+    // reserves (almost) everything.
+    let hog = setup_segr(
+        &mut reg,
+        &primary.segments[0],
+        Bandwidth::from_gbps(100),
+        Bandwidth::from_mbps(1),
+        now,
+    )
+    .expect("incumbent");
+    println!("\nincumbent grabbed {} on the primary up-segment", hog.bw);
+
+    // Our demanding request on the primary path now fails…
+    let want = Bandwidth::from_gbps(10);
+    let err = segr_chain(&mut reg, &primary, want, want, now).unwrap_err();
+    match err {
+        SetupError::Refused { failed_at, reason } => {
+            println!("primary path refused at hop {failed_at}: {reason}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    // …but succeeds on the alternative (path choice!).
+    let alt_keys = segr_chain(&mut reg, &alternative, want, want, now).expect("alternative path");
+    println!("alternative path granted {want} across {} segments ✓", alt_keys.len());
+
+    let hosts = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+    let eer_alt = setup_eer(&mut reg, &alternative, &alt_keys, hosts, Bandwidth::from_mbps(500), now)
+        .expect("EER on alternative");
+    println!("EER {} riding the alternative path", eer_alt.key);
+
+    // Multipath aggregation: a second, smaller reservation still fits on
+    // the primary path (the incumbent left a little, or we accept less).
+    let modest = Bandwidth::from_mbps(200);
+    match segr_chain(&mut reg, &primary, modest, Bandwidth::from_mbps(1), now) {
+        Ok(primary_keys) => {
+            let eer_pri =
+                setup_eer(&mut reg, &primary, &primary_keys, hosts, Bandwidth::from_mbps(100), now);
+            match eer_pri {
+                Ok(g) => {
+                    println!(
+                        "\nmultipath: EER {} ({}) on primary + EER {} ({}) on alternative",
+                        g.key,
+                        g.bw,
+                        eer_alt.key,
+                        eer_alt.bw
+                    );
+                    println!(
+                        "aggregate reserved bandwidth: {}",
+                        g.bw + eer_alt.bw
+                    );
+                }
+                Err(e) => println!("\nprimary EER refused ({e}); running single-path"),
+            }
+        }
+        Err(e) => println!("\nno residual capacity on primary ({e}); running single-path"),
+    }
+
+    println!("\nmultipath example complete ✓");
+}
