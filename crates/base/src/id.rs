@@ -5,13 +5,12 @@
 //! `(SrcAS, ResId)` (paper §4.3): the source AS's Colibri service allocates
 //! `ResId`s from a local counter, so no global coordination is needed.
 
-use serde::{Deserialize, Serialize};
 
 /// An isolation-domain (ISD) identifier.
 ///
 /// ISDs group ASes under a common trust root; SCION splits routing into
 /// intra-ISD (up/down segments) and inter-ISD (core segments) processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IsdId(pub u16);
 
 impl std::fmt::Display for IsdId {
@@ -21,7 +20,7 @@ impl std::fmt::Display for IsdId {
 }
 
 /// An AS number, unique within its ISD in this implementation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AsId(pub u32);
 
 impl std::fmt::Display for AsId {
@@ -31,7 +30,7 @@ impl std::fmt::Display for AsId {
 }
 
 /// A globally unique AS identifier: the (ISD, AS) pair, e.g. `1-42`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IsdAsId {
     /// Isolation domain.
     pub isd: IsdId,
@@ -66,7 +65,7 @@ impl std::fmt::Display for IsdAsId {
 /// An inter-domain interface identifier, unique *within* its AS
 /// (paper §2.2). Interface 0 is reserved to mean "this AS" — i.e. the
 /// ingress of the first AS on a path and the egress of the last.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InterfaceId(pub u16);
 
 impl InterfaceId {
@@ -88,7 +87,7 @@ impl std::fmt::Display for InterfaceId {
 
 /// An end-host address, unique inside its AS (paper §4.3 `SrcHost`,
 /// `DstHost`). Modeled as an opaque 32-bit value (e.g. an IPv4 address).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostAddr(pub u32);
 
 impl std::fmt::Display for HostAddr {
@@ -101,7 +100,7 @@ impl std::fmt::Display for HostAddr {
 /// A reservation identifier, allocated sequentially by the source AS's
 /// Colibri service. Unique per source AS; `(SrcAS, ResId)` is globally
 /// unique (paper §4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ResId(pub u32);
 
 impl std::fmt::Display for ResId {
@@ -115,7 +114,7 @@ impl std::fmt::Display for ResId {
 /// This pair is the flow label used by traffic monitors (paper §4.8): all
 /// versions of an EER map to the same key, so a sender using several
 /// versions simultaneously cannot multiply its bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReservationKey {
     /// The AS that initiated the reservation.
     pub src_as: IsdAsId,

@@ -10,17 +10,16 @@
 //! paper's high-precision packet timestamp `Ts` (§4.3) is expressed in
 //! nanoseconds relative to the reservation's expiration time.
 
-use serde::{Deserialize, Serialize};
 
 /// A point in simulated time, in nanoseconds since the simulation epoch.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Instant(pub u64);
 
 /// A span of simulated time, in nanoseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Duration(pub u64);
 
@@ -28,21 +27,24 @@ impl Duration {
     /// Zero-length duration.
     pub const ZERO: Duration = Duration(0);
 
+    /// The longest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
     /// Constructs from whole nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         Duration(ns)
     }
-    /// Constructs from whole microseconds.
+    /// Constructs from whole microseconds (saturating).
     pub const fn from_micros(us: u64) -> Self {
-        Duration(us * 1_000)
+        Duration(us.saturating_mul(1_000))
     }
-    /// Constructs from whole milliseconds.
+    /// Constructs from whole milliseconds (saturating).
     pub const fn from_millis(ms: u64) -> Self {
-        Duration(ms * 1_000_000)
+        Duration(ms.saturating_mul(1_000_000))
     }
-    /// Constructs from whole seconds.
+    /// Constructs from whole seconds (saturating).
     pub const fn from_secs(s: u64) -> Self {
-        Duration(s * 1_000_000_000)
+        Duration(s.saturating_mul(1_000_000_000))
     }
     /// Constructs from fractional seconds (rounds to nanoseconds).
     pub fn from_secs_f64(s: f64) -> Self {
@@ -75,6 +77,19 @@ impl Duration {
         Duration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition (`None` on overflow).
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
     /// Multiplies by an integer factor.
     pub const fn saturating_mul(self, k: u64) -> Duration {
         Duration(self.0.saturating_mul(k))
@@ -85,17 +100,20 @@ impl Instant {
     /// The simulation epoch (t = 0).
     pub const EPOCH: Instant = Instant(0);
 
+    /// The far future — the last representable instant.
+    pub const MAX: Instant = Instant(u64::MAX);
+
     /// Constructs from whole nanoseconds since the epoch.
     pub const fn from_nanos(ns: u64) -> Self {
         Instant(ns)
     }
-    /// Constructs from whole seconds since the epoch.
+    /// Constructs from whole seconds since the epoch (saturating).
     pub const fn from_secs(s: u64) -> Self {
-        Instant(s * 1_000_000_000)
+        Instant(s.saturating_mul(1_000_000_000))
     }
-    /// Constructs from whole milliseconds since the epoch.
+    /// Constructs from whole milliseconds since the epoch (saturating).
     pub const fn from_millis(ms: u64) -> Self {
-        Instant(ms * 1_000_000)
+        Instant(ms.saturating_mul(1_000_000))
     }
 
     /// Nanoseconds since the epoch.
@@ -118,38 +136,56 @@ impl Instant {
     pub const fn saturating_sub(self, d: Duration) -> Instant {
         Instant(self.0.saturating_sub(d.0))
     }
+
+    /// Saturating addition of a duration. Fault schedules and retry
+    /// deadlines computed near `Instant::MAX` (e.g. "link down forever")
+    /// clamp to the far future instead of overflowing.
+    pub const fn saturating_add(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_add(d.0))
+    }
+
+    /// Checked addition of a duration (`None` on overflow).
+    pub const fn checked_add(self, d: Duration) -> Option<Instant> {
+        match self.0.checked_add(d.0) {
+            Some(ns) => Some(Instant(ns)),
+            None => None,
+        }
+    }
 }
 
+// All operator arithmetic saturates: deadline and backoff computations on
+// adversarial fault schedules (expiries at `Instant::MAX`, exponential
+// backoff doublings) must never panic, merely clamp to the epoch bounds.
 impl std::ops::Add<Duration> for Instant {
     type Output = Instant;
     fn add(self, rhs: Duration) -> Instant {
-        Instant(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 
 impl std::ops::AddAssign<Duration> for Instant {
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = self.saturating_add(rhs);
     }
 }
 
 impl std::ops::Add for Duration {
     type Output = Duration;
     fn add(self, rhs: Duration) -> Duration {
-        Duration(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 
 impl std::ops::AddAssign for Duration {
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = self.saturating_add(rhs);
     }
 }
 
 impl std::ops::Sub for Duration {
     type Output = Duration;
     fn sub(self, rhs: Duration) -> Duration {
-        Duration(self.0 - rhs.0)
+        self.saturating_sub(rhs)
     }
 }
 
@@ -200,9 +236,9 @@ impl Clock {
         Instant(self.now.get())
     }
 
-    /// Advances the clock by `d`.
+    /// Advances the clock by `d` (saturating at the far future).
     pub fn advance(&self, d: Duration) {
-        self.now.set(self.now.get() + d.0);
+        self.now.set(self.now.get().saturating_add(d.0));
     }
 
     /// Jumps to `t`. Panics if `t` would move time backwards — the clock is
@@ -250,6 +286,27 @@ mod tests {
     fn clock_rejects_backwards() {
         let c = Clock::starting_at(Instant::from_secs(10));
         c.set(Instant::from_secs(9));
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_epoch_bounds() {
+        // Near-MAX schedules must clamp, not panic.
+        assert_eq!(Instant::MAX + Duration::from_secs(1), Instant::MAX);
+        assert_eq!(Duration::MAX + Duration::from_nanos(1), Duration::MAX);
+        assert_eq!(Duration::ZERO - Duration::from_nanos(1), Duration::ZERO);
+        assert_eq!(Duration::from_secs(u64::MAX), Duration::MAX);
+        assert_eq!(Instant::from_secs(u64::MAX), Instant::MAX);
+        assert_eq!(Instant::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(
+            Instant::EPOCH.checked_add(Duration::from_nanos(1)),
+            Some(Instant::from_nanos(1))
+        );
+        let mut t = Instant::MAX;
+        t += Duration::from_secs(5);
+        assert_eq!(t, Instant::MAX);
+        let c = Clock::starting_at(Instant::MAX);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Instant::MAX);
     }
 
     #[test]

@@ -8,11 +8,10 @@
 //! which is ample for inter-domain reservations; the header reserves a full
 //! byte plus a flags byte.
 
-use serde::{Deserialize, Serialize};
 
 /// A bandwidth in bits per second.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Bandwidth(pub u64);
 
@@ -142,7 +141,7 @@ const CLASS_MAX: u8 = 64;
 /// normalizes packet sizes by the decoded value, which therefore never
 /// under-polices.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BwClass(pub u8);
 

@@ -106,12 +106,19 @@ pub struct UndoToken {
     previous: Option<Entry>,
 }
 
+impl UndoToken {
+    /// The reservation the token belongs to.
+    pub fn key(&self) -> ReservationKey {
+        self.key
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     ingress: InterfaceId,
     egress: InterfaceId,
     demand: u128,
-    adjusted: f64,
+    adjusted: u128,
     granted: u128,
 }
 
@@ -127,8 +134,11 @@ pub struct SegrAdmission {
     dem_pair: HashMap<(InterfaceId, InterfaceId), u128>,
     /// Σ demand per (source AS, egress).
     dem_src: HashMap<(IsdAsId, InterfaceId), u128>,
-    /// Σ adjusted demand per egress.
-    adj_total: HashMap<InterfaceId, f64>,
+    /// Σ adjusted demand per egress. Kept in exact integer bps (like every
+    /// other aggregate) so that admit → undo and crash-recovery rebuilds
+    /// reproduce the aggregates *bit-identically* — floating-point deltas
+    /// would accumulate residue and break that invariant.
+    adj_total: HashMap<InterfaceId, u128>,
     /// Σ granted bandwidth per egress.
     alloc: HashMap<InterfaceId, u128>,
     /// Σ granted bandwidth per (ingress, egress) pair.
@@ -162,6 +172,17 @@ impl SegrAdmission {
         self.pair_cap.insert((ingress, egress), cap.as_bps() as u128);
     }
 
+    /// `d` scaled down by `cap / dem` when demand exceeds the cap
+    /// (saturating on the multiply: astronomically large inputs then
+    /// under-grant rather than panic or over-allocate).
+    fn scale_by_cap(d: u128, cap: u128, dem: u128) -> u128 {
+        if dem <= cap {
+            d
+        } else {
+            d.saturating_mul(cap) / dem.max(1)
+        }
+    }
+
     /// The Colibri capacity of an interface (`u128::MAX` for `LOCAL`, which
     /// models the AS's own infinite ingress).
     fn capacity(&self, iface: InterfaceId) -> Option<u128> {
@@ -172,13 +193,43 @@ impl SegrAdmission {
     }
 
     fn remove_contribution(&mut self, key: ReservationKey, e: &Entry) {
-        *self.dem_in.get_mut(&e.ingress).unwrap() -= e.demand;
-        *self.dem_pair.get_mut(&(e.ingress, e.egress)).unwrap() -= e.demand;
-        *self.dem_src.get_mut(&(key.src_as, e.egress)).unwrap() -= e.demand;
-        let at = self.adj_total.get_mut(&e.egress).unwrap();
-        *at = (*at - e.adjusted).max(0.0);
-        *self.alloc.get_mut(&e.egress).unwrap() -= e.granted;
-        *self.alloc_pair.get_mut(&(e.ingress, e.egress)).unwrap() -= e.granted;
+        // Remove emptied keys so the aggregates stay a *normalized* map:
+        // admit → undo and a from-store rebuild then produce bit-identical
+        // state (a lingering zero-valued key would break `==`).
+        Self::sub_agg(&mut self.dem_in, e.ingress, e.demand);
+        Self::sub_agg(&mut self.dem_pair, (e.ingress, e.egress), e.demand);
+        Self::sub_agg(&mut self.dem_src, (key.src_as, e.egress), e.demand);
+        Self::sub_agg(&mut self.adj_total, e.egress, e.adjusted);
+        Self::sub_agg(&mut self.alloc, e.egress, e.granted);
+        Self::sub_agg(&mut self.alloc_pair, (e.ingress, e.egress), e.granted);
+    }
+
+    /// Subtracts `v` from one aggregate bucket, dropping the key at zero.
+    fn sub_agg<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u128>, k: K, v: u128) {
+        if v == 0 {
+            return;
+        }
+        let slot = map.get_mut(&k).expect("aggregate bucket exists for live entry");
+        *slot -= v;
+        if *slot == 0 {
+            map.remove(&k);
+        }
+    }
+
+    /// Adds `v` to one aggregate bucket without minting zero-valued keys.
+    fn add_agg<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u128>, k: K, v: u128) {
+        if v != 0 {
+            *map.entry(k).or_insert(0) += v;
+        }
+    }
+
+    fn add_contribution(&mut self, key: ReservationKey, e: &Entry) {
+        Self::add_agg(&mut self.dem_in, e.ingress, e.demand);
+        Self::add_agg(&mut self.dem_pair, (e.ingress, e.egress), e.demand);
+        Self::add_agg(&mut self.dem_src, (key.src_as, e.egress), e.demand);
+        Self::add_agg(&mut self.adj_total, e.egress, e.adjusted);
+        Self::add_agg(&mut self.alloc, e.egress, e.granted);
+        Self::add_agg(&mut self.alloc_pair, (e.ingress, e.egress), e.granted);
     }
 
     /// Admits (or renews) a SegR. On success the reservation is recorded
@@ -215,56 +266,43 @@ impl SegrAdmission {
         let cap_pair =
             self.pair_cap.get(&(req.ingress, req.egress)).copied().unwrap_or(cap_eg);
 
-        // Adjusted demand: the three caps of §4.7.
-        let mut scale = 1.0f64;
-        if dem_in > cap_in {
-            scale = scale.min(cap_in as f64 / dem_in as f64);
-        }
-        if dem_pair > cap_pair {
-            scale = scale.min(cap_pair as f64 / dem_pair as f64);
-        }
-        if dem_src > cap_eg {
-            scale = scale.min(cap_eg as f64 / dem_src as f64);
-        }
-        let adjusted = d as f64 * scale;
+        // Adjusted demand: the three caps of §4.7, in exact integer
+        // arithmetic (`d × cap / dem`, applied only when `dem > cap`).
+        // Integer delta-maintenance makes admit → undo restore `adj_total`
+        // bit-identically — the float implementation this replaces needed
+        // an epsilon hack to paper over accumulated residue.
+        let mut adjusted = d;
+        adjusted = adjusted.min(Self::scale_by_cap(d, cap_in, dem_in));
+        adjusted = adjusted.min(Self::scale_by_cap(d, cap_pair, dem_pair));
+        adjusted = adjusted.min(Self::scale_by_cap(d, cap_eg, dem_src));
 
-        let adj_total = self.adj_total.entry(req.egress).or_insert(0.0);
+        let adj_total = self.adj_total.entry(req.egress).or_insert(0);
         *adj_total += adjusted;
         let adj_total = *adj_total;
 
-        // Proportional share of the egress capacity. The epsilon in the
-        // comparison and the rounding below absorb floating-point residue
-        // that delta-maintenance of `adj_total` can accumulate across many
-        // removals (without them, a full-capacity request after a long
-        // admit/remove history can be under-granted by a few bps).
-        let ideal = if cap_eg == u128::MAX || adj_total <= cap_eg as f64 * (1.0 + 1e-9) {
+        // Proportional share of the egress capacity.
+        let ideal = if cap_eg == u128::MAX || adj_total <= cap_eg {
             adjusted
         } else {
-            cap_eg as f64 * adjusted / adj_total
+            cap_eg.saturating_mul(adjusted) / adj_total.max(1)
         };
         let alloc = self.alloc.entry(req.egress).or_insert(0);
         let free = cap_eg.saturating_sub(*alloc);
         let alloc_pair = self.alloc_pair.entry((req.ingress, req.egress)).or_insert(0);
         let free_pair = cap_pair.saturating_sub(*alloc_pair);
-        let granted = (ideal.round() as u128).min(d).min(free).min(free_pair);
+        let granted = ideal.min(d).min(free).min(free_pair);
 
         if granted < req.min_bw.as_bps() as u128 {
             // Roll back: erase this request's traces; restore a renewal's
             // previous state untouched.
-            *self.dem_in.get_mut(&req.ingress).unwrap() -= d;
-            *self.dem_pair.get_mut(&(req.ingress, req.egress)).unwrap() -= d;
-            *self.dem_src.get_mut(&(req.key.src_as, req.egress)).unwrap() -= d;
-            let at = self.adj_total.get_mut(&req.egress).unwrap();
-            *at = (*at - adjusted).max(0.0);
+            Self::sub_agg(&mut self.dem_in, req.ingress, d);
+            Self::sub_agg(&mut self.dem_pair, (req.ingress, req.egress), d);
+            Self::sub_agg(&mut self.dem_src, (req.key.src_as, req.egress), d);
+            Self::sub_agg(&mut self.adj_total, req.egress, adjusted);
             let available = Bandwidth::from_bps(granted as u64);
             if let Some(e) = previous {
                 // Restore the pre-renewal reservation.
-                *self.dem_in.entry(e.ingress).or_insert(0) += e.demand;
-                *self.dem_pair.entry((e.ingress, e.egress)).or_insert(0) += e.demand;
-                *self.dem_src.entry((req.key.src_as, e.egress)).or_insert(0) += e.demand;
-                *self.adj_total.entry(e.egress).or_insert(0.0) += e.adjusted;
-                *self.alloc.entry(e.egress).or_insert(0) += e.granted;
-                *self.alloc_pair.entry((e.ingress, e.egress)).or_insert(0) += e.granted;
+                self.add_contribution(req.key, &e);
                 self.entries.insert(req.key, e);
             }
             return Err(AdmissionError::BelowMinimum { available });
@@ -299,12 +337,7 @@ impl SegrAdmission {
             self.remove_contribution(token.key, &e);
         }
         if let Some(prev) = token.previous {
-            *self.dem_in.entry(prev.ingress).or_insert(0) += prev.demand;
-            *self.dem_pair.entry((prev.ingress, prev.egress)).or_insert(0) += prev.demand;
-            *self.dem_src.entry((token.key.src_as, prev.egress)).or_insert(0) += prev.demand;
-            *self.adj_total.entry(prev.egress).or_insert(0.0) += prev.adjusted;
-            *self.alloc.entry(prev.egress).or_insert(0) += prev.granted;
-            *self.alloc_pair.entry((prev.ingress, prev.egress)).or_insert(0) += prev.granted;
+            self.add_contribution(token.key, &prev);
             self.entries.insert(token.key, prev);
         }
     }
@@ -317,19 +350,12 @@ impl SegrAdmission {
             return false;
         };
         let f = (final_bw.as_bps() as u128).min(e.granted);
-        let new_demand = f;
-        // Replace demand contributions.
-        *self.dem_in.get_mut(&e.ingress).unwrap() -= e.demand - new_demand;
-        *self.dem_pair.get_mut(&(e.ingress, e.egress)).unwrap() -= e.demand - new_demand;
-        *self.dem_src.get_mut(&(key.src_as, e.egress)).unwrap() -= e.demand - new_demand;
-        let at = self.adj_total.get_mut(&e.egress).unwrap();
-        *at = (*at - e.adjusted + f as f64).max(0.0);
-        *self.alloc.get_mut(&e.egress).unwrap() -= e.granted - f;
-        *self.alloc_pair.get_mut(&(e.ingress, e.egress)).unwrap() -= e.granted - f;
-        let entry = self.entries.get_mut(&key).unwrap();
-        entry.demand = new_demand;
-        entry.adjusted = f as f64;
-        entry.granted = f;
+        // Replace the old contribution with the clamped one.
+        self.remove_contribution(key, &e);
+        let finalized =
+            Entry { ingress: e.ingress, egress: e.egress, demand: f, adjusted: f, granted: f };
+        self.add_contribution(key, &finalized);
+        self.entries.insert(key, finalized);
         true
     }
 
@@ -379,7 +405,7 @@ impl SegrAdmission {
         let mut dem_in = 0u128;
         let mut dem_pair = 0u128;
         let mut dem_src = 0u128;
-        let mut adj_total = 0.0f64;
+        let mut adj_total = 0u128;
         let mut alloc = 0u128;
         for (k, e) in &self.entries {
             if *k == req.key {
@@ -408,6 +434,120 @@ impl SegrAdmission {
         );
         std::hint::black_box((dem_pair, dem_src, adj_total, alloc));
         self.admit(req)
+    }
+
+    /// An empty admission module with the same configuration (share,
+    /// interface capacities, traffic-matrix caps) but no reservations.
+    /// Crash recovery starts from this and replays the reservation store.
+    pub fn fresh_like(&self) -> SegrAdmission {
+        SegrAdmission {
+            cfg_share: self.cfg_share,
+            cap: self.cap.clone(),
+            pair_cap: self.pair_cap.clone(),
+            ..SegrAdmission::default()
+        }
+    }
+
+    /// Restores one reservation directly into the aggregates, bypassing
+    /// admission — used when rebuilding state from the durable reservation
+    /// store after a crash. The restored entry is fully finalized
+    /// (`demand = adjusted = granted = bw`), exactly the shape
+    /// [`SegrAdmission::finalize`] leaves live entries in, so a rebuild of
+    /// a quiescent service reproduces its aggregates bit-identically.
+    pub fn restore_entry(
+        &mut self,
+        key: ReservationKey,
+        ingress: InterfaceId,
+        egress: InterfaceId,
+        bw: Bandwidth,
+    ) {
+        debug_assert!(!self.entries.contains_key(&key), "restore of live reservation");
+        let b = bw.as_bps() as u128;
+        let e = Entry { ingress, egress, demand: b, adjusted: b, granted: b };
+        self.add_contribution(key, &e);
+        self.entries.insert(key, e);
+    }
+
+    /// Normalized snapshot of all memoized aggregates (zero-valued buckets
+    /// dropped, deterministic order). Two admission states that grant
+    /// identically compare equal here — the comparison surface for the
+    /// rollback and crash-recovery invariants.
+    pub fn aggregates(&self) -> AggregateSnapshot {
+        fn norm<K: Ord + Copy>(m: &HashMap<K, u128>) -> std::collections::BTreeMap<K, u128> {
+            m.iter().filter(|(_, v)| **v != 0).map(|(k, v)| (*k, *v)).collect()
+        }
+        AggregateSnapshot {
+            dem_in: norm(&self.dem_in),
+            dem_pair: norm(&self.dem_pair),
+            dem_src: norm(&self.dem_src),
+            adj_total: norm(&self.adj_total),
+            alloc: norm(&self.alloc),
+            alloc_pair: norm(&self.alloc_pair),
+        }
+    }
+
+    /// Consistency self-check: recomputes every aggregate from the entry
+    /// table and compares against the memoized values. `Err` carries a
+    /// human-readable description of the first divergence. Run after crash
+    /// recovery (and from tests) — O(n), so off the admission path.
+    pub fn audit(&self) -> Result<(), String> {
+        let mut rebuilt = self.fresh_like();
+        for (k, e) in &self.entries {
+            rebuilt.add_contribution(*k, e);
+        }
+        let live = self.aggregates();
+        let expect = rebuilt.aggregates();
+        macro_rules! check {
+            ($field:ident) => {
+                if live.$field != expect.$field {
+                    return Err(format!(
+                        concat!(
+                            "aggregate `",
+                            stringify!($field),
+                            "` diverged from entry table: live {:?} != rebuilt {:?}"
+                        ),
+                        live.$field, expect.$field
+                    ));
+                }
+            };
+        }
+        check!(dem_in);
+        check!(dem_pair);
+        check!(dem_src);
+        check!(adj_total);
+        check!(alloc);
+        check!(alloc_pair);
+        Ok(())
+    }
+}
+
+/// Normalized, order-independent view of the memoized admission aggregates
+/// (see [`SegrAdmission::aggregates`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AggregateSnapshot {
+    /// Σ demand entering each ingress.
+    pub dem_in: std::collections::BTreeMap<InterfaceId, u128>,
+    /// Σ demand per (ingress, egress) pair.
+    pub dem_pair: std::collections::BTreeMap<(InterfaceId, InterfaceId), u128>,
+    /// Σ demand per (source AS, egress).
+    pub dem_src: std::collections::BTreeMap<(IsdAsId, InterfaceId), u128>,
+    /// Σ adjusted demand per egress.
+    pub adj_total: std::collections::BTreeMap<InterfaceId, u128>,
+    /// Σ granted bandwidth per egress.
+    pub alloc: std::collections::BTreeMap<InterfaceId, u128>,
+    /// Σ granted bandwidth per (ingress, egress) pair.
+    pub alloc_pair: std::collections::BTreeMap<(InterfaceId, InterfaceId), u128>,
+}
+
+impl AggregateSnapshot {
+    /// True when no reservation contributes anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.dem_in.is_empty()
+            && self.dem_pair.is_empty()
+            && self.dem_src.is_empty()
+            && self.adj_total.is_empty()
+            && self.alloc.is_empty()
+            && self.alloc_pair.is_empty()
     }
 }
 

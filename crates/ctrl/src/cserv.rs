@@ -22,7 +22,22 @@ use colibri_base::{Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ResId, Re
 use colibri_crypto::{Aead, Cmac, Epoch, Key, SecretValueGen};
 use colibri_wire::mac::{hop_auth, segr_token};
 use colibri_wire::{EerInfo, HopField, ResInfo, HVF_LEN};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Replay-cache key: initiating AS, its request id, and the hop index at
+/// which this CServ processed the request. Request ids are only unique per
+/// initiator, so the source AS must be part of the key.
+type ReplayKey = (IsdAsId, u64, u32);
+
+/// A memoized admission verdict plus its eviction deadline (the would-be
+/// reservation's expiry).
+type ReplayedVerdict<T> = (Result<T, CservError>, Instant);
+
+/// Upper bound on cached verdicts. The cache exists for retried requests,
+/// which arrive within a retry window of seconds; the bound keeps an
+/// attacker flooding unique request ids from growing state without limit
+/// (beyond it, requests are still served — just without replay memory).
+const REPLAY_CAP: usize = 1 << 16;
 
 /// CServ configuration.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +137,15 @@ pub struct CServ {
     denied_sources: HashSet<IsdAsId>,
     /// Last accepted renewal per EER, for rate limiting (§4.2).
     renewal_times: std::collections::HashMap<ReservationKey, Instant>,
+    /// Monotone counter for initiator-side request ids (0 is reserved for
+    /// "untracked", so the counter starts at 1).
+    next_request_id: u64,
+    /// Recorded SegR admission verdicts, replayed on retry so a duplicate
+    /// request never double-counts demand in the admission aggregates.
+    seg_replay: HashMap<ReplayKey, ReplayedVerdict<(Bandwidth, UndoToken)>>,
+    /// Recorded EER admission verdicts; replay prevents double-charging
+    /// SegR headroom and transfer-AS split demand.
+    eer_replay: HashMap<ReplayKey, ReplayedVerdict<()>>,
 }
 
 impl std::fmt::Debug for CServ {
@@ -154,6 +178,9 @@ impl CServ {
             policy,
             denied_sources: HashSet::new(),
             renewal_times: std::collections::HashMap::new(),
+            next_request_id: 1,
+            seg_replay: HashMap::new(),
+            eer_replay: HashMap::new(),
         }
     }
 
@@ -171,6 +198,15 @@ impl CServ {
     pub fn alloc_res_id(&mut self) -> ResId {
         let id = ResId(self.next_res_id);
         self.next_res_id += 1;
+        id
+    }
+
+    /// Allocates the next request id for a setup/renewal this AS initiates.
+    /// Retries of one logical request reuse its id; every on-path CServ
+    /// keys its replay cache by (initiator, id, hop).
+    pub fn alloc_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
         id
     }
 
@@ -227,6 +263,24 @@ impl CServ {
 
     /// Garbage-collects expired reservations.
     pub fn gc(&mut self, now: Instant) {
+        // Backstop for undelivered aborts: a cached admission verdict
+        // whose reservation was never finalized here (no store record)
+        // is an orphan — the initiator gave up and its abort never
+        // arrived. Undo it once the would-be reservation has expired.
+        // Runs before record/store GC so a *finalized* reservation still
+        // has its record and is never mistaken for an orphan.
+        let orphaned: Vec<UndoToken> = self
+            .seg_replay
+            .values()
+            .filter(|(_, exp)| *exp <= now)
+            .filter_map(|(verdict, _)| match verdict {
+                Ok((_, undo)) if self.store.segr(undo.key()).is_none() => Some(*undo),
+                _ => None,
+            })
+            .collect();
+        for undo in orphaned {
+            self.admission.undo(undo);
+        }
         // Free admission state of SegRs that expired without a pending
         // renewal.
         let expired: Vec<ReservationKey> = {
@@ -244,6 +298,35 @@ impl CServ {
             self.admission.remove(key);
         }
         self.store.gc(now);
+        self.seg_replay.retain(|_, (_, exp)| *exp > now);
+        self.eer_replay.retain(|_, (_, exp)| *exp > now);
+    }
+
+    /// Rebuilds all volatile control-plane state from the reservation
+    /// store, as a CServ restarting after a crash would: the memoized
+    /// admission aggregates are reconstructed from the finalized
+    /// reservation records, in-flight (admitted but never finalized)
+    /// state is dropped — the initiator's retry or abort re-establishes
+    /// or releases it — and the replay and key caches are cleared. Ends
+    /// with the aggregate consistency self-check; an `Err` means the
+    /// store itself is inconsistent and the service must not serve.
+    pub fn recover(&mut self) -> Result<(), String> {
+        let mut rebuilt = self.admission.fresh_like();
+        let mut keys = Vec::with_capacity(self.store.segr_count());
+        self.store.for_each_segr_key(|k| keys.push(k));
+        for key in keys {
+            let rec = self.store.segr(key).expect("key just listed");
+            // The admission entry tracks the most recently finalized
+            // version: a pending renewal's bandwidth if one exists,
+            // otherwise the active version's.
+            let bw = rec.pending.as_ref().map(|p| p.bw).unwrap_or(rec.bw);
+            rebuilt.restore_entry(key, rec.ingress, rec.egress, bw);
+        }
+        self.admission = rebuilt;
+        self.k_i_cache = None;
+        self.seg_replay.clear();
+        self.eer_replay.clear();
+        self.admission.audit()
     }
 
     // -----------------------------------------------------------------
@@ -254,6 +337,27 @@ impl CServ {
     /// (paper Fig. 1a ➋). `running_demand` is the request demand clamped
     /// by upstream grants. Returns this AS's grant and an undo token.
     pub fn segr_admit_hop(
+        &mut self,
+        req: &SegSetupReq,
+        hop_index: usize,
+        running_demand: Bandwidth,
+    ) -> Result<(Bandwidth, UndoToken), CservError> {
+        let rk: ReplayKey = (req.res_info.src_as, req.request_id, hop_index as u32);
+        if req.request_id != 0 {
+            if let Some((verdict, _)) = self.seg_replay.get(&rk) {
+                // Retry of an already-processed request: replay the
+                // recorded verdict; the aggregates are left untouched.
+                return *verdict;
+            }
+        }
+        let result = self.segr_admit_hop_inner(req, hop_index, running_demand);
+        if req.request_id != 0 && self.seg_replay.len() < REPLAY_CAP {
+            self.seg_replay.insert(rk, (result, req.res_info.exp_t));
+        }
+        result
+    }
+
+    fn segr_admit_hop_inner(
         &mut self,
         req: &SegSetupReq,
         hop_index: usize,
@@ -278,6 +382,21 @@ impl CServ {
         self.admission.undo(undo);
     }
 
+    /// Idempotent abort of a tracked SegR admission: reverts the recorded
+    /// admission (if any succeeded) and forgets the replay entry, so both
+    /// duplicate aborts and aborts racing a never-delivered request are
+    /// no-ops. Used by the retrying drivers in [`crate::reliable`], which
+    /// cannot know whether their abort follows a delivered admission.
+    pub fn segr_abort_request(&mut self, src_as: IsdAsId, request_id: u64, hop_index: usize) {
+        if request_id == 0 {
+            return;
+        }
+        let rk: ReplayKey = (src_as, request_id, hop_index as u32);
+        if let Some((Ok((_, undo)), _)) = self.seg_replay.remove(&rk) {
+            self.admission.undo(undo);
+        }
+    }
+
     /// Backward-pass finalization (Fig. 1a ➌–➍): clamps the admission to
     /// the agreed `final_res_info`, records the reservation, and returns
     /// this AS's token `V_i^(S)` (Eq. 3).
@@ -298,11 +417,15 @@ impl CServ {
         self.admission.finalize(key, final_bw);
         match self.store.segr_mut(key) {
             Some(rec) => {
-                rec.pending = Some(PendingVersion {
-                    ver: final_res_info.ver,
-                    bw: final_bw,
-                    exp: final_res_info.exp_t,
-                });
+                // A duplicate finalize (retried backward pass) must not
+                // re-stage the already-active version as pending.
+                if rec.ver != final_res_info.ver || rec.bw != final_bw {
+                    rec.pending = Some(PendingVersion {
+                        ver: final_res_info.ver,
+                        bw: final_bw,
+                        exp: final_res_info.exp_t,
+                    });
+                }
             }
             None => {
                 self.store.insert_segr(SegrRecord::new(
@@ -379,6 +502,27 @@ impl CServ {
     /// transfer AS the outgoing SegR's capacity is split proportionally
     /// among the feeding SegRs.
     pub fn eer_admit_hop(
+        &mut self,
+        req: &EerSetupReq,
+        hop_index: usize,
+        now: Instant,
+    ) -> Result<(), CservError> {
+        let rk: ReplayKey = (req.res_info.src_as, req.request_id, hop_index as u32);
+        if req.request_id != 0 {
+            if let Some((verdict, _)) = self.eer_replay.get(&rk) {
+                // Retry: replay the recorded verdict without re-charging
+                // SegR headroom or the transfer-AS proportional split.
+                return *verdict;
+            }
+        }
+        let result = self.eer_admit_hop_inner(req, hop_index, now);
+        if req.request_id != 0 && self.eer_replay.len() < REPLAY_CAP {
+            self.eer_replay.insert(rk, (result, req.res_info.exp_t));
+        }
+        result
+    }
+
+    fn eer_admit_hop_inner(
         &mut self,
         req: &EerSetupReq,
         hop_index: usize,
@@ -478,6 +622,22 @@ impl CServ {
             }
         }
         Ok(())
+    }
+
+    /// Idempotent abort of a tracked EER admission: rolls back only if
+    /// this CServ actually recorded a successful admission for the
+    /// request, then forgets the replay entry. Duplicate aborts, and
+    /// aborts for requests that were lost before arriving, change
+    /// nothing.
+    pub fn eer_abort_request(&mut self, req: &EerSetupReq, hop_index: usize) {
+        if req.request_id == 0 {
+            self.eer_abort_hop(req, hop_index);
+            return;
+        }
+        let rk: ReplayKey = (req.res_info.src_as, req.request_id, hop_index as u32);
+        if let Some((Ok(()), _)) = self.eer_replay.remove(&rk) {
+            self.eer_abort_hop(req, hop_index);
+        }
     }
 
     /// Rolls back a forward-pass EER admission (downstream refusal).
@@ -642,6 +802,7 @@ mod tests {
         c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
         c.deny_source(IsdAsId::new(9, 9));
         let req = SegSetupReq {
+            request_id: 0,
             res_info: ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: ResId(0),
@@ -663,6 +824,7 @@ mod tests {
     #[test]
     fn segs_of_hop_mapping() {
         let req = EerSetupReq {
+            request_id: 0,
             res_info: ResInfo {
                 src_as: IsdAsId::new(1, 10),
                 res_id: ResId(0),
@@ -689,5 +851,86 @@ mod tests {
         assert_eq!(CServ::segs_of_hop(&req, 1), (0, Some(1)));
         assert_eq!(CServ::segs_of_hop(&req, 2), (1, Some(2)));
         assert_eq!(CServ::segs_of_hop(&req, 3), (2, None));
+    }
+
+    fn seg_req(request_id: u64, demand: Bandwidth) -> SegSetupReq {
+        SegSetupReq {
+            request_id,
+            res_info: ResInfo {
+                src_as: IsdAsId::new(9, 9),
+                res_id: ResId(1),
+                bw: BwClass::from_bandwidth_ceil(demand),
+                exp_t: Instant::from_secs(300),
+                ver: 0,
+            },
+            demand,
+            min_bw: Bandwidth::ZERO,
+            path: vec![(IsdAsId::new(1, 10), HopField::new(1, 2))],
+            grants: vec![],
+        }
+    }
+
+    #[test]
+    fn retried_admission_replays_without_double_counting() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let req = seg_req(42, Bandwidth::from_mbps(100));
+        let (g1, _) = c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        let snap = c.admission().aggregates();
+        // A retry of the same request id must return the same grant and
+        // leave every memoized aggregate untouched.
+        let (g2, _) = c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(c.admission().aggregates(), snap);
+    }
+
+    #[test]
+    fn abort_request_is_idempotent_and_exact() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let clean = c.admission().aggregates();
+        let req = seg_req(7, Bandwidth::from_mbps(50));
+        c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        let src = req.res_info.src_as;
+        c.segr_abort_request(src, 7, 0);
+        assert_eq!(c.admission().aggregates(), clean);
+        // A duplicate abort, and an abort for a request that never
+        // arrived, must both be no-ops.
+        c.segr_abort_request(src, 7, 0);
+        c.segr_abort_request(src, 999, 0);
+        assert_eq!(c.admission().aggregates(), clean);
+    }
+
+    #[test]
+    fn recover_rebuilds_aggregates_from_store() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let now = Instant::from_secs(1);
+        let req = seg_req(3, Bandwidth::from_mbps(200));
+        let (granted, _) = c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        let final_info =
+            ResInfo { bw: BwClass::from_bandwidth_ceil(granted), ..req.res_info };
+        c.segr_finalize_hop(&final_info, req.path[0].1, 0, 1, granted, now);
+        let live = c.admission().aggregates();
+        c.recover().expect("store is consistent");
+        assert_eq!(c.admission().aggregates(), live);
+    }
+
+    #[test]
+    fn recover_drops_unfinalized_admissions() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let clean = c.admission().aggregates();
+        // Admitted on the forward pass but never finalized: the crash
+        // happened mid-setup; recovery must not leak this bandwidth.
+        let req = seg_req(5, Bandwidth::from_mbps(100));
+        c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        assert_ne!(c.admission().aggregates(), clean);
+        c.recover().expect("store is consistent");
+        assert_eq!(c.admission().aggregates(), clean);
     }
 }

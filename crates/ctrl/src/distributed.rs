@@ -19,7 +19,7 @@
 use crate::admission::{AdmissionError, SegrAdmission, SegrAdmissionConfig, SegrRequest};
 use crate::eer::{EerError, SegrUsage};
 use colibri_base::{Bandwidth, Instant, ReservationKey};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 
 /// One EER admission request against a specific SegR.
@@ -103,15 +103,15 @@ impl DistributedCServ {
         iface: colibri_base::InterfaceId,
         physical: Bandwidth,
     ) {
-        self.coordinator.lock().set_interface_capacity(iface, physical);
+        self.coordinator.lock().unwrap().set_interface_capacity(iface, physical);
     }
 
     /// Coordinator path: admits a SegR and registers its usage tracking on
     /// the owning shard.
     pub fn admit_segr(&self, req: SegrRequest) -> Result<Bandwidth, DistributedError> {
-        let granted = self.coordinator.lock().admit(req).map_err(DistributedError::Admission)?;
+        let granted = self.coordinator.lock().unwrap().admit(req).map_err(DistributedError::Admission)?;
         let shard = self.shard_of(req.key);
-        self.shards[shard].lock().usages.insert(req.key, SegrUsage::new(granted));
+        self.shards[shard].lock().unwrap().usages.insert(req.key, SegrUsage::new(granted));
         Ok(granted)
     }
 
@@ -119,7 +119,7 @@ impl DistributedCServ {
     /// requests over different SegR shards proceed fully in parallel.
     pub fn admit_eer(&self, req: EerAdmitRequest, now: Instant) -> Result<(), DistributedError> {
         let shard = self.shard_of(req.segr);
-        let mut guard = self.shards[shard].lock();
+        let mut guard = self.shards[shard].lock().unwrap();
         let usage =
             guard.usages.get_mut(&req.segr).ok_or(DistributedError::UnknownSegr(req.segr))?;
         usage
@@ -128,7 +128,7 @@ impl DistributedCServ {
     }
 
     /// Admits a batch of EEReqs with one worker thread per shard
-    /// (crossbeam scoped threads). Results are returned in input order.
+    /// (scoped threads). Results are returned in input order.
     pub fn admit_eer_batch_parallel(
         &self,
         reqs: &[EerAdmitRequest],
@@ -142,31 +142,33 @@ impl DistributedCServ {
         }
         let results: Vec<Mutex<Option<Result<(), DistributedError>>>> =
             reqs.iter().map(|_| Mutex::new(None)).collect();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for bucket in &buckets {
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for &i in bucket {
                         let out = self.admit_eer(reqs[i], now);
-                        *results[i].lock() = Some(out);
+                        *results[i].lock().unwrap() = Some(out);
                     }
                 });
             }
-        })
-        .expect("admission workers never panic");
-        results.into_iter().map(|m| m.into_inner().expect("worker filled every slot")).collect()
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
     }
 
     /// Bandwidth currently promised to EERs on one SegR.
     pub fn eer_allocated(&self, segr: ReservationKey) -> Option<Bandwidth> {
         let shard = self.shard_of(segr);
-        self.shards[shard].lock().usages.get(&segr).map(|u| u.allocated())
+        self.shards[shard].lock().unwrap().usages.get(&segr).map(|u| u.allocated())
     }
 
     /// Garbage-collects expired EER versions on all shards.
     pub fn gc(&self, now: Instant) {
         for shard in &self.shards {
-            for usage in shard.lock().usages.values_mut() {
+            for usage in shard.lock().unwrap().usages.values_mut() {
                 usage.gc(now);
             }
         }

@@ -21,16 +21,24 @@ pub mod eer;
 pub mod keyserver;
 pub mod messages;
 pub mod policy;
+pub mod reliable;
 pub mod setup;
 pub mod store;
 
-pub use admission::{AdmissionError, SegrAdmission, SegrAdmissionConfig, SegrRequest};
+pub use admission::{
+    AdmissionError, AggregateSnapshot, SegrAdmission, SegrAdmissionConfig, SegrRequest,
+};
 pub use billing::{PricingAgreement, Settlement, SettlementLedger};
 pub use cserv::{CServ, CservConfig, CservError};
 pub use eer::{EerError, SegrUsage, TransferSplit};
 pub use keyserver::{KeyClient, KeyServer, KeyServerConfig, KeyServerError};
 pub use messages::{CtrlMsg, EerSetupReq, EerSetupResp, SegSetupReq, SegSetupResp};
 pub use policy::{AllowAll, DenyAll, EerPolicy, PerHostCap};
+pub use reliable::{
+    activate_segr_reliable, renew_eer_adaptive_reliable, renew_eer_reliable,
+    renew_segr_reliable, setup_eer_reliable, setup_segr_reliable, ControlChannel, Delivery,
+    PerfectChannel, RetryPolicy, RetryStats,
+};
 pub use setup::{master_secret_for, renew_eer_adaptive, 
     activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, CservRegistry, EerGrant,
     SegrGrant, SetupError,

@@ -26,6 +26,13 @@ pub struct SealedHopAuth {
 /// Segment-reservation setup / renewal request (SegReq).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegSetupReq {
+    /// Initiator-chosen identifier for exactly-once admission. A retry of
+    /// a lost request carries the same id, letting every on-path CServ
+    /// replay its recorded verdict instead of double-counting demand in
+    /// the memoized admission aggregates. `(key, ver)` cannot serve this
+    /// role: adaptive renewal retries the same version with a different
+    /// demand, which must be a *new* admission, not a replay.
+    pub request_id: u64,
     /// Reservation metadata: key, requested bandwidth class, expiry,
     /// version (0 for initial setup, incremented on renewal).
     pub res_info: ResInfo,
@@ -72,6 +79,10 @@ pub struct SegActivate {
 /// End-to-end-reservation setup / renewal request (EEReq).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EerSetupReq {
+    /// Initiator-chosen identifier for exactly-once admission (see
+    /// [`SegSetupReq::request_id`]); retries replay the recorded verdict
+    /// rather than re-charging SegR headroom or transfer-AS splits.
+    pub request_id: u64,
     /// Reservation metadata for the EER.
     pub res_info: ResInfo,
     /// Source and destination hosts.
@@ -193,6 +204,7 @@ impl CtrlMsg {
         match self {
             CtrlMsg::SegSetup(m) => {
                 w.u8(0);
+                w.u64(m.request_id);
                 put_res_info(&mut w, &m.res_info);
                 w.u64(m.demand.as_bps());
                 w.u64(m.min_bw.as_bps());
@@ -222,6 +234,7 @@ impl CtrlMsg {
             }
             CtrlMsg::EerSetup(m) => {
                 w.u8(3);
+                w.u64(m.request_id);
                 put_res_info(&mut w, &m.res_info);
                 w.u32(m.eer_info.src_host.0);
                 w.u32(m.eer_info.dst_host.0);
@@ -265,6 +278,7 @@ impl CtrlMsg {
         let mut r = Reader::new(buf);
         let msg = match r.u8()? {
             0 => {
+                let request_id = r.u64()?;
                 let res_info = get_res_info(&mut r)?;
                 let demand = Bandwidth::from_bps(r.u64()?);
                 let min_bw = Bandwidth::from_bps(r.u64()?);
@@ -274,7 +288,7 @@ impl CtrlMsg {
                 for _ in 0..n {
                     grants.push(Bandwidth::from_bps(r.u64()?));
                 }
-                CtrlMsg::SegSetup(SegSetupReq { res_info, demand, min_bw, path, grants })
+                CtrlMsg::SegSetup(SegSetupReq { request_id, res_info, demand, min_bw, path, grants })
             }
             1 => {
                 let key = get_key(&mut r)?;
@@ -301,6 +315,7 @@ impl CtrlMsg {
             }
             2 => CtrlMsg::SegActivate(SegActivate { key: get_key(&mut r)?, ver: r.u8()? }),
             3 => {
+                let request_id = r.u64()?;
                 let res_info = get_res_info(&mut r)?;
                 let eer_info = EerInfo {
                     src_host: HostAddr(r.u32()?),
@@ -319,6 +334,7 @@ impl CtrlMsg {
                     segr_ids.push(get_key(&mut r)?);
                 }
                 CtrlMsg::EerSetup(EerSetupReq {
+                    request_id,
                     res_info,
                     eer_info,
                     demand,
@@ -393,6 +409,7 @@ mod tests {
     #[test]
     fn seg_setup_roundtrip() {
         roundtrip(CtrlMsg::SegSetup(SegSetupReq {
+            request_id: 0xDEAD_BEEF_0042,
             res_info: res_info(),
             demand: Bandwidth::from_mbps(500),
             min_bw: Bandwidth::from_mbps(100),
@@ -434,6 +451,7 @@ mod tests {
     #[test]
     fn eer_setup_roundtrip() {
         roundtrip(CtrlMsg::EerSetup(EerSetupReq {
+            request_id: 7,
             res_info: res_info(),
             eer_info: EerInfo { src_host: HostAddr(11), dst_host: HostAddr(22) },
             demand: Bandwidth::from_mbps(25),

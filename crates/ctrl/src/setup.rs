@@ -16,8 +16,11 @@
 use crate::cserv::{CServ, CservConfig, CservError};
 use crate::messages::{EerSetupReq, SegSetupReq};
 use crate::policy::AllowAll;
+use crate::reliable::{
+    reliable_exchange, splitmix64, ControlChannel, PerfectChannel, RetryPolicy, RetryStats,
+};
 use crate::store::OwnedSegr;
-use colibri_base::{Bandwidth, BwClass, Instant, IsdAsId, ReservationKey};
+use colibri_base::{Bandwidth, BwClass, Clock, Instant, IsdAsId, ReservationKey};
 use colibri_crypto::{ct_eq, Epoch, Key};
 use colibri_topology::{FullPath, Segment, Topology};
 use colibri_wire::mac::control_payload_mac;
@@ -60,6 +63,14 @@ impl CservRegistry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// The AS identifiers of all registered CServs, in sorted order (so
+    /// iteration — e.g. a post-run aggregate audit — is deterministic).
+    pub fn ids(&self) -> Vec<IsdAsId> {
+        let mut ids: Vec<_> = self.map.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Creates one CServ per AS of `topo`, with deterministic per-AS master
@@ -110,6 +121,12 @@ pub enum SetupError {
     },
     /// The initiator does not own the referenced reservation.
     NotOwned(ReservationKey),
+    /// A hop could not be reached within the retry budget (losses,
+    /// timeouts, or a crashed CServ). Any partial state was rolled back.
+    Unreachable {
+        /// Hop index that never answered.
+        at: usize,
+    },
 }
 
 impl std::fmt::Display for SetupError {
@@ -121,6 +138,9 @@ impl std::fmt::Display for SetupError {
             }
             SetupError::BadAuth { at } => write!(f, "authentication failed at hop {at}"),
             SetupError::NotOwned(k) => write!(f, "reservation {k} not owned by initiator"),
+            SetupError::Unreachable { at } => {
+                write!(f, "hop {at} unreachable within the retry budget")
+            }
         }
     }
 }
@@ -185,6 +205,22 @@ pub fn setup_segr(
     min_bw: Bandwidth,
     now: Instant,
 ) -> Result<SegrGrant, SetupError> {
+    let clock = Clock::starting_at(now);
+    setup_segr_with(reg, segment, demand, min_bw, &clock, &mut PerfectChannel, &RetryPolicy::default())
+        .map(|(g, _)| g)
+}
+
+/// Channel-aware [`setup_segr`]: every hop exchange travels over `ch`
+/// under `policy`, with `clock` advancing across latencies and backoffs.
+pub(crate) fn setup_segr_with(
+    reg: &mut CservRegistry,
+    segment: &Segment,
+    demand: Bandwidth,
+    min_bw: Bandwidth,
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(SegrGrant, RetryStats), SetupError> {
     let initiator = segment.first_as();
     let res_id = reg
         .get_mut(initiator)
@@ -195,10 +231,10 @@ pub fn setup_segr(
         src_as: initiator,
         res_id,
         bw: BwClass::from_bandwidth_ceil(demand),
-        exp_t: now + lifetime,
+        exp_t: clock.now() + lifetime,
         ver: 0,
     };
-    run_segr_pass(reg, segment, res_info, demand, min_bw, now)
+    run_segr_pass(reg, segment, res_info, demand, min_bw, clock, ch, policy)
 }
 
 /// Renews an existing SegR (new version, possibly different bandwidth).
@@ -211,6 +247,21 @@ pub fn renew_segr(
     min_bw: Bandwidth,
     now: Instant,
 ) -> Result<SegrGrant, SetupError> {
+    let clock = Clock::starting_at(now);
+    renew_segr_with(reg, key, demand, min_bw, &clock, &mut PerfectChannel, &RetryPolicy::default())
+        .map(|(g, _)| g)
+}
+
+/// Channel-aware [`renew_segr`].
+pub(crate) fn renew_segr_with(
+    reg: &mut CservRegistry,
+    key: ReservationKey,
+    demand: Bandwidth,
+    min_bw: Bandwidth,
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(SegrGrant, RetryStats), SetupError> {
     let initiator = key.src_as;
     let (segment, old_ver) = {
         let cserv = reg.get(initiator).ok_or(SetupError::UnknownAs(initiator))?;
@@ -222,52 +273,88 @@ pub fn renew_segr(
         src_as: initiator,
         res_id: key.res_id,
         bw: BwClass::from_bandwidth_ceil(demand),
-        exp_t: now + lifetime,
+        exp_t: clock.now() + lifetime,
         ver: old_ver.wrapping_add(1),
     };
-    run_segr_pass(reg, &segment, res_info, demand, min_bw, now)
+    run_segr_pass(reg, &segment, res_info, demand, min_bw, clock, ch, policy)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_segr_pass(
     reg: &mut CservRegistry,
     segment: &Segment,
     res_info: ResInfo,
     demand: Bandwidth,
     min_bw: Bandwidth,
-    now: Instant,
-) -> Result<SegrGrant, SetupError> {
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(SegrGrant, RetryStats), SetupError> {
     let initiator = segment.first_as();
+    let request_id =
+        reg.get_mut(initiator).ok_or(SetupError::UnknownAs(initiator))?.alloc_request_id();
     let path: Vec<_> = segment.hops.iter().map(|h| (h.isd_as, h.hop_field())).collect();
-    let req = SegSetupReq { res_info, demand, min_bw, path: path.clone(), grants: Vec::new() };
+    let req =
+        SegSetupReq { request_id, res_info, demand, min_bw, path: path.clone(), grants: Vec::new() };
     let payload = crate::messages::CtrlMsg::SegSetup(req.clone()).encode();
-    let epoch = Epoch::containing(now);
+    let epoch = Epoch::containing(clock.now());
     let path_ases: Vec<_> = path.iter().map(|(a, _)| *a).collect();
     let macs = authenticate_payload(reg, &path_ases, initiator, &payload, epoch)?;
+    let mut stats = RetryStats::default();
 
-    // Forward pass (Fig. 1a ➊–➋).
-    let mut undos = Vec::with_capacity(path.len());
+    enum HopVerdict {
+        BadAuth,
+        Refused(CservError),
+        Granted(Bandwidth),
+    }
+
+    // Forward pass (Fig. 1a ➊–➋). `admitted` counts hops whose admission
+    // this pass may have reached (delivered or not — a lost response still
+    // admitted on the far side), so rollback covers exactly the hops that
+    // could hold state.
     let mut running = demand;
+    let mut admitted = 0usize;
     for (i, (as_id, _)) in path.iter().enumerate() {
-        let cserv = reg.get_mut(*as_id).ok_or(SetupError::UnknownAs(*as_id))?;
-        if !verify_at_hop(cserv, initiator, &payload, &macs[i], epoch) {
-            abort_segr(reg, &path, &mut undos);
-            return Err(SetupError::BadAuth { at: i });
+        if reg.get(*as_id).is_none() {
+            rollback_segr(reg, ch, policy, clock, &path, admitted, &req, &mut stats);
+            return Err(SetupError::UnknownAs(*as_id));
         }
-        let cserv = reg.get_mut(*as_id).unwrap();
-        match cserv.segr_admit_hop(&req, i, running) {
-            Ok((granted, undo)) => {
-                undos.push(undo);
-                running = running.min(granted);
+        let from = if i == 0 { initiator } else { path[i - 1].0 };
+        let run = running;
+        let salt = splitmix64(request_id ^ ((i as u64) << 32));
+        let verdict =
+            reliable_exchange(ch, policy, clock, from, *as_id, salt, &mut stats, |_now| {
+                let cserv = reg.get_mut(*as_id).unwrap();
+                if !verify_at_hop(cserv, initiator, &payload, &macs[i], epoch) {
+                    return HopVerdict::BadAuth;
+                }
+                match cserv.segr_admit_hop(&req, i, run) {
+                    Ok((granted, _undo)) => HopVerdict::Granted(granted),
+                    Err(reason) => HopVerdict::Refused(reason),
+                }
+            });
+        // Even an unanswered hop may hold an admission (request delivered,
+        // response lost) — include it in the rollback set.
+        admitted = i + 1;
+        match verdict {
+            None => {
+                rollback_segr(reg, ch, policy, clock, &path, admitted, &req, &mut stats);
+                return Err(SetupError::Unreachable { at: i });
             }
-            Err(reason) => {
-                abort_segr(reg, &path, &mut undos);
+            Some(HopVerdict::BadAuth) => {
+                rollback_segr(reg, ch, policy, clock, &path, admitted, &req, &mut stats);
+                return Err(SetupError::BadAuth { at: i });
+            }
+            Some(HopVerdict::Refused(reason)) => {
+                rollback_segr(reg, ch, policy, clock, &path, admitted, &req, &mut stats);
                 return Err(SetupError::Refused { failed_at: i, reason });
             }
+            Some(HopVerdict::Granted(g)) => running = running.min(g),
         }
     }
 
     // Backward pass (Fig. 1a ➌–➍): agree on the final bandwidth and
-    // collect tokens.
+    // collect tokens. Finalization is idempotent, so retries are safe.
     let final_bw = running;
     let final_res_info =
         ResInfo { bw: BwClass::from_bandwidth_ceil(final_bw), ..res_info };
@@ -275,8 +362,17 @@ fn run_segr_pass(
     let mut tokens = vec![[0u8; colibri_wire::HVF_LEN]; n];
     for i in (0..n).rev() {
         let (as_id, hop) = path[i];
-        let cserv = reg.get_mut(as_id).unwrap();
-        tokens[i] = cserv.segr_finalize_hop(&final_res_info, hop, i, n, final_bw, now);
+        let salt = splitmix64(request_id ^ ((i as u64) << 32) ^ (1 << 63));
+        let tok = reliable_exchange(ch, policy, clock, initiator, as_id, salt, &mut stats, |now| {
+            reg.get_mut(as_id).unwrap().segr_finalize_hop(&final_res_info, hop, i, n, final_bw, now)
+        });
+        match tok {
+            Some(t) => tokens[i] = t,
+            None => {
+                rollback_segr(reg, ch, policy, clock, &path, n, &req, &mut stats);
+                return Err(SetupError::Unreachable { at: i });
+            }
+        }
     }
 
     // Initiator records ownership. The initial version is active
@@ -292,12 +388,15 @@ fn run_segr_pass(
                 tokens,
             });
         }
-        return Ok(SegrGrant {
-            key,
-            ver: final_res_info.ver,
-            bw: final_bw,
-            exp: final_res_info.exp_t,
-        });
+        return Ok((
+            SegrGrant {
+                key,
+                ver: final_res_info.ver,
+                bw: final_bw,
+                exp: final_res_info.exp_t,
+            },
+            stats,
+        ));
     }
     cserv.segr_store_owned(OwnedSegr {
         key,
@@ -311,18 +410,36 @@ fn run_segr_pass(
     for (as_id, _) in &path {
         reg.get_mut(*as_id).unwrap().segr_activate(key, 0).ok();
     }
-    Ok(SegrGrant { key, ver: 0, bw: final_bw, exp: final_res_info.exp_t })
+    Ok((SegrGrant { key, ver: 0, bw: final_bw, exp: final_res_info.exp_t }, stats))
 }
 
-fn abort_segr(
+/// Tears down a (partially) admitted SegR setup hop by hop, with
+/// retries. Each target reverts only what it actually recorded (the
+/// abort is keyed by request id), so aborting a hop whose request never
+/// arrived, or aborting twice, changes nothing.
+#[allow(clippy::too_many_arguments)]
+fn rollback_segr(
     reg: &mut CservRegistry,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+    clock: &Clock,
     path: &[(IsdAsId, colibri_wire::HopField)],
-    undos: &mut Vec<crate::admission::UndoToken>,
+    admitted: usize,
+    req: &SegSetupReq,
+    stats: &mut RetryStats,
 ) {
-    for (i, undo) in undos.drain(..).enumerate() {
+    let src = req.res_info.src_as;
+    for i in (0..admitted).rev() {
         let (as_id, _) = path[i];
-        if let Some(cserv) = reg.get_mut(as_id) {
-            cserv.segr_abort_hop(undo);
+        if reg.get(as_id).is_none() {
+            continue;
+        }
+        let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xAB << 48));
+        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |_now| {
+            reg.get_mut(as_id).unwrap().segr_abort_request(src, req.request_id, i);
+        });
+        if done.is_none() {
+            stats.undelivered_aborts += 1;
         }
     }
 }
@@ -336,28 +453,71 @@ pub fn activate_segr(
     ver: u8,
     now: Instant,
 ) -> Result<(), SetupError> {
+    let clock = Clock::starting_at(now);
+    activate_segr_with(reg, key, ver, &clock, &mut PerfectChannel, &RetryPolicy::default())
+        .map(|_| ())
+}
+
+/// Channel-aware [`activate_segr`]. A retried activation that already
+/// took effect at a hop (response lost) is recognized by the hop's
+/// current active version and treated as success.
+pub(crate) fn activate_segr_with(
+    reg: &mut CservRegistry,
+    key: ReservationKey,
+    ver: u8,
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<RetryStats, SetupError> {
     let initiator = key.src_as;
     let segment = {
         let cserv = reg.get(initiator).ok_or(SetupError::UnknownAs(initiator))?;
         cserv.store().owned_segr(key).ok_or(SetupError::NotOwned(key))?.segment.clone()
     };
+    let mut stats = RetryStats::default();
     for (i, hop) in segment.hops.iter().enumerate() {
-        let cserv = reg.get_mut(hop.isd_as).ok_or(SetupError::UnknownAs(hop.isd_as))?;
-        cserv
-            .segr_activate(key, ver)
-            .map_err(|reason| SetupError::Refused { failed_at: i, reason })?;
+        if reg.get(hop.isd_as).is_none() {
+            return Err(SetupError::UnknownAs(hop.isd_as));
+        }
+        let salt = splitmix64(key.res_id.0 as u64 ^ ((i as u64) << 32) ^ ((ver as u64) << 24));
+        let out = reliable_exchange(
+            ch,
+            policy,
+            clock,
+            initiator,
+            hop.isd_as,
+            salt,
+            &mut stats,
+            |_now| {
+                let cserv = reg.get_mut(hop.isd_as).unwrap();
+                match cserv.segr_activate(key, ver) {
+                    Ok(()) => Ok(()),
+                    // Duplicate delivery: the version is already active.
+                    Err(CservError::NoSuchPendingVersion)
+                        if cserv.store().segr(key).is_some_and(|r| r.ver == ver) =>
+                    {
+                        Ok(())
+                    }
+                    Err(reason) => Err(reason),
+                }
+            },
+        );
+        match out {
+            None => return Err(SetupError::Unreachable { at: i }),
+            Some(Err(reason)) => return Err(SetupError::Refused { failed_at: i, reason }),
+            Some(Ok(())) => {}
+        }
     }
     // Promote the initiator's pending owned version (tokens included).
     let cserv = reg.get_mut(initiator).unwrap();
     let owned = cserv.store_mut().owned_segr_mut(key).unwrap();
-    if !owned.activate(ver) {
+    if !owned.activate(ver) && owned.ver != ver {
         return Err(SetupError::Refused {
             failed_at: 0,
             reason: CservError::NoSuchPendingVersion,
         });
     }
-    let _ = now;
-    Ok(())
+    Ok(stats)
 }
 
 /// The outcome of a successful EER setup or renewal.
@@ -384,6 +544,32 @@ pub fn setup_eer(
     demand: Bandwidth,
     now: Instant,
 ) -> Result<EerGrant, SetupError> {
+    let clock = Clock::starting_at(now);
+    setup_eer_with(
+        reg,
+        path,
+        segr_ids,
+        eer_info,
+        demand,
+        &clock,
+        &mut PerfectChannel,
+        &RetryPolicy::default(),
+    )
+    .map(|(g, _)| g)
+}
+
+/// Channel-aware [`setup_eer`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn setup_eer_with(
+    reg: &mut CservRegistry,
+    path: &FullPath,
+    segr_ids: &[ReservationKey],
+    eer_info: EerInfo,
+    demand: Bandwidth,
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(EerGrant, RetryStats), SetupError> {
     let src = path.src_as();
     let res_id = reg.get_mut(src).ok_or(SetupError::UnknownAs(src))?.alloc_res_id();
     let lifetime = reg.get(src).unwrap().config().eer_lifetime;
@@ -391,10 +577,10 @@ pub fn setup_eer(
         src_as: src,
         res_id,
         bw: BwClass::from_bandwidth_ceil(demand),
-        exp_t: now + lifetime,
+        exp_t: clock.now() + lifetime,
         ver: 0,
     };
-    run_eer_pass(reg, path, segr_ids, res_info, eer_info, demand, now)
+    run_eer_pass(reg, path, segr_ids, res_info, eer_info, demand, clock, ch, policy)
 }
 
 /// Renews an EER: sets up version `ver + 1` with possibly different
@@ -406,6 +592,20 @@ pub fn renew_eer(
     demand: Bandwidth,
     now: Instant,
 ) -> Result<EerGrant, SetupError> {
+    let clock = Clock::starting_at(now);
+    renew_eer_with(reg, key, demand, &clock, &mut PerfectChannel, &RetryPolicy::default())
+        .map(|(g, _)| g)
+}
+
+/// Channel-aware [`renew_eer`].
+pub(crate) fn renew_eer_with(
+    reg: &mut CservRegistry,
+    key: ReservationKey,
+    demand: Bandwidth,
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(EerGrant, RetryStats), SetupError> {
     let src = key.src_as;
     let (path, eer_info, last_ver, segr_ids) = {
         let cserv = reg.get(src).ok_or(SetupError::UnknownAs(src))?;
@@ -439,11 +639,11 @@ pub fn renew_eer(
         src_as: src,
         res_id: key.res_id,
         bw: BwClass::from_bandwidth_ceil(demand),
-        exp_t: now + lifetime,
+        exp_t: clock.now() + lifetime,
         ver: last_ver.wrapping_add(1),
     };
     let full = rebuild_full_path(&path);
-    run_eer_pass(reg, &full, &segr_ids, res_info, eer_info, demand, now)
+    run_eer_pass(reg, &full, &segr_ids, res_info, eer_info, demand, clock, ch, policy)
 }
 
 /// Rebuilds a minimal `FullPath` view from stored hops (junctions are
@@ -461,6 +661,7 @@ fn rebuild_full_path(path: &[(IsdAsId, colibri_wire::HopField)]) -> FullPath {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_eer_pass(
     reg: &mut CservRegistry,
     path: &FullPath,
@@ -468,8 +669,10 @@ fn run_eer_pass(
     res_info: ResInfo,
     eer_info: EerInfo,
     demand: Bandwidth,
-    now: Instant,
-) -> Result<EerGrant, SetupError> {
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(EerGrant, RetryStats), SetupError> {
     let src = res_info.src_as;
     let hops: Vec<_> = path.hops.iter().map(|h| (h.isd_as, h.field)).collect();
     // Junctions: prefer the stitched path's own list; renewals rebuild it
@@ -482,7 +685,9 @@ fn run_eer_pass(
             .map(|j| j.to_vec())
             .unwrap_or_default()
     };
+    let request_id = reg.get_mut(src).ok_or(SetupError::UnknownAs(src))?.alloc_request_id();
     let req = EerSetupReq {
+        request_id,
         res_info,
         eer_info,
         demand,
@@ -491,33 +696,78 @@ fn run_eer_pass(
         segr_ids: segr_ids.to_vec(),
     };
     let payload = crate::messages::CtrlMsg::EerSetup(req.clone()).encode();
-    let epoch = Epoch::containing(now);
+    let epoch = Epoch::containing(clock.now());
     let path_ases: Vec<_> = hops.iter().map(|(a, _)| *a).collect();
     let macs = authenticate_payload(reg, &path_ases, src, &payload, epoch)?;
+    let mut stats = RetryStats::default();
 
-    // Forward pass (Fig. 1b ➋–➌).
+    enum HopVerdict {
+        BadAuth,
+        Refused(CservError),
+        Admitted,
+    }
+
+    // Forward pass (Fig. 1b ➋–➌). As with SegRs, a hop that never
+    // answered may still hold an admission, so it is included in the
+    // rollback set.
     let mut admitted = 0usize;
     for (i, (as_id, _)) in hops.iter().enumerate() {
-        let cserv = reg.get_mut(*as_id).ok_or(SetupError::UnknownAs(*as_id))?;
-        if !verify_at_hop(cserv, src, &payload, &macs[i], epoch) {
-            abort_eer(reg, &req, admitted);
-            return Err(SetupError::BadAuth { at: i });
+        if reg.get(*as_id).is_none() {
+            rollback_eer(reg, ch, policy, clock, &req, admitted, &mut stats);
+            return Err(SetupError::UnknownAs(*as_id));
         }
-        let cserv = reg.get_mut(*as_id).unwrap();
-        if let Err(reason) = cserv.eer_admit_hop(&req, i, now) {
-            abort_eer(reg, &req, admitted);
-            return Err(SetupError::Refused { failed_at: i, reason });
-        }
+        let from = if i == 0 { src } else { hops[i - 1].0 };
+        let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xEE << 48));
+        let verdict =
+            reliable_exchange(ch, policy, clock, from, *as_id, salt, &mut stats, |now| {
+                let cserv = reg.get_mut(*as_id).unwrap();
+                if !verify_at_hop(cserv, src, &payload, &macs[i], epoch) {
+                    return HopVerdict::BadAuth;
+                }
+                match cserv.eer_admit_hop(&req, i, now) {
+                    Ok(()) => HopVerdict::Admitted,
+                    Err(reason) => HopVerdict::Refused(reason),
+                }
+            });
         admitted = i + 1;
+        match verdict {
+            None => {
+                rollback_eer(reg, ch, policy, clock, &req, admitted, &mut stats);
+                return Err(SetupError::Unreachable { at: i });
+            }
+            Some(HopVerdict::BadAuth) => {
+                rollback_eer(reg, ch, policy, clock, &req, admitted, &mut stats);
+                return Err(SetupError::BadAuth { at: i });
+            }
+            Some(HopVerdict::Refused(reason)) => {
+                rollback_eer(reg, ch, policy, clock, &req, admitted, &mut stats);
+                return Err(SetupError::Refused { failed_at: i, reason });
+            }
+            Some(HopVerdict::Admitted) => {}
+        }
     }
 
     // Backward pass (Fig. 1b ➍): collect sealed hop authenticators.
+    // Finalization is deterministic per hop, so retries reseal the same
+    // authenticator.
     let mut sealed = Vec::with_capacity(hops.len());
     for (i, (as_id, hop)) in hops.iter().enumerate() {
-        let cserv = reg.get_mut(*as_id).unwrap();
-        sealed.push(cserv.eer_finalize_hop(&req.res_info, &req.eer_info, *hop, i, now));
-        if i == hops.len() - 1 {
-            cserv.eer_register_terminating(&req);
+        let last = i == hops.len() - 1;
+        let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xEF << 48));
+        let auth = reliable_exchange(ch, policy, clock, src, *as_id, salt, &mut stats, |now| {
+            let cserv = reg.get_mut(*as_id).unwrap();
+            let s = cserv.eer_finalize_hop(&req.res_info, &req.eer_info, *hop, i, now);
+            if last {
+                cserv.eer_register_terminating(&req);
+            }
+            s
+        });
+        match auth {
+            Some(s) => sealed.push(s),
+            None => {
+                rollback_eer(reg, ch, policy, clock, &req, hops.len(), &mut stats);
+                return Err(SetupError::Unreachable { at: i });
+            }
         }
     }
 
@@ -539,7 +789,7 @@ fn run_eer_pass(
         .map_err(|reason| SetupError::Refused { failed_at: 0, reason })?;
     cserv.store_mut().remember_eer_request(res_info.key(), segr_ids.to_vec(), req.junctions.clone());
 
-    Ok(EerGrant { key: res_info.key(), ver: res_info.ver, bw: demand, exp: res_info.exp_t })
+    Ok((EerGrant { key: res_info.key(), ver: res_info.ver, bw: demand, exp: res_info.exp_t }, stats))
 }
 
 /// Renews an EER, adapting to reduced grants: if an on-path AS can no
@@ -556,10 +806,41 @@ pub fn renew_eer_adaptive(
     min_bw: Bandwidth,
     now: Instant,
 ) -> Result<EerGrant, SetupError> {
+    let clock = Clock::starting_at(now);
+    renew_eer_adaptive_with(
+        reg,
+        key,
+        demand,
+        min_bw,
+        &clock,
+        &mut PerfectChannel,
+        &RetryPolicy::default(),
+    )
+    .map(|(g, _)| g)
+}
+
+/// Channel-aware [`renew_eer_adaptive`]. Each downgrade attempt is a new
+/// logical request (fresh request id, possibly different demand), which
+/// is exactly why request ids — not `(key, version)` — key the replay
+/// caches.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn renew_eer_adaptive_with(
+    reg: &mut CservRegistry,
+    key: ReservationKey,
+    demand: Bandwidth,
+    min_bw: Bandwidth,
+    clock: &Clock,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+) -> Result<(EerGrant, RetryStats), SetupError> {
     let mut want = demand;
+    let mut stats = RetryStats::default();
     for _attempt in 0..4 {
-        match renew_eer(reg, key, want, now) {
-            Ok(grant) => return Ok(grant),
+        match renew_eer_with(reg, key, want, clock, ch, policy) {
+            Ok((grant, s)) => {
+                stats.absorb(s);
+                return Ok((grant, stats));
+            }
             Err(SetupError::Refused {
                 failed_at,
                 reason: CservError::Eer(crate::eer::EerError::InsufficientSegr { available }),
@@ -585,11 +866,29 @@ pub fn renew_eer_adaptive(
     })
 }
 
-fn abort_eer(reg: &mut CservRegistry, req: &EerSetupReq, admitted: usize) {
-    for i in 0..admitted {
+/// Tears down a (partially) admitted EER setup hop by hop, with
+/// retries, via the idempotent request-id-keyed abort.
+fn rollback_eer(
+    reg: &mut CservRegistry,
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+    clock: &Clock,
+    req: &EerSetupReq,
+    admitted: usize,
+    stats: &mut RetryStats,
+) {
+    let src = req.res_info.src_as;
+    for i in (0..admitted).rev() {
         let (as_id, _) = req.path[i];
-        if let Some(cserv) = reg.get_mut(as_id) {
-            cserv.eer_abort_hop(req, i);
+        if reg.get(as_id).is_none() {
+            continue;
+        }
+        let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xBA << 48));
+        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |_now| {
+            reg.get_mut(as_id).unwrap().eer_abort_request(req, i);
+        });
+        if done.is_none() {
+            stats.undelivered_aborts += 1;
         }
     }
 }

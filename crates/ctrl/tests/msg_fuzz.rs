@@ -38,9 +38,10 @@ fn arb_path() -> impl Strategy<Value = Vec<(IsdAsId, HopField)>> {
 
 fn arb_msg() -> impl Strategy<Value = CtrlMsg> {
     prop_oneof![
-        (arb_res_info(), any::<u64>(), any::<u64>(), arb_path()).prop_map(
-            |(res_info, d, m, path)| {
+        (arb_res_info(), any::<u64>(), any::<u64>(), arb_path(), any::<u64>()).prop_map(
+            |(res_info, d, m, path, request_id)| {
                 CtrlMsg::SegSetup(SegSetupReq {
+                    request_id,
                     res_info,
                     demand: Bandwidth::from_bps(d),
                     min_bw: Bandwidth::from_bps(m),
@@ -65,6 +66,7 @@ fn arb_msg() -> impl Strategy<Value = CtrlMsg> {
         (arb_res_info(), any::<u32>(), any::<u32>(), any::<u64>(), arb_path(), prop::collection::vec(arb_key(), 1..4))
             .prop_map(|(res_info, sh, dh, d, path, segr_ids)| {
                 CtrlMsg::EerSetup(EerSetupReq {
+                    request_id: d ^ 0x9E37_79B9_7F4A_7C15,
                     res_info,
                     eer_info: EerInfo { src_host: HostAddr(sh), dst_host: HostAddr(dh) },
                     demand: Bandwidth::from_bps(d),

@@ -11,13 +11,25 @@
 //!   (path choice, §2.1);
 //! * **ticking** renews EERs ahead of expiry for seamless transitions and
 //!   renews+activates the underlying SegRs before they lapse (§4.2);
+//! * **failure handling**: a reservation that lapses (unreachable CServ,
+//!   crashed hop, lost renewals) triggers *failover* to an alternate
+//!   admissible path; when no path admits the flow it *degrades* to
+//!   best-effort — and later ticks *re-establish* the reservation once
+//!   capacity returns. The gateway entry is uninstalled/installed across
+//!   each transition so the data plane always matches the control state;
 //! * **sending** stamps application payloads through the gateway;
 //! * tiny flows are steered to **best-effort** instead — "reservations
 //!   are only useful for flows of some minimum size" (§3.4).
+//!
+//! Every establishment step runs over a [`ControlChannel`] with the
+//! retry/rollback machinery of `colibri_ctrl::reliable`; the plain
+//! [`FlowManager::open`] / [`FlowManager::tick`] entry points use the
+//! [`PerfectChannel`] and behave exactly like the pre-fault-model code.
 
-use colibri_base::{Bandwidth, Duration, HostAddr, Instant, IsdAsId, ReservationKey};
+use colibri_base::{Bandwidth, Clock, Duration, HostAddr, Instant, IsdAsId, ReservationKey};
 use colibri_ctrl::{
-    activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, CservRegistry, SetupError,
+    activate_segr_reliable, renew_eer_reliable, renew_segr_reliable, setup_eer_reliable,
+    setup_segr_reliable, ControlChannel, CservRegistry, PerfectChannel, RetryPolicy, SetupError,
 };
 use colibri_dataplane::{Gateway, GatewayError, StampedPacket};
 use colibri_topology::{find_paths, FullPath, SegmentStore, Topology};
@@ -74,6 +86,10 @@ pub enum FlowKind {
     Reserved(ReservationKey),
     /// As best-effort traffic (too small to reserve, §3.4).
     BestEffort,
+    /// Wanted a reservation, but none is currently admissible on any
+    /// path: carried best-effort until [`FlowManager::tick`] manages to
+    /// re-establish it. The original demand is kept on the flow.
+    Degraded,
 }
 
 /// One managed flow.
@@ -83,7 +99,8 @@ pub struct Flow {
     pub dst_as: IsdAsId,
     /// Host addressing.
     pub hosts: EerInfo,
-    /// Reserved bandwidth (0 for best-effort flows).
+    /// Reserved bandwidth (0 for best-effort flows; degraded flows keep
+    /// the demand they will re-request).
     pub demand: Bandwidth,
     /// Carrier.
     pub kind: FlowKind,
@@ -95,6 +112,9 @@ pub struct Flow {
     pub eer_exp: Instant,
     /// Number of successful renewals so far.
     pub renewals: u64,
+    /// Number of times the flow moved to a different path after its
+    /// reservation lapsed.
+    pub failovers: u64,
 }
 
 /// Errors opening a flow.
@@ -116,6 +136,27 @@ impl std::fmt::Display for OpenError {
 }
 
 impl std::error::Error for OpenError {}
+
+/// What one maintenance tick did (see [`FlowManager::tick_with`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Successful SegR + EER renewals.
+    pub renewals: usize,
+    /// Lapsed flows moved to an alternate path.
+    pub failovers: usize,
+    /// Lapsed flows degraded to best-effort (no admissible path).
+    pub degradations: usize,
+    /// Degraded flows whose reservation was re-established.
+    pub reestablished: usize,
+}
+
+/// A freshly established EER (internal result of the path-attempt loop).
+struct Established {
+    key: ReservationKey,
+    exp: Instant,
+    path: FullPath,
+    segr_keys: Vec<ReservationKey>,
+}
 
 /// The per-source-AS flow manager.
 pub struct FlowManager {
@@ -153,23 +194,93 @@ impl FlowManager {
         &mut self,
         env: &mut Env<'_>,
         seg: &colibri_topology::Segment,
-        now: Instant,
+        clock: &Clock,
+        ch: &mut dyn ControlChannel,
+        policy: &RetryPolicy,
     ) -> Result<ReservationKey, SetupError> {
         let as_path = seg.as_path();
         if let Some(&key) = self.segr_cache.get(&as_path) {
             // Reuse if the initiator still holds a live reservation.
             if let Some(cserv) = env.reg.get(key.src_as) {
                 if let Some(owned) = cserv.store().owned_segr(key) {
-                    if owned.exp > now {
+                    if owned.exp > clock.now() {
                         return Ok(key);
                     }
                 }
             }
             self.segr_cache.remove(&as_path);
         }
-        let grant = setup_segr(env.reg, seg, self.cfg.segr_demand, Bandwidth::from_mbps(1), now)?;
+        let (grant, _stats) = setup_segr_reliable(
+            env.reg,
+            seg,
+            self.cfg.segr_demand,
+            Bandwidth::from_mbps(1),
+            clock,
+            ch,
+            policy,
+        )?;
         self.segr_cache.insert(as_path, grant.key);
         Ok(grant.key)
+    }
+
+    /// The path-attempt loop shared by open, failover, and re-establish:
+    /// tries every candidate path until one admits the EER end to end.
+    #[allow(clippy::too_many_arguments)] // private plumbing mirroring open_with's surface
+    fn try_establish(
+        &mut self,
+        env: &mut Env<'_>,
+        dst_as: IsdAsId,
+        hosts: EerInfo,
+        demand: Bandwidth,
+        clock: &Clock,
+        ch: &mut dyn ControlChannel,
+        policy: &RetryPolicy,
+    ) -> Result<Established, OpenError> {
+        let paths =
+            find_paths(env.topo, env.segments, self.src_as, dst_as, self.cfg.max_path_attempts);
+        if paths.is_empty() {
+            return Err(OpenError::NoPath);
+        }
+        let mut last_err = None;
+        for path in paths {
+            // Ensure SegRs over the path's segments.
+            let mut segr_keys = Vec::with_capacity(path.segments.len());
+            let mut ok = true;
+            for seg in &path.segments {
+                match self.ensure_segr(env, seg, clock, ch, policy) {
+                    Ok(k) => segr_keys.push(k),
+                    Err(e) => {
+                        last_err = Some(e);
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            match setup_eer_reliable(env.reg, &path, &segr_keys, hosts, demand, clock, ch, policy)
+            {
+                Ok((grant, _stats)) => {
+                    return Ok(Established { key: grant.key, exp: grant.exp, path, segr_keys });
+                }
+                Err(e) => last_err = Some(e), // try the next path
+            }
+        }
+        Err(OpenError::AllPathsRefused(last_err.expect("at least one attempt")))
+    }
+
+    /// Installs `key`'s newest owned version in the gateway.
+    fn install(&self, env: &mut Env<'_>, key: ReservationKey, now: Instant) {
+        let owned = env
+            .reg
+            .get(self.src_as)
+            .unwrap()
+            .store()
+            .owned_eer(key)
+            .expect("owned after setup")
+            .clone();
+        env.gateway.install(&owned, now);
     }
 
     /// Opens a flow towards `dst_host` in `dst_as`, requesting `demand`.
@@ -184,6 +295,35 @@ impl FlowManager {
         demand: Bandwidth,
         expected_bytes: u64,
         now: Instant,
+    ) -> Result<FlowId, OpenError> {
+        let clock = Clock::starting_at(now);
+        self.open_with(
+            env,
+            dst_as,
+            src_host,
+            dst_host,
+            demand,
+            expected_bytes,
+            &clock,
+            &mut PerfectChannel,
+            &RetryPolicy::default(),
+        )
+    }
+
+    /// [`FlowManager::open`] over an explicit control channel (lossy
+    /// deployments / the simulator's fault plan).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with(
+        &mut self,
+        env: &mut Env<'_>,
+        dst_as: IsdAsId,
+        src_host: HostAddr,
+        dst_host: HostAddr,
+        demand: Bandwidth,
+        expected_bytes: u64,
+        clock: &Clock,
+        ch: &mut dyn ControlChannel,
+        policy: &RetryPolicy,
     ) -> Result<FlowId, OpenError> {
         let id = FlowId(self.next_id);
         self.next_id += 1;
@@ -200,115 +340,151 @@ impl FlowManager {
                     segr_keys: Vec::new(),
                     eer_exp: Instant::EPOCH,
                     renewals: 0,
+                    failovers: 0,
                 },
             );
             return Ok(id);
         }
-        let paths = find_paths(env.topo, env.segments, self.src_as, dst_as, self.cfg.max_path_attempts);
-        if paths.is_empty() {
-            return Err(OpenError::NoPath);
-        }
-        let mut last_err = None;
-        for path in paths {
-            // Ensure SegRs over the path's segments.
-            let mut segr_keys = Vec::with_capacity(path.segments.len());
-            let mut ok = true;
-            for seg in &path.segments {
-                match self.ensure_segr(env, seg, now) {
-                    Ok(k) => segr_keys.push(k),
-                    Err(e) => {
-                        last_err = Some(e);
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if !ok {
-                continue;
-            }
-            match setup_eer(env.reg, &path, &segr_keys, hosts, demand, now) {
-                Ok(grant) => {
-                    let owned = env
-                        .reg
-                        .get(self.src_as)
-                        .unwrap()
-                        .store()
-                        .owned_eer(grant.key)
-                        .expect("owned after setup")
-                        .clone();
-                    env.gateway.install(&owned, now);
-                    self.flows.insert(
-                        id,
-                        Flow {
-                            dst_as,
-                            hosts,
-                            demand,
-                            kind: FlowKind::Reserved(grant.key),
-                            path: Some(path),
-                            segr_keys,
-                            eer_exp: grant.exp,
-                            renewals: 0,
-                        },
-                    );
-                    return Ok(id);
-                }
-                Err(e) => last_err = Some(e), // try the next path
-            }
-        }
-        Err(OpenError::AllPathsRefused(last_err.expect("at least one attempt")))
+        let est = self.try_establish(env, dst_as, hosts, demand, clock, ch, policy)?;
+        self.install(env, est.key, clock.now());
+        self.flows.insert(
+            id,
+            Flow {
+                dst_as,
+                hosts,
+                demand,
+                kind: FlowKind::Reserved(est.key),
+                path: Some(est.path),
+                segr_keys: est.segr_keys,
+                eer_exp: est.exp,
+                renewals: 0,
+                failovers: 0,
+            },
+        );
+        Ok(id)
     }
 
     /// Periodic maintenance: renews EERs and SegRs nearing expiry. Returns
     /// the number of renewals performed. Call at least once per
     /// `eer_renew_ahead`.
     pub fn tick(&mut self, env: &mut Env<'_>, now: Instant) -> usize {
-        let mut renewed = 0;
-        // SegRs first, so EER renewals land on fresh segments.
-        let segr_keys: Vec<ReservationKey> = self.segr_cache.values().copied().collect();
+        let clock = Clock::starting_at(now);
+        self.tick_with(env, &clock, &mut PerfectChannel, &RetryPolicy::default()).renewals
+    }
+
+    /// [`FlowManager::tick`] over an explicit control channel, with the
+    /// full failure-handling ladder:
+    ///
+    /// 1. renew SegRs and EERs nearing expiry (retried under `policy`);
+    /// 2. a reserved flow whose EER has *lapsed* (renewals kept failing
+    ///    until expiry) fails over to any other admissible path — the old
+    ///    gateway entry is removed, the new one installed;
+    /// 3. if no path admits it, the flow degrades to best-effort;
+    /// 4. degraded flows retry establishment each tick and return to
+    ///    reserved service once capacity is back.
+    pub fn tick_with(
+        &mut self,
+        env: &mut Env<'_>,
+        clock: &Clock,
+        ch: &mut dyn ControlChannel,
+        policy: &RetryPolicy,
+    ) -> TickReport {
+        let mut report = TickReport::default();
+        // SegRs first, so EER renewals land on fresh segments. Sorted for
+        // deterministic replay (the channel RNG is consumed in order).
+        let mut segr_keys: Vec<ReservationKey> = self.segr_cache.values().copied().collect();
+        segr_keys.sort_unstable();
         for key in segr_keys {
-            let Some(owned) =
-                env.reg.get(key.src_as).and_then(|c| c.store().owned_segr(key)).map(|o| (o.exp, o.bw, o.ver))
+            let Some((exp, bw)) = env
+                .reg
+                .get(key.src_as)
+                .and_then(|c| c.store().owned_segr(key))
+                .map(|o| (o.exp, o.bw))
             else {
                 continue;
             };
-            let (exp, bw, _ver) = owned;
-            if exp.saturating_since(now) < self.cfg.segr_renew_ahead
-                || now + self.cfg.segr_renew_ahead >= exp
-            {
-                if let Ok(grant) = renew_segr(env.reg, key, bw, Bandwidth::from_mbps(1), now) {
-                    if activate_segr(env.reg, key, grant.ver, now).is_ok() {
-                        renewed += 1;
+            if clock.now() + self.cfg.segr_renew_ahead >= exp {
+                if let Ok((grant, _)) =
+                    renew_segr_reliable(env.reg, key, bw, Bandwidth::from_mbps(1), clock, ch, policy)
+                {
+                    if activate_segr_reliable(env.reg, key, grant.ver, clock, ch, policy).is_ok() {
+                        report.renewals += 1;
                     }
                 }
             }
         }
-        for flow in self.flows.values_mut() {
-            let FlowKind::Reserved(key) = flow.kind else { continue };
-            if now + self.cfg.eer_renew_ahead >= flow.eer_exp {
-                match renew_eer(env.reg, key, flow.demand, now) {
-                    Ok(grant) => {
-                        let owned = env
-                            .reg
-                            .get(self.src_as)
-                            .unwrap()
-                            .store()
-                            .owned_eer(key)
-                            .expect("owned")
-                            .clone();
-                        env.gateway.install(&owned, now);
-                        flow.eer_exp = grant.exp;
-                        flow.renewals += 1;
-                        renewed += 1;
+        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let flow = &self.flows[&id];
+            let (kind, dst_as, hosts, demand, eer_exp) =
+                (flow.kind.clone(), flow.dst_as, flow.hosts, flow.demand, flow.eer_exp);
+            match kind {
+                FlowKind::BestEffort => {}
+                FlowKind::Reserved(key) => {
+                    if clock.now() + self.cfg.eer_renew_ahead < eer_exp {
+                        continue;
                     }
-                    Err(_) => {
-                        // Renewal refused (e.g. SegR contention): the flow
-                        // keeps its current version until expiry; the next
-                        // tick retries.
+                    match renew_eer_reliable(env.reg, key, demand, clock, ch, policy) {
+                        Ok((grant, _)) => {
+                            self.install(env, key, clock.now());
+                            let f = self.flows.get_mut(&id).unwrap();
+                            f.eer_exp = grant.exp;
+                            f.renewals += 1;
+                            report.renewals += 1;
+                        }
+                        Err(_) if clock.now() >= eer_exp => {
+                            // The reservation lapsed. The gateway must stop
+                            // stamping with a dead reservation either way.
+                            env.gateway.remove(key.res_id);
+                            match self
+                                .try_establish(env, dst_as, hosts, demand, clock, ch, policy)
+                            {
+                                Ok(est) => {
+                                    self.install(env, est.key, clock.now());
+                                    let f = self.flows.get_mut(&id).unwrap();
+                                    f.kind = FlowKind::Reserved(est.key);
+                                    f.path = Some(est.path);
+                                    f.segr_keys = est.segr_keys;
+                                    f.eer_exp = est.exp;
+                                    f.failovers += 1;
+                                    report.failovers += 1;
+                                }
+                                Err(_) => {
+                                    let f = self.flows.get_mut(&id).unwrap();
+                                    f.kind = FlowKind::Degraded;
+                                    f.path = None;
+                                    f.segr_keys.clear();
+                                    f.eer_exp = Instant::EPOCH;
+                                    report.degradations += 1;
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // Renewal refused (e.g. SegR contention): the flow
+                            // keeps its current version until expiry; the next
+                            // tick retries.
+                        }
+                    }
+                }
+                FlowKind::Degraded => {
+                    // Capacity may have returned: try to get the
+                    // reservation back.
+                    if let Ok(est) =
+                        self.try_establish(env, dst_as, hosts, demand, clock, ch, policy)
+                    {
+                        self.install(env, est.key, clock.now());
+                        let f = self.flows.get_mut(&id).unwrap();
+                        f.kind = FlowKind::Reserved(est.key);
+                        f.path = Some(est.path);
+                        f.segr_keys = est.segr_keys;
+                        f.eer_exp = est.exp;
+                        report.reestablished += 1;
                     }
                 }
             }
         }
-        renewed
+        report
     }
 
     /// Sends one payload on a reserved flow through the gateway.
@@ -324,7 +500,7 @@ impl FlowManager {
             FlowKind::Reserved(key) => gateway
                 .process(flow.hosts.src_host, key.res_id, payload, now)
                 .map_err(SendError::Gateway),
-            FlowKind::BestEffort => Err(SendError::BestEffortFlow),
+            FlowKind::BestEffort | FlowKind::Degraded => Err(SendError::BestEffortFlow),
         }
     }
 
@@ -353,7 +529,8 @@ impl std::fmt::Debug for FlowManager {
 pub enum SendError {
     /// No such flow.
     UnknownFlow,
-    /// The flow is best-effort; send it through the normal stack instead.
+    /// The flow is best-effort (by size or by degradation); send it
+    /// through the normal stack instead.
     BestEffortFlow,
     /// The gateway refused the packet.
     Gateway(GatewayError),

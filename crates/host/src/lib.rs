@@ -17,5 +17,7 @@
 pub mod flow;
 pub mod transport;
 
-pub use flow::{Env, Flow, FlowConfig, FlowId, FlowKind, FlowManager, OpenError, SendError};
+pub use flow::{
+    Env, Flow, FlowConfig, FlowId, FlowKind, FlowManager, OpenError, SendError, TickReport,
+};
 pub use transport::{PacedSender, ReceiverTracker};

@@ -1,0 +1,431 @@
+//! Deterministic, seeded fault injection for the simulator.
+//!
+//! A [`FaultPlan`] is a complete, declarative description of everything
+//! that goes wrong in a run: per-link drop probabilities, fixed delay
+//! plus random jitter, scheduled link-down intervals, CServ crash /
+//! restart events, and per-AS clock skew. Every random decision is drawn
+//! from a [`FaultRng`] seeded from the plan, so the same plan produces
+//! bit-identical event traces and delivery meters on every run — that is
+//! what makes partial-failure bugs reproducible enough to debug.
+//!
+//! The plan plugs into both layers of the simulator:
+//!
+//! - **Control plane** — [`FaultyChannel`] implements
+//!   [`colibri_ctrl::ControlChannel`], so the retrying setup drivers in
+//!   `colibri_ctrl::reliable` experience losses, latency, down links and
+//!   crashed CServs exactly as scheduled. Every delivery attempt is
+//!   recorded in an ordered [`TraceEvent`] log for replay comparison.
+//! - **Data plane** — [`PacketFaults`] attaches to a
+//!   [`crate::net::SimNet`] and drops / delays simulated packets on the
+//!   links named by the plan.
+//!
+//! Crash *recovery* is driven by [`apply_restarts`]: as simulated time
+//! passes each scheduled restart, the crashed AS's
+//! [`colibri_ctrl::CServ`] is rebuilt from its durable reservation store
+//! via `CServ::recover()`, which also self-checks the rebuilt admission
+//! aggregates against a from-scratch recomputation.
+
+#![deny(missing_docs)]
+
+use colibri_base::{Duration, Instant, IsdAsId};
+use colibri_ctrl::setup::CservRegistry;
+use colibri_ctrl::{ControlChannel, Delivery};
+use std::collections::HashMap;
+
+/// SplitMix64 — a tiny, deterministic, seedable generator. Every fault
+/// decision in a run is drawn from one of these, so a (plan, seed) pair
+/// fully determines the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `ppm` parts-per-million.
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        self.next_u64() % 1_000_000 < u64::from(ppm)
+    }
+
+    /// A uniformly random duration in `[0, max]`.
+    pub fn jitter(&mut self, max: Duration) -> Duration {
+        let m = max.as_nanos();
+        if m == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.next_u64() % m.saturating_add(1))
+    }
+}
+
+/// Fault parameters of one directed link.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Probability of dropping each message / packet, in parts-per-million.
+    pub drop_ppm: u32,
+    /// Fixed one-way delay added to every delivery.
+    pub delay: Duration,
+    /// Maximum random extra delay added on top of `delay`.
+    pub jitter: Duration,
+    /// Half-open `[start, end)` intervals during which the link is down:
+    /// everything sent inside one is rejected as [`Delivery::Down`].
+    pub down: Vec<(Instant, Instant)>,
+}
+
+impl LinkFaults {
+    /// A lossy-but-up link dropping with probability `drop_ppm` ppm.
+    pub fn lossy(drop_ppm: u32) -> Self {
+        Self { drop_ppm, ..Self::default() }
+    }
+
+    /// Sets the fixed one-way delay.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the maximum random jitter.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Schedules a down interval `[start, end)`.
+    pub fn with_down(mut self, start: Instant, end: Instant) -> Self {
+        self.down.push((start, end));
+        self
+    }
+
+    /// Whether the link is inside a scheduled down interval at `now`.
+    pub fn is_down(&self, now: Instant) -> bool {
+        self.down.iter().any(|&(s, e)| s <= now && now < e)
+    }
+}
+
+/// A scheduled CServ crash: the service is unreachable from `at`
+/// (exclusive of `restart_at`), then restarts and recovers its admission
+/// state from the reservation store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The AS whose CServ crashes.
+    pub as_id: IsdAsId,
+    /// When the crash happens.
+    pub at: Instant,
+    /// When the service is back up (after recovery).
+    pub restart_at: Instant,
+}
+
+/// A complete, declarative fault schedule for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every pseudo-random fault decision.
+    pub seed: u64,
+    /// Faults applied to links with no per-link override.
+    pub default_link: LinkFaults,
+    /// Per-directed-link overrides, keyed by `(from, to)`.
+    pub per_link: HashMap<(IsdAsId, IsdAsId), LinkFaults>,
+    /// Scheduled CServ crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// Per-AS clock skew in signed nanoseconds (positive = fast clock),
+    /// mirroring the paper's ±0.1 s synchronization assumption (§2.3).
+    pub clock_skews: HashMap<IsdAsId, i64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Sets the default link faults.
+    pub fn with_default_faults(mut self, faults: LinkFaults) -> Self {
+        self.default_link = faults;
+        self
+    }
+
+    /// Overrides the faults of the directed link `from → to`.
+    pub fn with_link(mut self, from: IsdAsId, to: IsdAsId, faults: LinkFaults) -> Self {
+        self.per_link.insert((from, to), faults);
+        self
+    }
+
+    /// Schedules a CServ crash.
+    pub fn with_crash(mut self, as_id: IsdAsId, at: Instant, restart_at: Instant) -> Self {
+        self.crashes.push(CrashEvent { as_id, at, restart_at });
+        self
+    }
+
+    /// Sets an AS's clock skew (signed nanoseconds).
+    pub fn with_clock_skew(mut self, as_id: IsdAsId, skew_ns: i64) -> Self {
+        self.clock_skews.insert(as_id, skew_ns);
+        self
+    }
+
+    /// The faults of the directed link `from → to`.
+    pub fn link_faults(&self, from: IsdAsId, to: IsdAsId) -> &LinkFaults {
+        self.per_link.get(&(from, to)).unwrap_or(&self.default_link)
+    }
+
+    /// Whether `as_id`'s CServ is inside a crash window at `now`.
+    pub fn is_crashed(&self, as_id: IsdAsId, now: Instant) -> bool {
+        self.crashes.iter().any(|c| c.as_id == as_id && c.at <= now && now < c.restart_at)
+    }
+
+    /// A control-plane channel realizing this plan.
+    pub fn channel(&self) -> FaultyChannel {
+        FaultyChannel::new(self.clone())
+    }
+
+    /// Applies the plan's clock skews to the simulated nodes.
+    pub fn apply_clock_skews(&self, net: &mut crate::net::SimNet) {
+        for (&as_id, &skew) in &self.clock_skews {
+            net.node_mut(as_id).clock_skew = skew;
+        }
+    }
+}
+
+/// One recorded control-message delivery attempt. The ordered trace of
+/// these is the replay-determinism witness: two runs of the same plan
+/// must produce identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sending AS.
+    pub from: IsdAsId,
+    /// Receiving AS.
+    pub to: IsdAsId,
+    /// Send time.
+    pub at: Instant,
+    /// What happened to the leg.
+    pub outcome: Delivery,
+}
+
+/// A [`ControlChannel`] that realizes a [`FaultPlan`]: deterministic
+/// drops, delays, down intervals and crash windows, with a full event
+/// trace for replay comparison.
+#[derive(Debug, Clone)]
+pub struct FaultyChannel {
+    plan: FaultPlan,
+    rng: FaultRng,
+    trace: Vec<TraceEvent>,
+    /// Legs delivered.
+    pub delivered: u64,
+    /// Legs dropped in transit.
+    pub lost: u64,
+    /// Legs rejected because the link was down.
+    pub down: u64,
+}
+
+impl FaultyChannel {
+    /// A channel realizing `plan`, with its RNG seeded from the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        Self { plan, rng, trace: Vec::new(), delivered: 0, lost: 0, down: 0 }
+    }
+
+    /// The ordered trace of every delivery attempt so far.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Total delivery attempts observed.
+    pub fn attempts(&self) -> u64 {
+        self.delivered + self.lost + self.down
+    }
+
+    /// The plan this channel realizes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl ControlChannel for FaultyChannel {
+    fn deliver(&mut self, from: IsdAsId, to: IsdAsId, now: Instant) -> Delivery {
+        let faults = self.plan.per_link.get(&(from, to)).unwrap_or(&self.plan.default_link);
+        let outcome = if faults.is_down(now) {
+            Delivery::Down
+        } else if self.rng.chance_ppm(faults.drop_ppm) {
+            Delivery::Lost
+        } else {
+            Delivery::Delivered(faults.delay.saturating_add(self.rng.jitter(faults.jitter)))
+        };
+        match outcome {
+            Delivery::Delivered(_) => self.delivered += 1,
+            Delivery::Lost => self.lost += 1,
+            Delivery::Down => self.down += 1,
+        }
+        self.trace.push(TraceEvent { from, to, at: now, outcome });
+        outcome
+    }
+
+    fn node_up(&self, as_id: IsdAsId, now: Instant) -> bool {
+        !self.plan.is_crashed(as_id, now)
+    }
+}
+
+/// Restarts every CServ whose scheduled restart time falls in
+/// `(prev, now]`: the in-memory service state is rebuilt from the
+/// durable reservation store by [`colibri_ctrl::CServ::recover`], whose
+/// aggregate self-check panics the simulation if the rebuilt admission
+/// state is inconsistent. Returns the recovered ASes (sorted, for
+/// deterministic logs).
+pub fn apply_restarts(
+    plan: &FaultPlan,
+    reg: &mut CservRegistry,
+    prev: Instant,
+    now: Instant,
+) -> Vec<IsdAsId> {
+    let mut recovered = Vec::new();
+    for c in &plan.crashes {
+        if c.restart_at > prev && c.restart_at <= now && !recovered.contains(&c.as_id) {
+            if let Some(cserv) = reg.get_mut(c.as_id) {
+                cserv.recover().expect("post-crash recovery self-check failed");
+                recovered.push(c.as_id);
+            }
+        }
+    }
+    recovered.sort_unstable();
+    recovered
+}
+
+/// Packet-level fault state attached to a [`crate::net::SimNet`]: drops
+/// and delays simulated data-plane packets per the plan, with counters.
+#[derive(Debug, Clone)]
+pub struct PacketFaults {
+    plan: FaultPlan,
+    rng: FaultRng,
+    /// Packets deliberately dropped by fault injection (distinct from
+    /// queue-overflow tail drops, which the links count themselves).
+    pub injected_drops: u64,
+    /// Packets delivered late because of injected delay/jitter.
+    pub delayed: u64,
+}
+
+impl PacketFaults {
+    /// Packet-fault state realizing `plan`. The RNG is seeded from the
+    /// plan seed XOR a domain tag, so control-plane and packet-level
+    /// decisions are independent streams of the same master seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed ^ 0x7061_636B_6574_7321);
+        Self { plan, rng, injected_drops: 0, delayed: 0 }
+    }
+
+    /// Decides the fate of one packet traversing `from → to` at `now`:
+    /// `None` means drop; `Some(extra)` means deliver after `extra`
+    /// additional propagation delay.
+    pub fn packet_fate(&mut self, from: IsdAsId, to: IsdAsId, now: Instant) -> Option<Duration> {
+        let faults = self.plan.per_link.get(&(from, to)).unwrap_or(&self.plan.default_link);
+        if faults.is_down(now) || self.rng.chance_ppm(faults.drop_ppm) {
+            self.injected_drops += 1;
+            return None;
+        }
+        let extra = faults.delay.saturating_add(self.rng.jitter(faults.jitter));
+        if extra > Duration::ZERO {
+            self.delayed += 1;
+        }
+        Some(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> IsdAsId {
+        IsdAsId::new(1, 10)
+    }
+    fn b() -> IsdAsId {
+        IsdAsId::new(2, 20)
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let plan = FaultPlan::new(42).with_default_faults(
+            LinkFaults::lossy(300_000)
+                .with_delay(Duration::from_millis(5))
+                .with_jitter(Duration::from_millis(3)),
+        );
+        let mut c1 = plan.channel();
+        let mut c2 = plan.channel();
+        for i in 0..200u64 {
+            let t = Instant::from_nanos(i * 1_000_000);
+            c1.deliver(a(), b(), t);
+            c2.deliver(a(), b(), t);
+        }
+        assert_eq!(c1.trace(), c2.trace());
+        assert!(c1.lost > 0, "30% drop over 200 legs must lose some");
+        assert!(c1.delivered > 0);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let mk = |seed| {
+            FaultPlan::new(seed).with_default_faults(LinkFaults::lossy(500_000))
+        };
+        let mut c1 = mk(1).channel();
+        let mut c2 = mk(2).channel();
+        for i in 0..64u64 {
+            let t = Instant::from_nanos(i);
+            c1.deliver(a(), b(), t);
+            c2.deliver(a(), b(), t);
+        }
+        assert_ne!(c1.trace(), c2.trace());
+    }
+
+    #[test]
+    fn down_interval_and_crash_window_apply() {
+        let t0 = Instant::from_secs(10);
+        let t1 = Instant::from_secs(20);
+        let plan = FaultPlan::new(7)
+            .with_link(a(), b(), LinkFaults::default().with_down(t0, t1))
+            .with_crash(b(), t0, t1);
+        let mut ch = plan.channel();
+        assert_eq!(ch.deliver(a(), b(), Instant::from_secs(15)), Delivery::Down);
+        assert!(matches!(ch.deliver(a(), b(), Instant::from_secs(21)), Delivery::Delivered(_)));
+        // Crash windows are half-open: down at `at`, up again at `restart_at`.
+        assert!(ch.node_up(b(), Instant::from_secs(9)));
+        assert!(!ch.node_up(b(), Instant::from_secs(10)));
+        assert!(!ch.node_up(b(), Instant::from_secs(19)));
+        assert!(ch.node_up(b(), Instant::from_secs(20)));
+        // The reverse direction is unaffected by the per-link override.
+        assert!(matches!(ch.deliver(b(), a(), Instant::from_secs(15)), Delivery::Delivered(_)));
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(99).with_default_faults(LinkFaults::lossy(100_000)); // 10%
+        let mut ch = plan.channel();
+        for i in 0..10_000u64 {
+            ch.deliver(a(), b(), Instant::from_nanos(i));
+        }
+        let rate = ch.lost as f64 / ch.attempts() as f64;
+        assert!((0.07..0.13).contains(&rate), "10% nominal, saw {rate}");
+    }
+
+    #[test]
+    fn packet_fate_is_deterministic_and_counts() {
+        let plan = FaultPlan::new(5).with_default_faults(
+            LinkFaults::lossy(250_000).with_jitter(Duration::from_micros(50)),
+        );
+        let mut p1 = PacketFaults::new(plan.clone());
+        let mut p2 = PacketFaults::new(plan);
+        let fates1: Vec<_> =
+            (0..500u64).map(|i| p1.packet_fate(a(), b(), Instant::from_nanos(i))).collect();
+        let fates2: Vec<_> =
+            (0..500u64).map(|i| p2.packet_fate(a(), b(), Instant::from_nanos(i))).collect();
+        assert_eq!(fates1, fates2);
+        assert!(p1.injected_drops > 0);
+        assert_eq!(p1.injected_drops, fates1.iter().filter(|f| f.is_none()).count() as u64);
+    }
+}

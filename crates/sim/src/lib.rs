@@ -10,6 +10,8 @@
 //! discipline.
 //!
 //! * [`events`] — deterministic discrete-event queue;
+//! * [`fault`] — seeded fault injection: link loss/delay/down schedules,
+//!   CServ crash + recovery, per-AS clock skew — all bit-reproducible;
 //! * [`net`] — nodes, links, per-class queues, delivery meters;
 //! * [`traffic`] — EER / best-effort / forged-Colibri generators and the
 //!   [`traffic::Simulation`] driver;
@@ -19,11 +21,16 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod fault;
 pub mod net;
 pub mod scenario;
 pub mod traffic;
 
 pub use events::{Event, EventQueue};
+pub use fault::{
+    apply_restarts, CrashEvent, FaultPlan, FaultRng, FaultyChannel, LinkFaults, PacketFaults,
+    TraceEvent,
+};
 pub use net::{FlowTag, Meter, Node, PacketKind, SimNet, SimPacket};
 pub use scenario::{
     doc_protection_experiment, egress_towards, protection_experiment, DocResult, PhaseResult,

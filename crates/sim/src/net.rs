@@ -88,6 +88,7 @@ fn class_idx(c: TrafficClass) -> usize {
 /// One directed link.
 #[derive(Debug)]
 struct Link {
+    from: IsdAsId,
     to: IsdAsId,
     capacity: Bandwidth,
     queues: [std::collections::VecDeque<SimPacket>; 3],
@@ -205,6 +206,8 @@ pub struct SimNet {
     nodes: HashMap<IsdAsId, Node>,
     /// Delivery accounting.
     pub meter: Meter,
+    /// Optional packet-level fault injection (drops / delays per link).
+    faults: Option<crate::fault::PacketFaults>,
 }
 
 impl SimNet {
@@ -219,6 +222,7 @@ impl SimNet {
             for (&iface, info) in &node.interfaces {
                 let idx = links.len();
                 links.push(Link {
+                    from: id,
                     to: info.neighbor,
                     capacity: info.capacity,
                     queues: Default::default(),
@@ -238,7 +242,19 @@ impl SimNet {
                 },
             );
         }
-        Self { links, link_index, nodes, meter: Meter::default() }
+        Self { links, link_index, nodes, meter: Meter::default(), faults: None }
+    }
+
+    /// Attaches a fault plan's packet-level faults (and applies its clock
+    /// skews to the nodes). Replaces any previously attached faults.
+    pub fn set_faults(&mut self, plan: crate::fault::FaultPlan) {
+        plan.apply_clock_skews(self);
+        self.faults = Some(crate::fault::PacketFaults::new(plan));
+    }
+
+    /// The attached packet-fault state (counters), if any.
+    pub fn faults(&self) -> Option<&crate::fault::PacketFaults> {
+        self.faults.as_ref()
     }
 
     /// Mutable access to an AS's node.
@@ -306,8 +322,21 @@ impl SimNet {
             return;
         };
         let tx = Duration::from_nanos(link.capacity.transmit_time_ns(pkt.size() as u64));
-        q.push(now + tx, Event::Arrival { link: idx, packet: pkt });
+        let (from, to) = (link.from, link.to);
         q.push(now + tx, Event::LinkDequeue { link: idx });
+        // Injected faults: the packet occupies the link for its full
+        // serialization time either way, but may then be lost in transit
+        // or arrive after extra propagation delay.
+        if let Some(f) = self.faults.as_mut() {
+            match f.packet_fate(from, to, now) {
+                None => return,
+                Some(extra) => {
+                    q.push(now + tx + extra, Event::Arrival { link: idx, packet: pkt });
+                    return;
+                }
+            }
+        }
+        q.push(now + tx, Event::Arrival { link: idx, packet: pkt });
     }
 
     /// Handles an arrival at the receiving node of `idx`.

@@ -18,10 +18,9 @@
 
 use colibri_base::{InterfaceId, IsdAsId};
 use colibri_wire::HopField;
-use serde::{Deserialize, Serialize};
 
 /// The three segment types (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentType {
     /// Non-core AS → core AS, within one ISD.
     Up,
@@ -42,7 +41,7 @@ impl std::fmt::Display for SegmentType {
 }
 
 /// One AS on a segment, with its traversal-direction interfaces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SegmentHop {
     /// The AS this hop belongs to.
     pub isd_as: IsdAsId,
@@ -62,7 +61,7 @@ impl SegmentHop {
 }
 
 /// A path segment: an ordered list of AS hops of one [`SegmentType`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// The segment's type.
     pub seg_type: SegmentType,

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full local gate: release build, the complete test suite, and
+# clippy with warnings promoted to errors. CI and pre-merge runs use
+# exactly this script, so a clean run here means a clean run there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> all checks passed"

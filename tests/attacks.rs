@@ -135,6 +135,7 @@ fn tampered_control_message_fails_verification() {
     let up = sample.segments.up_segments(sample.leaf_a, sample.core_11)[0].clone();
 
     let req = SegSetupReq {
+        request_id: 0,
         res_info: ResInfo {
             src_as: sample.leaf_a,
             res_id: colibri::base::ResId(0),

@@ -1,0 +1,244 @@
+//! Partial-failure integration: a multi-ISD deployment running under a
+//! seeded fault plan — ~3% control-message loss on every link plus one
+//! transit-core CServ crash spanning several EER lifetimes, with new
+//! flows opened *while the service is down*. The run must end with every
+//! flow either holding a reservation again or having cleanly degraded
+//! and re-established, and with zero leaked bandwidth: after closing
+//! everything and passing the expiry horizon, every CServ's admission
+//! aggregates must be bit-identical to an empty service, and every
+//! memoized aggregate must survive its consistency audit.
+
+use colibri::base::Clock;
+use colibri::ctrl::{AggregateSnapshot, RetryPolicy};
+use colibri::host::{Env, TickReport};
+use colibri::prelude::*;
+use colibri::sim::{apply_restarts, FaultPlan, LinkFaults};
+use colibri::topology::gen::{internet_like, InternetConfig};
+use std::collections::HashMap;
+
+const DROP_PPM: u32 = 30_000; // 3% per-leg control loss — under the 5% budget
+
+fn policy() -> RetryPolicy {
+    // Tight backoffs keep simulated time moving in small steps.
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        jitter_pct: 20,
+        per_hop_timeout: Duration::from_millis(200),
+    }
+}
+
+#[test]
+fn flows_survive_loss_and_a_cserv_crash_without_leaking() {
+    let gen = internet_like(
+        &InternetConfig {
+            isds: 2,
+            cores_per_isd: 2,
+            leaves_per_isd: 4,
+            providers_per_leaf: 2,
+            ..Default::default()
+        },
+        0xFA117,
+    );
+    let mut reg = CservRegistry::provision(&gen.topo, CservConfig::default());
+    let leaves: Vec<IsdAsId> = gen.topo.as_ids().filter(|&a| !gen.topo.is_core(a)).collect();
+    let (isd1, isd2): (Vec<IsdAsId>, Vec<IsdAsId>) =
+        leaves.iter().copied().partition(|l| l.isd == leaves[0].isd);
+    assert!(isd1.len() >= 3 && isd2.len() >= 3, "need leaves on both ISDs");
+
+    let mut managers: HashMap<IsdAsId, (FlowManager, Gateway)> = leaves
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                (
+                    FlowManager::new(
+                        l,
+                        FlowConfig {
+                            segr_demand: Bandwidth::from_mbps(500),
+                            ..FlowConfig::default()
+                        },
+                    ),
+                    Gateway::new(GatewayConfig::default()),
+                ),
+            )
+        })
+        .collect();
+
+    macro_rules! env {
+        ($gw:expr) => {
+            Env { reg: &mut reg, topo: &gen.topo, segments: &gen.segments, gateway: $gw }
+        };
+    }
+
+    let clock = Clock::starting_at(Instant::from_secs(1));
+    let policy = policy();
+    let base_plan =
+        FaultPlan::new(0xDECAF).with_default_faults(LinkFaults::lossy(DROP_PPM).with_delay(
+            Duration::from_millis(1),
+        ));
+    let mut ch = base_plan.channel();
+
+    // ---- Phase 1: open six cross-ISD flows under 3% loss. --------------
+    let mut flows: Vec<(IsdAsId, FlowId)> = Vec::new();
+    for i in 0..3 {
+        for (src, dst) in [(isd1[i], isd2[i]), (isd2[i], isd1[(i + 1) % 3])] {
+            let (fm, gw) = managers.get_mut(&src).unwrap();
+            let id = fm
+                .open_with(
+                    &mut env!(gw),
+                    dst,
+                    HostAddr(100 + i as u32),
+                    HostAddr(200 + i as u32),
+                    Bandwidth::from_mbps(5),
+                    10_000_000,
+                    &clock,
+                    &mut ch,
+                    &policy,
+                )
+                .unwrap_or_else(|e| panic!("open {src} → {dst} under loss: {e}"));
+            assert!(
+                matches!(managers[&src].0.flow(id).unwrap().kind, FlowKind::Reserved(_)),
+                "phase-1 flow must establish"
+            );
+            flows.push((src, id));
+        }
+    }
+
+    // ---- Phase 2: crash a transit core that actually carries flows. ----
+    let crashed = {
+        let (src, id) = flows[0];
+        let path = managers[&src].0.flow(id).unwrap().path.as_ref().unwrap().clone();
+        path.as_path().into_iter().find(|&a| gen.topo.is_core(a)).expect("a core on the path")
+    };
+    let crash_at = clock.now() + Duration::from_secs(5);
+    let restart_at = crash_at + Duration::from_secs(40); // > 2 EER lifetimes
+    // A short full outage inside the crash window exercises the link
+    // down/up schedule on top of loss and the dead CServ.
+    let outage = LinkFaults::lossy(DROP_PPM)
+        .with_delay(Duration::from_millis(1))
+        .with_down(crash_at + Duration::from_secs(10), crash_at + Duration::from_secs(14));
+    let plan = FaultPlan::new(0xDECAF)
+        .with_default_faults(outage)
+        .with_crash(crashed, crash_at, restart_at);
+    let phase1_stats = (ch.lost, ch.attempts());
+    let mut ch = plan.channel();
+
+    // ---- Phase 3: run the deployment through the crash. ----------------
+    let mut report = TickReport::default();
+    let mut recovered: Vec<IsdAsId> = Vec::new();
+    let mut late_opens: Vec<(IsdAsId, IsdAsId, u32)> = Vec::new();
+    let mut opened_mid_crash = false;
+    let t_end = restart_at + Duration::from_secs(40);
+    let mut prev = clock.now();
+    while clock.now() < t_end {
+        for &l in &leaves {
+            let (fm, gw) = managers.get_mut(&l).unwrap();
+            let r = fm.tick_with(&mut env!(gw), &clock, &mut ch, &policy);
+            report.renewals += r.renewals;
+            report.failovers += r.failovers;
+            report.degradations += r.degradations;
+            report.reestablished += r.reestablished;
+        }
+        // Open two more flows while the core is down — their setups run
+        // into the crashed CServ mid-pass, retry, roll back, and either
+        // find another path or wait for recovery.
+        if !opened_mid_crash && plan.is_crashed(crashed, clock.now()) {
+            opened_mid_crash = true;
+            for (j, (src, dst)) in [(isd1[1], isd2[2]), (isd2[1], isd1[2])].into_iter().enumerate()
+            {
+                let (fm, gw) = managers.get_mut(&src).unwrap();
+                match fm.open_with(
+                    &mut env!(gw),
+                    dst,
+                    HostAddr(300 + j as u32),
+                    HostAddr(400 + j as u32),
+                    Bandwidth::from_mbps(5),
+                    10_000_000,
+                    &clock,
+                    &mut ch,
+                    &policy,
+                ) {
+                    Ok(id) => flows.push((src, id)),
+                    // All candidate paths need the dead core: re-open
+                    // after it recovers.
+                    Err(_) => late_opens.push((src, dst, 300 + j as u32)),
+                }
+            }
+        }
+        recovered.extend(apply_restarts(&plan, &mut reg, prev, clock.now()));
+        prev = clock.now();
+        clock.advance(Duration::from_secs(2));
+    }
+    assert!(opened_mid_crash, "the run never reached the crash window");
+    assert_eq!(recovered, vec![crashed], "crash recovery must have run exactly once");
+    assert!(
+        report.failovers + report.degradations > 0,
+        "the crash must have lapsed at least one flow: {report:?}"
+    );
+
+    // ---- Phase 4: everything re-establishes. ---------------------------
+    for (src, dst, tag) in late_opens {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        let id = fm
+            .open_with(
+                &mut env!(gw),
+                dst,
+                HostAddr(tag),
+                HostAddr(tag + 100),
+                Bandwidth::from_mbps(5),
+                10_000_000,
+                &clock,
+                &mut ch,
+                &policy,
+            )
+            .unwrap_or_else(|e| panic!("post-recovery open {src} → {dst}: {e}"));
+        flows.push((src, id));
+    }
+    for _ in 0..10 {
+        for &l in &leaves {
+            let (fm, gw) = managers.get_mut(&l).unwrap();
+            fm.tick_with(&mut env!(gw), &clock, &mut ch, &policy);
+        }
+        clock.advance(Duration::from_secs(2));
+    }
+    for &(src, id) in &flows {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        let flow = fm.flow(id).unwrap();
+        assert!(
+            matches!(flow.kind, FlowKind::Reserved(_)),
+            "flow {src}/{id:?} ended as {:?}",
+            flow.kind
+        );
+        // The gateway entry matches the control state: sending works.
+        fm.send(gw, id, b"post-recovery payload", clock.now())
+            .unwrap_or_else(|e| panic!("send on {src}/{id:?}: {e}"));
+    }
+
+    // Observed control-plane loss stayed within the scenario budget.
+    let (lost, attempts) = (phase1_stats.0 + ch.lost, phase1_stats.1 + ch.attempts());
+    let loss = lost as f64 / attempts as f64;
+    assert!(loss < 0.05, "observed control loss {loss:.3} over {attempts} legs");
+    assert!(ch.down > 0, "the crash window must have rejected some legs");
+
+    // ---- Phase 5: no leaked bandwidth. ---------------------------------
+    // Live audit first: every memoized aggregate matches its entry table.
+    for id in reg.ids() {
+        reg.get(id).unwrap().admission().audit().unwrap_or_else(|e| panic!("audit {id}: {e}"));
+    }
+    // Then drain: close all flows, pass every expiry horizon, GC — every
+    // CServ must be bit-identical to an empty service.
+    for &(src, id) in &flows {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        fm.close(gw, id);
+    }
+    let horizon = clock.now() + Duration::from_secs(400); // > SegR lifetime
+    for id in reg.ids() {
+        reg.get_mut(id).unwrap().gc(horizon);
+    }
+    for id in reg.ids() {
+        let agg = reg.get(id).unwrap().admission().aggregates();
+        assert_eq!(agg, AggregateSnapshot::default(), "bandwidth leaked at {id}");
+    }
+}
