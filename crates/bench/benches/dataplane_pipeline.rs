@@ -1,0 +1,94 @@
+//! Batched data-plane pipeline: scalar vs batched border router, and
+//! allocating vs allocation-free gateway stamping.
+//!
+//! The batched router path (`process_batch`) parses each packet once,
+//! hoists the per-epoch `K_i` derivation out of the loop, and verifies
+//! four packets' HVFs with the interleaved 4-wide AES-CMAC; the gateway's
+//! `process_into` serializes into a caller-owned buffer and stamps hop
+//! HVFs four at a time with the multi-key batch. Both must beat (or at
+//! minimum match) their scalar equivalents — `repro_pipeline --gate`
+//! enforces that in CI; this bench provides the statistically solid
+//! per-packet numbers.
+
+use colibri::base::Instant;
+use colibri::dataplane::RouterVerdict;
+use colibri_bench::{bench_gateway, bench_router, stamped_packets, SRC_HOST};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BATCH: usize = 64;
+
+fn router_paths(c: &mut Criterion) {
+    let now = Instant::from_secs(10);
+    let mut group = c.benchmark_group("pipeline_router");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &hops in &[4usize, 8, 16] {
+        let (mut gw, ids) = bench_gateway(hops, 1 << 10, now);
+        let pkts = stamped_packets(&mut gw, &ids, 0, BATCH, 1, now);
+        let mut bufs: Vec<Vec<u8>> = pkts.clone();
+
+        let mut router = bench_router(hops, 1);
+        group.bench_with_input(BenchmarkId::new("scalar_hops", hops), &hops, |b, _| {
+            b.iter(|| {
+                for (buf, src) in bufs.iter_mut().zip(&pkts) {
+                    buf.clear();
+                    buf.extend_from_slice(src);
+                }
+                for buf in bufs.iter_mut() {
+                    let v = router.process(std::hint::black_box(buf), now);
+                    assert!(matches!(v, RouterVerdict::Forward(_)));
+                }
+            })
+        });
+
+        let mut router = bench_router(hops, 1);
+        group.bench_with_input(BenchmarkId::new("batched_hops", hops), &hops, |b, _| {
+            b.iter(|| {
+                for (buf, src) in bufs.iter_mut().zip(&pkts) {
+                    buf.clear();
+                    buf.extend_from_slice(src);
+                }
+                let mut refs: Vec<&mut [u8]> =
+                    bufs.iter_mut().map(Vec::as_mut_slice).collect();
+                let verdicts = router.process_batch(std::hint::black_box(&mut refs), now);
+                assert!(verdicts.iter().all(|v| matches!(v, RouterVerdict::Forward(_))));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gateway_paths(c: &mut Criterion) {
+    let now = Instant::from_secs(10);
+    let mut group = c.benchmark_group("pipeline_gateway");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(1));
+    let payload = [0u8; 64];
+    for &hops in &[4usize, 8, 16] {
+        let (mut gw, ids) = bench_gateway(hops, 1 << 10, now);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("alloc_hops", hops), &hops, |b, _| {
+            b.iter(|| {
+                i = (i + 1) & (ids.len() - 1);
+                std::hint::black_box(gw.process(SRC_HOST, ids[i], &payload, now).unwrap())
+            })
+        });
+
+        let (mut gw, ids) = bench_gateway(hops, 1 << 10, now);
+        let mut buf = Vec::new();
+        group.bench_with_input(BenchmarkId::new("into_hops", hops), &hops, |b, _| {
+            b.iter(|| {
+                i = (i + 1) & (ids.len() - 1);
+                std::hint::black_box(
+                    gw.process_into(SRC_HOST, ids[i], &payload, now, &mut buf).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, router_paths, gateway_paths);
+criterion_main!(benches);

@@ -140,6 +140,37 @@ impl Aes128 {
         Self { round_keys: rk }
     }
 
+    /// Expands four independent keys with the schedules interleaved.
+    ///
+    /// Each schedule is a serial dependency chain (word `i` needs word
+    /// `i-1`), so a single expansion is latency-bound on the S-box
+    /// lookups of `sub_word`; running four chains in lockstep keeps four
+    /// independent loads in flight, the same software-pipelining trick as
+    /// [`Aes128::encrypt4`]. Used by the multi-key CMAC batch
+    /// (`Cmac::tag4_short_multikey`), where per-packet hop authenticators
+    /// make the key expansion itself a per-packet cost.
+    pub fn new4(keys: [&[u8; 16]; 4]) -> [Aes128; 4] {
+        let mut rk = [[0u32; 4 * (NR + 1)]; 4];
+        for l in 0..4 {
+            for (i, chunk) in keys[l].chunks_exact(4).enumerate() {
+                rk[l][i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+        }
+        for i in 4..4 * (NR + 1) {
+            if i % 4 == 0 {
+                let rcon = RCON[i / 4 - 1];
+                for lane in &mut rk {
+                    lane[i] = lane[i - 4] ^ sub_word(lane[i - 1].rotate_left(8)) ^ rcon;
+                }
+            } else {
+                for lane in &mut rk {
+                    lane[i] = lane[i - 4] ^ lane[i - 1];
+                }
+            }
+        }
+        rk.map(|round_keys| Self { round_keys })
+    }
+
     /// Encrypts one 16-byte block in place.
     #[inline]
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
@@ -194,6 +225,88 @@ impl Aes128 {
         let mut out = *block;
         self.encrypt_block(&mut out);
         out
+    }
+
+    /// Encrypts four independent 16-byte blocks in place under this key.
+    ///
+    /// The four lanes are software-pipelined: each round computes all four
+    /// states before any lane advances, so the T-table load latencies of
+    /// one lane overlap with the arithmetic of the others. A single
+    /// T-table AES block is latency-bound (every round waits on four
+    /// dependent loads); four independent chains keep the load ports busy,
+    /// which is where the batched data-plane MAC verification gets its
+    /// speedup. Results are bit-identical to four [`Self::encrypt_block`]
+    /// calls.
+    #[inline]
+    pub fn encrypt4(&self, blocks: &mut [[u8; 16]; 4]) {
+        Self::encrypt4_each([self, self, self, self], blocks);
+    }
+
+    /// Encrypts four independent blocks, each under its *own* key
+    /// schedule, with the same 4-wide interleaving as [`Self::encrypt4`].
+    ///
+    /// This is the kernel of the multi-key CMAC batch: the router derives
+    /// a distinct σᵢ per packet and the gateway holds a distinct σᵢ per
+    /// hop, so the final Eq. 6 block of four MACs runs under four
+    /// different keys.
+    #[inline]
+    pub fn encrypt4_each(ciphers: [&Aes128; 4], blocks: &mut [[u8; 16]; 4]) {
+        let rks = [
+            &ciphers[0].round_keys,
+            &ciphers[1].round_keys,
+            &ciphers[2].round_keys,
+            &ciphers[3].round_keys,
+        ];
+        // s[lane][word], loaded big-endian and whitened with round key 0.
+        let mut s = [[0u32; 4]; 4];
+        for l in 0..4 {
+            let b = &blocks[l];
+            for w in 0..4 {
+                s[l][w] = u32::from_be_bytes([b[4 * w], b[4 * w + 1], b[4 * w + 2], b[4 * w + 3]])
+                    ^ rks[l][w];
+            }
+        }
+        for round in 1..NR {
+            for l in 0..4 {
+                let [s0, s1, s2, s3] = s[l];
+                let rk = &rks[l][4 * round..4 * round + 4];
+                s[l] = [
+                    T0[(s0 >> 24) as usize]
+                        ^ T1[((s1 >> 16) & 0xff) as usize]
+                        ^ T2[((s2 >> 8) & 0xff) as usize]
+                        ^ T3[(s3 & 0xff) as usize]
+                        ^ rk[0],
+                    T0[(s1 >> 24) as usize]
+                        ^ T1[((s2 >> 16) & 0xff) as usize]
+                        ^ T2[((s3 >> 8) & 0xff) as usize]
+                        ^ T3[(s0 & 0xff) as usize]
+                        ^ rk[1],
+                    T0[(s2 >> 24) as usize]
+                        ^ T1[((s3 >> 16) & 0xff) as usize]
+                        ^ T2[((s0 >> 8) & 0xff) as usize]
+                        ^ T3[(s1 & 0xff) as usize]
+                        ^ rk[2],
+                    T0[(s3 >> 24) as usize]
+                        ^ T1[((s0 >> 16) & 0xff) as usize]
+                        ^ T2[((s1 >> 8) & 0xff) as usize]
+                        ^ T3[(s2 & 0xff) as usize]
+                        ^ rk[3],
+                ];
+            }
+        }
+        for l in 0..4 {
+            let [s0, s1, s2, s3] = s[l];
+            let rk = &rks[l][4 * NR..4 * NR + 4];
+            let out = [
+                final_word(s0, s1, s2, s3) ^ rk[0],
+                final_word(s1, s2, s3, s0) ^ rk[1],
+                final_word(s2, s3, s0, s1) ^ rk[2],
+                final_word(s3, s0, s1, s2) ^ rk[3],
+            ];
+            for w in 0..4 {
+                blocks[l][4 * w..4 * w + 4].copy_from_slice(&out[w].to_be_bytes());
+            }
+        }
     }
 
     /// Decrypts one 16-byte block in place (straightforward inverse-cipher;
@@ -330,6 +443,29 @@ mod tests {
         for i in 0..=255u8 {
             assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
         }
+    }
+
+    #[test]
+    fn encrypt4_matches_four_scalar_calls() {
+        let aes = Aes128::new(&[0x3C; 16]);
+        let mut blocks: [[u8; 16]; 4] =
+            core::array::from_fn(|l| core::array::from_fn(|i| (l * 37 + i * 11) as u8));
+        let expect: [[u8; 16]; 4] = core::array::from_fn(|l| aes.encrypt(&blocks[l]));
+        aes.encrypt4(&mut blocks);
+        assert_eq!(blocks, expect);
+    }
+
+    #[test]
+    fn encrypt4_each_uses_per_lane_keys() {
+        let ciphers: Vec<Aes128> = (0u8..4).map(|k| Aes128::new(&[k + 1; 16])).collect();
+        let mut blocks: [[u8; 16]; 4] =
+            core::array::from_fn(|l| core::array::from_fn(|i| (l + i) as u8));
+        let expect: [[u8; 16]; 4] = core::array::from_fn(|l| ciphers[l].encrypt(&blocks[l]));
+        Aes128::encrypt4_each(
+            [&ciphers[0], &ciphers[1], &ciphers[2], &ciphers[3]],
+            &mut blocks,
+        );
+        assert_eq!(blocks, expect);
     }
 
     #[test]

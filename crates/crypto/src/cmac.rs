@@ -57,8 +57,40 @@ impl Cmac {
         Self { cipher, k1, k2 }
     }
 
+    /// Builds the final CMAC block for a message that fits in one block:
+    /// XOR with K1 when it is exactly one complete block, 10*-padded and
+    /// XORed with K2 otherwise (RFC 4493 §2.4). Since X₀ = 0, this block
+    /// is also the cipher input — no running state is needed.
+    #[inline]
+    fn last_block_short(&self, msg: &[u8]) -> [u8; 16] {
+        debug_assert!(msg.len() <= BLOCK);
+        let mut last = [0u8; 16];
+        if msg.len() == BLOCK {
+            for i in 0..BLOCK {
+                last[i] = msg[i] ^ self.k1[i];
+            }
+        } else {
+            last[..msg.len()].copy_from_slice(msg);
+            last[msg.len()] = 0x80;
+            for (l, k) in last.iter_mut().zip(&self.k2) {
+                *l ^= k;
+            }
+        }
+        last
+    }
+
     /// Computes the 16-byte tag over `msg` in one shot.
+    ///
+    /// Single-block messages (≤ 16 bytes) take a fused path: the padded
+    /// final block is built and encrypted directly, skipping the
+    /// incremental state machine. This covers the data plane's hottest
+    /// MAC — the 12-byte `Ts || PktSize` input of Eq. 6.
     pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
+        if msg.len() <= BLOCK {
+            let mut last = self.last_block_short(msg);
+            self.cipher.encrypt_block(&mut last);
+            return last;
+        }
         let mut st = self.start();
         st.update(msg);
         st.finish()
@@ -66,12 +98,101 @@ impl Cmac {
 
     /// Computes the tag truncated to `N` bytes (N ≤ 16). Colibri uses
     /// `N = 4` for hop validation fields (`ℓ_hvf = 4` in the paper).
+    /// Short messages go through the fused single-block finish of
+    /// [`Self::tag`], so the 4-byte HVF path costs exactly one AES block.
     pub fn tag_truncated<const N: usize>(&self, msg: &[u8]) -> [u8; N] {
         const { assert!(N <= 16) };
         let full = self.tag(msg);
         let mut out = [0u8; N];
         out.copy_from_slice(&full[..N]);
         out
+    }
+
+    /// Computes four tags under this key over four independent messages,
+    /// driving the block cipher 4-wide ([`Aes128::encrypt4`]) whenever all
+    /// four lanes have a block to absorb.
+    ///
+    /// Lanes may have different lengths; rounds where fewer than four
+    /// lanes are active fall back to scalar encryption for just those
+    /// lanes, so the result is always bit-identical to four [`Self::tag`]
+    /// calls. The batched router path uses this for Eq. 3 SegR tokens and
+    /// Eq. 4 hop authenticators, where one AS secret authenticates four
+    /// packets' worth of inputs concurrently.
+    pub fn tag4(&self, msgs: [&[u8]; 4]) -> [[u8; 16]; 4] {
+        // Number of cipher calls per lane: ⌈len/16⌉, minimum 1 (the empty
+        // message still encrypts one padded block).
+        let nb: [usize; 4] = core::array::from_fn(|l| msgs[l].len().div_ceil(BLOCK).max(1));
+        let rounds = nb.into_iter().max().unwrap_or(1);
+        let mut x = [[0u8; 16]; 4];
+        for r in 0..rounds {
+            let mut active = [false; 4];
+            for l in 0..4 {
+                if r >= nb[l] {
+                    continue;
+                }
+                active[l] = true;
+                if r + 1 < nb[l] {
+                    // Interior block: plain XOR into the running state.
+                    let blk = &msgs[l][BLOCK * r..BLOCK * (r + 1)];
+                    for i in 0..BLOCK {
+                        x[l][i] ^= blk[i];
+                    }
+                } else {
+                    // Final block: K1/K2 treatment of the tail.
+                    let last = self.last_block_short(&msgs[l][BLOCK * r..]);
+                    for i in 0..BLOCK {
+                        x[l][i] ^= last[i];
+                    }
+                }
+            }
+            if active == [true; 4] {
+                self.cipher.encrypt4(&mut x);
+            } else {
+                for l in 0..4 {
+                    if active[l] {
+                        self.cipher.encrypt_block(&mut x[l]);
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// Computes four single-block CMAC tags under four *independent* keys
+    /// in one interleaved pass. Every message must fit in one block
+    /// (≤ 16 bytes); panics otherwise.
+    ///
+    /// This is the Eq. 6 batch kernel: the verifier holds four distinct
+    /// hop authenticators σ (one per packet on the router, one per hop on
+    /// the gateway) and MACs a 12-byte `Ts || PktSize` input under each.
+    /// The subkey derivation `L = AES_K(0)` and the final block encryption
+    /// both run 4-wide ([`Aes128::encrypt4_each`]); only the four key
+    /// expansions remain scalar.
+    pub fn tag4_short_multikey(keys: [&[u8; 16]; 4], msgs: [&[u8]; 4]) -> [[u8; 16]; 4] {
+        for m in msgs {
+            assert!(m.len() <= BLOCK, "tag4_short_multikey requires single-block messages");
+        }
+        let ciphers: [Aes128; 4] = Aes128::new4(keys);
+        let cipher_refs = [&ciphers[0], &ciphers[1], &ciphers[2], &ciphers[3]];
+        // Subkeys: L_l = AES_{K_l}(0), interleaved across the four keys.
+        let mut l_blocks = [[0u8; 16]; 4];
+        Aes128::encrypt4_each(cipher_refs, &mut l_blocks);
+        let mut last = [[0u8; 16]; 4];
+        for l in 0..4 {
+            let k1 = dbl(&l_blocks[l]);
+            let sub = if msgs[l].len() == BLOCK { k1 } else { dbl(&k1) };
+            if msgs[l].len() == BLOCK {
+                last[l].copy_from_slice(msgs[l]);
+            } else {
+                last[l][..msgs[l].len()].copy_from_slice(msgs[l]);
+                last[l][msgs[l].len()] = 0x80;
+            }
+            for i in 0..BLOCK {
+                last[l][i] ^= sub[i];
+            }
+        }
+        Aes128::encrypt4_each(cipher_refs, &mut last);
+        last
     }
 
     /// Begins an incremental computation.
@@ -242,6 +363,35 @@ mod tests {
         let full = cmac.tag(&MSG);
         let short: [u8; 4] = cmac.tag_truncated(&MSG);
         assert_eq!(short, full[..4]);
+    }
+
+    #[test]
+    fn tag4_matches_four_scalar_tags() {
+        let cmac = Cmac::new(&KEY);
+        // Mixed lengths: empty, exactly one block, interior+padded tail,
+        // and several full blocks — exercises every lockstep shape.
+        let cases: [[&[u8]; 4]; 3] = [
+            [&[], &MSG[..16], &MSG[..40], &MSG[..64]],
+            [&MSG[..12], &MSG[..12], &MSG[..12], &MSG[..12]],
+            [&MSG[..32], &MSG[..48], &MSG[..17], &MSG[..1]],
+        ];
+        for msgs in cases {
+            let batched = cmac.tag4(msgs);
+            for l in 0..4 {
+                assert_eq!(batched[l], cmac.tag(msgs[l]), "lane {l} len {}", msgs[l].len());
+            }
+        }
+    }
+
+    #[test]
+    fn tag4_short_multikey_matches_scalar() {
+        let keys: [[u8; 16]; 4] = core::array::from_fn(|l| [(l as u8) * 31 + 1; 16]);
+        let msgs: [&[u8]; 4] = [&MSG[..12], &MSG[..16], &[], &MSG[..5]];
+        let batched =
+            Cmac::tag4_short_multikey([&keys[0], &keys[1], &keys[2], &keys[3]], msgs);
+        for l in 0..4 {
+            assert_eq!(batched[l], Cmac::new(&keys[l]).tag(msgs[l]), "lane {l}");
+        }
     }
 
     #[test]

@@ -90,6 +90,73 @@ proptest! {
         prop_assert!(ct_eq(&a, &a.clone()));
     }
 
+    /// The 4-wide interleaved AES encryption is bit-identical to four
+    /// scalar encryptions, for arbitrary keys and blocks.
+    #[test]
+    fn encrypt4_equals_scalar(
+        keys in prop::collection::vec(any::<[u8; 16]>(), 4),
+        blocks in prop::collection::vec(any::<[u8; 16]>(), 4),
+    ) {
+        let blocks: [[u8; 16]; 4] = [blocks[0], blocks[1], blocks[2], blocks[3]];
+        // Single-key form.
+        let aes = Aes128::new(&keys[0]);
+        let mut batch = blocks;
+        aes.encrypt4(&mut batch);
+        for (lane, block) in blocks.iter().enumerate() {
+            let mut b = *block;
+            aes.encrypt_block(&mut b);
+            prop_assert_eq!(batch[lane], b, "encrypt4 lane {} diverged", lane);
+        }
+        // Multi-key form.
+        let ciphers: Vec<Aes128> = keys.iter().map(Aes128::new).collect();
+        let mut batch = blocks;
+        Aes128::encrypt4_each(
+            [&ciphers[0], &ciphers[1], &ciphers[2], &ciphers[3]],
+            &mut batch,
+        );
+        for lane in 0..4 {
+            let mut b = blocks[lane];
+            ciphers[lane].encrypt_block(&mut b);
+            prop_assert_eq!(batch[lane], b, "encrypt4_each lane {} diverged", lane);
+        }
+    }
+
+    /// The 4-wide interleaved CMAC is bit-identical to four scalar tags,
+    /// for arbitrary per-lane message lengths (including empty and
+    /// unequal numbers of blocks).
+    #[test]
+    fn tag4_equals_scalar(
+        key in any::<[u8; 16]>(),
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 4),
+    ) {
+        let cmac = Cmac::new(&key);
+        let tags = cmac.tag4([&msgs[0], &msgs[1], &msgs[2], &msgs[3]]);
+        for lane in 0..4 {
+            prop_assert_eq!(tags[lane], cmac.tag(&msgs[lane]), "tag4 lane {} diverged", lane);
+        }
+    }
+
+    /// The multi-key short-message CMAC batch (the Eq. 6 HVF path: four
+    /// distinct hop authenticators, one block each) matches scalar CMAC.
+    #[test]
+    fn tag4_short_multikey_equals_scalar(
+        keys in prop::collection::vec(any::<[u8; 16]>(), 4),
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..17), 4),
+    ) {
+        let tags = Cmac::tag4_short_multikey(
+            [&keys[0], &keys[1], &keys[2], &keys[3]],
+            [&msgs[0], &msgs[1], &msgs[2], &msgs[3]],
+        );
+        for lane in 0..4 {
+            prop_assert_eq!(
+                tags[lane],
+                Cmac::new(&keys[lane]).tag(&msgs[lane]),
+                "tag4_short_multikey lane {} diverged",
+                lane
+            );
+        }
+    }
+
     /// DRKey derivation is injective-in-practice across remotes and epochs
     /// (no two of a small arbitrary set collide) and deterministic.
     #[test]

@@ -18,11 +18,13 @@
 pub mod classes;
 pub mod control;
 pub mod gateway;
+pub mod parallel;
 pub mod router;
 pub mod sharded;
 
 pub use classes::{CbwfqScheduler, Served, TrafficClass, TrafficSplit};
 pub use control::stamp_segr_packet;
 pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
+pub use parallel::{ParallelGateway, RoutedOutput, ShardRouterPool, StampedOutput};
 pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, RouterVerdict};
-pub use sharded::ShardedGateway;
+pub use sharded::{shard_index, ShardedGateway};

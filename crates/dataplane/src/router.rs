@@ -21,8 +21,8 @@
 use colibri_base::{Bandwidth, Duration, HostAddr, Instant, InterfaceId, IsdAsId};
 use colibri_crypto::{ct_eq, Cmac, Epoch, SecretValueGen};
 use colibri_monitor::{MonitorAction, OveruseReport, TransitMonitor, TransitMonitorConfig};
-use colibri_wire::mac::{eer_hvf, hop_auth, segr_token};
-use colibri_wire::{PacketView, PacketViewMut};
+use colibri_wire::mac::{eer_hvf, eer_hvf4, hop_auth, hop_auth4, segr_token, segr_token4};
+use colibri_wire::{EerInfo, HopField, PacketViewMut, ResInfo, HVF_LEN};
 
 /// Why the router dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,33 +159,32 @@ impl BorderRouter {
 
     /// Processes one Colibri packet in place (mutable: `curr_hop` is
     /// advanced on forward).
+    ///
+    /// The packet is parsed exactly once: the same [`PacketViewMut`]
+    /// serves header validation, the HVF read, and the final hop advance.
     pub fn process(&mut self, pkt: &mut [u8], now: Instant) -> RouterVerdict {
-        let (res_info, eer_info, ts, hop, curr, pkt_size, is_eer) = {
-            let view = match PacketView::parse(pkt) {
-                Ok(v) => v,
-                Err(_) => return self.drop(DropReason::ParseError),
-            };
-            (
-                view.res_info(),
-                view.eer_info(),
-                view.ts(),
-                view.hop(view.curr_hop()),
-                view.curr_hop(),
-                view.pkt_size(),
-                view.is_eer(),
-            )
+        let mut view = match PacketViewMut::parse(pkt) {
+            Ok(v) => v,
+            Err(_) => return self.drop(DropReason::ParseError),
         };
+        let res_info = view.res_info();
         // Reservation must not be expired (§4.6).
         if now >= res_info.exp_t {
             return self.drop(DropReason::ReservationExpired);
         }
         // Freshness: Ts encodes the send time relative to ExpT.
+        let ts = view.ts();
         let send_time = Instant::from_nanos(res_info.exp_t.as_nanos().saturating_sub(ts));
         if send_time.saturating_since(now) > self.cfg.skew
             || now.saturating_since(send_time) > self.cfg.freshness
         {
             return self.drop(DropReason::Stale);
         }
+        let curr = view.curr_hop();
+        let hop = view.hop(curr);
+        let pkt_size = view.pkt_size();
+        let is_eer = view.is_eer();
+        let eer_info = view.eer_info();
         let epoch = Epoch::containing(now);
         // Cryptographic validation — stateless, from the AS secret only.
         let valid = if is_eer {
@@ -193,11 +192,11 @@ impl BorderRouter {
             let k_i = self.k_i(epoch);
             let sigma = hop_auth(k_i, &res_info, &info, hop);
             let expected = eer_hvf(&sigma, ts, pkt_size);
-            ct_eq(&expected, &view_hvf(pkt, curr))
+            ct_eq(&expected, &view.hvf(curr))
         } else {
             let k_i = self.k_i(epoch);
             let expected = segr_token(k_i, &res_info, hop);
-            ct_eq(&expected, &view_hvf(pkt, curr))
+            ct_eq(&expected, &view.hvf(curr))
         };
         if !valid {
             return self.drop(DropReason::BadHvf);
@@ -227,10 +226,171 @@ impl BorderRouter {
                 RouterVerdict::DeliverCserv
             }
         } else {
-            let mut view = PacketViewMut::parse(pkt).expect("validated above");
             view.advance_hop();
             RouterVerdict::Forward(hop.egress)
         }
+    }
+
+    /// Processes a batch of packets, producing the same verdicts (and the
+    /// same [`RouterStats`]) as calling [`Self::process`] on each packet
+    /// in order, but substantially faster:
+    ///
+    /// * each packet is parsed once, and the per-epoch `K_i` lookup, the
+    ///   freshness window, and the monitoring toggle are hoisted out of
+    ///   the per-packet loop;
+    /// * MAC verification runs four packets wide — σ derivation through
+    ///   [`hop_auth4`]/[`segr_token4`] under the shared `K_i`, and the
+    ///   Eq. 6 per-packet MAC through the multi-key [`eer_hvf4`] batch —
+    ///   so the AES T-table latency of one packet hides behind the other
+    ///   three.
+    ///
+    /// Monitoring (stateful: replay filter, OFD sketch, token buckets)
+    /// still runs packet-by-packet in submission order, which is what
+    /// makes the verdicts bit-identical to the sequential path.
+    pub fn process_batch(&mut self, pkts: &mut [&mut [u8]], now: Instant) -> Vec<RouterVerdict> {
+        let mut verdicts = vec![RouterVerdict::Drop(DropReason::ParseError); pkts.len()];
+        // Phase 1 — parse once and run the stateless header checks,
+        // collecting survivors (with everything the crypto and forwarding
+        // phases need) as lanes.
+        let mut views: Vec<Option<PacketViewMut<'_>>> = Vec::with_capacity(pkts.len());
+        let mut lanes: Vec<BatchLane> = Vec::with_capacity(pkts.len());
+        for (idx, pkt) in pkts.iter_mut().enumerate() {
+            let view = match PacketViewMut::parse(pkt) {
+                Ok(v) => v,
+                Err(_) => {
+                    verdicts[idx] = self.drop(DropReason::ParseError);
+                    views.push(None);
+                    continue;
+                }
+            };
+            let res_info = view.res_info();
+            if now >= res_info.exp_t {
+                verdicts[idx] = self.drop(DropReason::ReservationExpired);
+                views.push(None);
+                continue;
+            }
+            let ts = view.ts();
+            let send_time = Instant::from_nanos(res_info.exp_t.as_nanos().saturating_sub(ts));
+            if send_time.saturating_since(now) > self.cfg.skew
+                || now.saturating_since(send_time) > self.cfg.freshness
+            {
+                verdicts[idx] = self.drop(DropReason::Stale);
+                views.push(None);
+                continue;
+            }
+            let curr = view.curr_hop();
+            lanes.push(BatchLane {
+                idx,
+                res_info,
+                eer_info: view.eer_info(),
+                ts,
+                hop: view.hop(curr),
+                hvf: view.hvf(curr),
+                pkt_size: view.pkt_size(),
+                valid: false,
+            });
+            views.push(Some(view));
+        }
+        // Phase 2 — stateless crypto, four lanes at a time under the
+        // hoisted per-epoch key. EER and SegR lanes batch separately
+        // (different MAC constructions); crypto has no ordering effects,
+        // so regrouping cannot change any verdict.
+        let epoch = Epoch::containing(now);
+        let k_i = self.k_i(epoch).clone();
+        let (mut eer_lanes, mut segr_lanes): (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
+        for (li, lane) in lanes.iter().enumerate() {
+            if lane.eer_info.is_some() {
+                eer_lanes.push(li);
+            } else {
+                segr_lanes.push(li);
+            }
+        }
+        for chunk in eer_lanes.chunks(4) {
+            if let [a, b, c, d] = *chunk {
+                let quad = [a, b, c, d];
+                let sigmas = hop_auth4(
+                    &k_i,
+                    quad.map(|li| {
+                        let l = &lanes[li];
+                        (&l.res_info, l.eer_info.as_ref().unwrap(), l.hop)
+                    }),
+                );
+                let expected = eer_hvf4(
+                    [&sigmas[0], &sigmas[1], &sigmas[2], &sigmas[3]],
+                    quad.map(|li| (lanes[li].ts, lanes[li].pkt_size)),
+                );
+                for (j, li) in quad.into_iter().enumerate() {
+                    let hvf = lanes[li].hvf;
+                    lanes[li].valid = ct_eq(&expected[j], &hvf);
+                }
+            } else {
+                for &li in chunk {
+                    let l = &lanes[li];
+                    let sigma = hop_auth(&k_i, &l.res_info, l.eer_info.as_ref().unwrap(), l.hop);
+                    let expected = eer_hvf(&sigma, l.ts, l.pkt_size);
+                    let valid = ct_eq(&expected, &l.hvf);
+                    lanes[li].valid = valid;
+                }
+            }
+        }
+        for chunk in segr_lanes.chunks(4) {
+            if let [a, b, c, d] = *chunk {
+                let quad = [a, b, c, d];
+                let expected = segr_token4(&k_i, quad.map(|li| (&lanes[li].res_info, lanes[li].hop)));
+                for (j, li) in quad.into_iter().enumerate() {
+                    let hvf = lanes[li].hvf;
+                    lanes[li].valid = ct_eq(&expected[j], &hvf);
+                }
+            } else {
+                for &li in chunk {
+                    let l = &lanes[li];
+                    let expected = segr_token(&k_i, &l.res_info, l.hop);
+                    let valid = ct_eq(&expected, &l.hvf);
+                    lanes[li].valid = valid;
+                }
+            }
+        }
+        // Phase 3 — stateful monitoring and forwarding, in submission
+        // order (lanes are already index-ordered).
+        let monitoring = self.cfg.monitoring;
+        for lane in &lanes {
+            if !lane.valid {
+                verdicts[lane.idx] = self.drop(DropReason::BadHvf);
+                continue;
+            }
+            let is_eer = lane.eer_info.is_some();
+            if is_eer && monitoring {
+                let action = self.monitor.process_packet(
+                    lane.res_info.key(),
+                    lane.res_info.bw.bandwidth(),
+                    lane.pkt_size as u64,
+                    lane.ts,
+                    now,
+                );
+                let dropped = match action {
+                    MonitorAction::Forward => None,
+                    MonitorAction::DropBlocked => Some(DropReason::Blocked),
+                    MonitorAction::DropDuplicate => Some(DropReason::Duplicate),
+                    MonitorAction::DropShaped => Some(DropReason::Shaped),
+                };
+                if let Some(reason) = dropped {
+                    verdicts[lane.idx] = self.drop(reason);
+                    continue;
+                }
+            }
+            self.stats.forwarded += 1;
+            verdicts[lane.idx] = if lane.hop.egress.is_local() {
+                if is_eer {
+                    RouterVerdict::DeliverHost(lane.eer_info.unwrap().dst_host)
+                } else {
+                    RouterVerdict::DeliverCserv
+                }
+            } else {
+                views[lane.idx].as_mut().expect("lane implies view").advance_hop();
+                RouterVerdict::Forward(lane.hop.egress)
+            };
+        }
+        verdicts
     }
 
     /// Drains pending overuse reports (router → local CServ, §4.8).
@@ -256,11 +416,21 @@ impl BorderRouter {
     }
 }
 
-/// Reads the current hop's HVF without re-parsing the whole packet (the
-/// packet was validated by the caller).
-fn view_hvf(pkt: &[u8], curr: usize) -> [u8; colibri_wire::HVF_LEN] {
-    let view = PacketView::parse(pkt).expect("caller validated");
-    view.hvf(curr)
+/// Everything the crypto and forwarding phases of [`BorderRouter::process_batch`]
+/// need about one surviving packet — all `Copy` data lifted out of the
+/// parse phase, so no borrow of the packet buffers is held across phases.
+struct BatchLane {
+    /// Index into the caller's batch (and the verdict vector).
+    idx: usize,
+    res_info: ResInfo,
+    /// `Some` for EER data packets, `None` for SegR/control packets.
+    eer_info: Option<EerInfo>,
+    ts: u64,
+    hop: HopField,
+    hvf: [u8; HVF_LEN],
+    pkt_size: usize,
+    /// Set by the crypto phase.
+    valid: bool,
 }
 
 impl std::fmt::Debug for BorderRouter {

@@ -15,6 +15,18 @@ use crate::gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, Stamped
 use colibri_base::{HostAddr, Instant, ResId};
 use colibri_ctrl::OwnedEer;
 
+/// The shard owning `res_id` among `n` shards.
+///
+/// A SplitMix64-style finalizer over the raw reservation ID: cheap, well
+/// mixed, and shared by every sharded deployment in this crate
+/// ([`ShardedGateway`], [`crate::parallel::ParallelGateway`]) so that the
+/// shard assignment of a reservation is the same everywhere.
+pub fn shard_index(res_id: ResId, n: usize) -> usize {
+    let mut x = res_id.0 as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (x >> 33) as usize % n
+}
+
 /// A bank of share-nothing gateways, addressed by `ResId` hash.
 pub struct ShardedGateway {
     shards: Vec<Gateway>,
@@ -34,9 +46,7 @@ impl ShardedGateway {
 
     /// The shard responsible for a reservation.
     pub fn shard_of(&self, res_id: ResId) -> usize {
-        let mut x = res_id.0 as u64 ^ 0x9E37_79B9_7F4A_7C15;
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        (x >> 33) as usize % self.shards.len()
+        shard_index(res_id, self.shards.len())
     }
 
     /// Installs a reservation on its shard.

@@ -85,6 +85,57 @@ pub fn control_payload_mac(key: &Key, payload: &[u8]) -> [u8; 16] {
     key.cmac().tag(payload)
 }
 
+/// Batched Eq. 3: four SegR tokens under one AS secret, computed with the
+/// 4-wide interleaved CMAC ([`Cmac::tag4`]). Bit-identical to four
+/// [`segr_token`] calls.
+pub fn segr_token4(k_i: &Cmac, inputs: [(&ResInfo, HopField); 4]) -> [[u8; HVF_LEN]; 4] {
+    let mut msgs = [[0u8; RES_INFO_ENC_LEN + HOP_ENC_LEN]; 4];
+    for l in 0..4 {
+        let (res, hop) = inputs[l];
+        encode_res_info(res, (&mut msgs[l][..RES_INFO_ENC_LEN]).try_into().unwrap());
+        encode_hop(hop, (&mut msgs[l][RES_INFO_ENC_LEN..]).try_into().unwrap());
+    }
+    let tags = k_i.tag4([&msgs[0], &msgs[1], &msgs[2], &msgs[3]]);
+    tags.map(|t| t[..HVF_LEN].try_into().unwrap())
+}
+
+/// Batched Eq. 4: four hop authenticators under one AS secret — the
+/// router's σ derivation for four packets at once. Bit-identical to four
+/// [`hop_auth`] calls.
+pub fn hop_auth4(k_i: &Cmac, inputs: [(&ResInfo, &EerInfo, HopField); 4]) -> [Key; 4] {
+    let mut msgs = [[0u8; HOP_AUTH_INPUT_LEN]; 4];
+    for l in 0..4 {
+        let (res, eer, hop) = inputs[l];
+        encode_res_info(res, (&mut msgs[l][..RES_INFO_ENC_LEN]).try_into().unwrap());
+        msgs[l][RES_INFO_ENC_LEN..RES_INFO_ENC_LEN + 4]
+            .copy_from_slice(&eer.src_host.0.to_be_bytes());
+        msgs[l][RES_INFO_ENC_LEN + 4..RES_INFO_ENC_LEN + 8]
+            .copy_from_slice(&eer.dst_host.0.to_be_bytes());
+        encode_hop(hop, (&mut msgs[l][RES_INFO_ENC_LEN + 8..]).try_into().unwrap());
+    }
+    k_i.tag4([&msgs[0], &msgs[1], &msgs[2], &msgs[3]]).map(Key)
+}
+
+/// Batched Eq. 6: four per-packet HVFs under four *different* hop
+/// authenticators, interleaving the key-dependent AES calls
+/// ([`Cmac::tag4_short_multikey`]). The router uses it across four
+/// packets (distinct σ per packet); the gateway uses it across four hops
+/// of one packet (distinct σ per hop, shared `ts`/`pkt_size`).
+/// Bit-identical to four [`eer_hvf`] calls.
+pub fn eer_hvf4(sigmas: [&Key; 4], inputs: [(u64, usize); 4]) -> [[u8; HVF_LEN]; 4] {
+    let mut msgs = [[0u8; 12]; 4];
+    for l in 0..4 {
+        let (ts, pkt_size) = inputs[l];
+        msgs[l][..8].copy_from_slice(&ts.to_be_bytes());
+        msgs[l][8..].copy_from_slice(&(pkt_size as u32).to_be_bytes());
+    }
+    let tags = Cmac::tag4_short_multikey(
+        [&sigmas[0].0, &sigmas[1].0, &sigmas[2].0, &sigmas[3].0],
+        [&msgs[0], &msgs[1], &msgs[2], &msgs[3]],
+    );
+    tags.map(|t| t[..HVF_LEN].try_into().unwrap())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +205,32 @@ mod tests {
         // Router side: recompute from scratch.
         let router_sigma = hop_auth(&k_i, &res(), &eer(), HopField::new(4, 7));
         assert_eq!(eer_hvf(&router_sigma, 42, 128), gateway_hvf);
+    }
+
+    #[test]
+    fn batched_macs_match_scalar() {
+        let k_i = k();
+        let mut infos = Vec::new();
+        for i in 0..4u32 {
+            let mut r = res();
+            r.res_id = ResId(100 + i);
+            infos.push(r);
+        }
+        let hops = [HopField::new(1, 2), HopField::new(3, 4), HopField::new(5, 0), HopField::new(0, 7)];
+        let e = eer();
+
+        let seg4 = segr_token4(&k_i, core::array::from_fn(|l| (&infos[l], hops[l])));
+        let auth4 = hop_auth4(&k_i, core::array::from_fn(|l| (&infos[l], &e, hops[l])));
+        for l in 0..4 {
+            assert_eq!(seg4[l], segr_token(&k_i, &infos[l], hops[l]), "segr lane {l}");
+            assert_eq!(auth4[l], hop_auth(&k_i, &infos[l], &e, hops[l]), "auth lane {l}");
+        }
+
+        let ts_size = [(10u64, 64usize), (11, 65), (u64::MAX, 0), (0, 1500)];
+        let hvf4 = eer_hvf4(core::array::from_fn(|l| &auth4[l]), ts_size);
+        for l in 0..4 {
+            assert_eq!(hvf4[l], eer_hvf(&auth4[l], ts_size[l].0, ts_size[l].1), "hvf lane {l}");
+        }
     }
 
     #[test]

@@ -271,6 +271,11 @@ impl std::fmt::Debug for PacketView<'_> {
 
 /// A mutable packet view, used by the gateway (to stamp Ts and HVFs) and by
 /// routers (to advance `curr_hop`).
+///
+/// One `parse` yields everything a router needs for a packet's lifetime:
+/// the read accessors mirror [`PacketView`] (validation inputs, HVF reads)
+/// and the mutators cover stamping and hop advancement — so the hot path
+/// validates the framing exactly once per packet.
 pub struct PacketViewMut<'a> {
     buf: &'a mut [u8],
     n_hops: usize,
@@ -290,6 +295,51 @@ impl<'a> PacketViewMut<'a> {
     /// Reborrows as an immutable view.
     pub fn view(&self) -> PacketView<'_> {
         PacketView { buf: self.buf, n_hops: self.n_hops, eer: self.eer }
+    }
+
+    /// Whether this is an EER data packet (vs. a SegR/control packet).
+    pub fn is_eer(&self) -> bool {
+        self.eer
+    }
+
+    /// Number of on-path ASes.
+    pub fn n_hops(&self) -> usize {
+        self.n_hops
+    }
+
+    /// Index of the AS currently processing the packet.
+    pub fn curr_hop(&self) -> usize {
+        self.buf[3] as usize
+    }
+
+    /// The reservation metadata block.
+    pub fn res_info(&self) -> ResInfo {
+        self.view().res_info()
+    }
+
+    /// End-host addressing; `None` for SegR packets.
+    pub fn eer_info(&self) -> Option<EerInfo> {
+        self.view().eer_info()
+    }
+
+    /// High-precision timestamp (ns until `exp_t`).
+    pub fn ts(&self) -> u64 {
+        u64::from_be_bytes(self.buf[24..32].try_into().unwrap())
+    }
+
+    /// The hop field of the `i`-th on-path AS.
+    pub fn hop(&self, i: usize) -> HopField {
+        self.view().hop(i)
+    }
+
+    /// The `i`-th hop validation field.
+    pub fn hvf(&self, i: usize) -> [u8; HVF_LEN] {
+        self.view().hvf(i)
+    }
+
+    /// Total packet size in bytes (header + payload).
+    pub fn pkt_size(&self) -> usize {
+        self.buf.len()
     }
 
     /// Sets the high-precision timestamp.
@@ -369,39 +419,67 @@ impl PacketBuilder {
 
     /// Serializes the packet with zeroed HVFs and the given payload.
     pub fn build(&self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
-        let n = self.path.len();
-        if n == 0 || n > MAX_HOPS {
-            return Err(WireError::BadPathLength(n));
-        }
-        let is_eer = self.eer.is_some();
-        let hlen = header_len(n, is_eer);
-        let mut buf = vec![0u8; hlen + payload.len()];
-        buf[0] = WIRE_VERSION;
-        buf[1] = (if is_eer { FLAG_EER } else { 0 }) | (if self.control { FLAG_CONTROL } else { 0 });
-        buf[2] = n as u8;
-        buf[3] = 0;
-        buf[4..12].copy_from_slice(&self.res.src_as.to_u64().to_be_bytes());
-        buf[12..16].copy_from_slice(&self.res.res_id.0.to_be_bytes());
-        buf[16] = self.res.bw.0;
-        buf[17] = self.res.ver;
-        buf[18..22].copy_from_slice(&self.res.exp_secs().to_be_bytes());
-        // buf[22..24] reserved, zero.
-        buf[24..32].copy_from_slice(&self.ts.to_be_bytes());
-        let mut off = FIXED_HEADER_LEN;
-        if let Some(info) = self.eer {
-            buf[off..off + 4].copy_from_slice(&info.src_host.0.to_be_bytes());
-            buf[off + 4..off + 8].copy_from_slice(&info.dst_host.0.to_be_bytes());
-            off += EER_INFO_LEN;
-        }
-        for hf in &self.path {
-            buf[off..off + 2].copy_from_slice(&hf.ingress.0.to_be_bytes());
-            buf[off + 2..off + 4].copy_from_slice(&hf.egress.0.to_be_bytes());
-            off += 4;
-        }
-        // HVFs start zeroed; the gateway stamps them.
-        buf[hlen..].copy_from_slice(payload);
+        let mut buf = Vec::new();
+        self.build_into(payload, &mut buf)?;
         Ok(buf)
     }
+
+    /// Serializes into a caller-provided buffer, reusing its capacity.
+    ///
+    /// The buffer is cleared first; on success it holds exactly the wire
+    /// packet. The allocation-free gateway path stamps every packet into
+    /// one recycled buffer instead of growing the heap per packet.
+    pub fn build_into(&self, payload: &[u8], buf: &mut Vec<u8>) -> Result<(), WireError> {
+        encode_packet_into(&self.res, self.eer.as_ref(), self.control, &self.path, self.ts, payload, buf)
+    }
+}
+
+/// Encodes a complete Colibri packet (zeroed HVFs) into `buf`, reusing the
+/// buffer's capacity. This is the single serialization routine behind
+/// [`PacketBuilder`]; the gateway calls it directly with its stored hop
+/// slice so that stamping a packet performs no heap allocation at all.
+pub fn encode_packet_into(
+    res: &ResInfo,
+    eer: Option<&EerInfo>,
+    control: bool,
+    path: &[HopField],
+    ts: u64,
+    payload: &[u8],
+    buf: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    let n = path.len();
+    if n == 0 || n > MAX_HOPS {
+        return Err(WireError::BadPathLength(n));
+    }
+    let is_eer = eer.is_some();
+    let hlen = header_len(n, is_eer);
+    buf.clear();
+    buf.resize(hlen + payload.len(), 0);
+    buf[0] = WIRE_VERSION;
+    buf[1] = (if is_eer { FLAG_EER } else { 0 }) | (if control { FLAG_CONTROL } else { 0 });
+    buf[2] = n as u8;
+    buf[3] = 0;
+    buf[4..12].copy_from_slice(&res.src_as.to_u64().to_be_bytes());
+    buf[12..16].copy_from_slice(&res.res_id.0.to_be_bytes());
+    buf[16] = res.bw.0;
+    buf[17] = res.ver;
+    buf[18..22].copy_from_slice(&res.exp_secs().to_be_bytes());
+    // buf[22..24] reserved, zero.
+    buf[24..32].copy_from_slice(&ts.to_be_bytes());
+    let mut off = FIXED_HEADER_LEN;
+    if let Some(info) = eer {
+        buf[off..off + 4].copy_from_slice(&info.src_host.0.to_be_bytes());
+        buf[off + 4..off + 8].copy_from_slice(&info.dst_host.0.to_be_bytes());
+        off += EER_INFO_LEN;
+    }
+    for hf in path {
+        buf[off..off + 2].copy_from_slice(&hf.ingress.0.to_be_bytes());
+        buf[off + 2..off + 4].copy_from_slice(&hf.egress.0.to_be_bytes());
+        off += 4;
+    }
+    // HVFs start zeroed; the gateway stamps them.
+    buf[hlen..].copy_from_slice(payload);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -497,6 +575,44 @@ mod tests {
         assert_eq!(m.advance_hop(), Some(2));
         assert_eq!(m.advance_hop(), None);
         assert_eq!(m.view().curr_hop(), 2);
+    }
+
+    #[test]
+    fn build_into_reuses_buffer_and_matches_build() {
+        let res = sample_res();
+        let info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+        let builder = PacketBuilder::eer(res, info).path(sample_path()).ts(7);
+        let fresh = builder.build(b"payload").unwrap();
+        // A dirty, over-sized recycled buffer must come out identical.
+        let mut buf = vec![0xAAu8; 4096];
+        let cap = buf.capacity();
+        builder.build_into(b"payload", &mut buf).unwrap();
+        assert_eq!(buf, fresh);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+        // And the free-function encoder agrees with the builder.
+        let mut direct = Vec::new();
+        encode_packet_into(&res, Some(&info), false, &sample_path(), 7, b"payload", &mut direct)
+            .unwrap();
+        assert_eq!(direct, fresh);
+    }
+
+    #[test]
+    fn mut_view_read_accessors_match_immutable_view() {
+        let res = sample_res();
+        let info = EerInfo { src_host: HostAddr(3), dst_host: HostAddr(4) };
+        let mut pkt =
+            PacketBuilder::eer(res, info).path(sample_path()).ts(55).build(b"xyz").unwrap();
+        let len = pkt.len();
+        let m = PacketViewMut::parse(&mut pkt).unwrap();
+        assert!(m.is_eer());
+        assert_eq!(m.n_hops(), 3);
+        assert_eq!(m.curr_hop(), 0);
+        assert_eq!(m.res_info(), res);
+        assert_eq!(m.eer_info(), Some(info));
+        assert_eq!(m.ts(), 55);
+        assert_eq!(m.hop(1), sample_path()[1]);
+        assert_eq!(m.hvf(2), [0u8; HVF_LEN]);
+        assert_eq!(m.pkt_size(), len);
     }
 
     #[test]
