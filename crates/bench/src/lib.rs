@@ -209,7 +209,21 @@ pub fn eer_admission_fixture(
 
 /// The border router of hop `hop_index` on the synthetic path, with
 /// freshness checks relaxed for pre-stamped benchmark workloads.
+///
+/// The reservation-scoped crypto caches are *disabled* here so the
+/// scalar/batched rows keep measuring the always-recompute paths — the
+/// baseline the cached rows of `repro_pipeline` are compared against.
+/// Use [`bench_router_cached`] to measure the cache-enabled router.
 pub fn bench_router(n_hops: usize, hop_index: usize) -> BorderRouter {
+    bench_router_cached(n_hops, hop_index, colibri::dataplane::CryptoCacheConfig::DISABLED)
+}
+
+/// Like [`bench_router`], with explicit crypto-cache capacities.
+pub fn bench_router_cached(
+    n_hops: usize,
+    hop_index: usize,
+    cache: colibri::dataplane::CryptoCacheConfig,
+) -> BorderRouter {
     let ases = path_ases(n_hops);
     let cfg = RouterConfig {
         freshness: Duration::from_secs(3600),
@@ -218,6 +232,7 @@ pub fn bench_router(n_hops: usize, hop_index: usize) -> BorderRouter {
         // component; the router benchmark measures parsing + crypto +
         // forwarding, like the paper's.
         monitoring: false,
+        cache,
         ..RouterConfig::default()
     };
     BorderRouter::new(ases[hop_index], &master_secret_for(ases[hop_index]), cfg)

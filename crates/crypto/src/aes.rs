@@ -126,6 +126,7 @@ pub struct Aes128 {
 impl Aes128 {
     /// Expands `key` into round keys (FIPS-197 §5.2).
     pub fn new(key: &[u8; 16]) -> Self {
+        crate::ops::record_key_expansions(1);
         let mut rk = [0u32; 4 * (NR + 1)];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
             rk[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -150,6 +151,7 @@ impl Aes128 {
     /// (`Cmac::tag4_short_multikey`), where per-packet hop authenticators
     /// make the key expansion itself a per-packet cost.
     pub fn new4(keys: [&[u8; 16]; 4]) -> [Aes128; 4] {
+        crate::ops::record_key_expansions(4);
         let mut rk = [[0u32; 4 * (NR + 1)]; 4];
         for l in 0..4 {
             for (i, chunk) in keys[l].chunks_exact(4).enumerate() {
@@ -174,6 +176,7 @@ impl Aes128 {
     /// Encrypts one 16-byte block in place.
     #[inline]
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        crate::ops::record_aes_blocks(1);
         let rk = &self.round_keys;
         let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
         let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[1];
@@ -251,6 +254,7 @@ impl Aes128 {
     /// different keys.
     #[inline]
     pub fn encrypt4_each(ciphers: [&Aes128; 4], blocks: &mut [[u8; 16]; 4]) {
+        crate::ops::record_aes_blocks(4);
         let rks = [
             &ciphers[0].round_keys,
             &ciphers[1].round_keys,
@@ -312,6 +316,7 @@ impl Aes128 {
     /// Decrypts one 16-byte block in place (straightforward inverse-cipher;
     /// not on any hot path — Colibri's modes only require encryption).
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        crate::ops::record_aes_blocks(1);
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys, NR);
         for round in (1..NR).rev() {

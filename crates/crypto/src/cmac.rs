@@ -57,6 +57,27 @@ impl Cmac {
         Self { cipher, k1, k2 }
     }
 
+    /// Creates four CMAC instances for four independent keys with both
+    /// serial bottlenecks interleaved: the key expansions run in lockstep
+    /// ([`Aes128::new4`]) and the subkey derivations `L = AES_K(0)` run as
+    /// one 4-wide batch. This is how the batched router pre-expands four
+    /// freshly derived σ authenticators before caching them.
+    pub fn new4(keys: [&[u8; 16]; 4]) -> [Cmac; 4] {
+        let ciphers = Aes128::new4(keys);
+        let mut l_blocks = [[0u8; 16]; 4];
+        Aes128::encrypt4_each(
+            [&ciphers[0], &ciphers[1], &ciphers[2], &ciphers[3]],
+            &mut l_blocks,
+        );
+        let mut iter = ciphers.into_iter().zip(l_blocks);
+        core::array::from_fn(|_| {
+            let (cipher, l) = iter.next().expect("exactly four lanes");
+            let k1 = dbl(&l);
+            let k2 = dbl(&k1);
+            Self { cipher, k1, k2 }
+        })
+    }
+
     /// Builds the final CMAC block for a message that fits in one block:
     /// XOR with K1 when it is exactly one complete block, 10*-padded and
     /// XORed with K2 otherwise (RFC 4493 §2.4). Since X₀ = 0, this block
@@ -169,29 +190,33 @@ impl Cmac {
     /// both run 4-wide ([`Aes128::encrypt4_each`]); only the four key
     /// expansions remain scalar.
     pub fn tag4_short_multikey(keys: [&[u8; 16]; 4], msgs: [&[u8]; 4]) -> [[u8; 16]; 4] {
+        let cmacs = Cmac::new4(keys);
+        Self::tag4_short_each([&cmacs[0], &cmacs[1], &cmacs[2], &cmacs[3]], msgs)
+    }
+
+    /// Computes four single-block CMAC tags under four *pre-expanded*
+    /// instances in one interleaved pass — the fully amortized Eq. 6
+    /// kernel. Every message must fit in one block (≤ 16 bytes); panics
+    /// otherwise.
+    ///
+    /// Where [`Self::tag4_short_multikey`] spends four key expansions plus
+    /// a 4-wide subkey derivation per call, this variant spends exactly
+    /// *one* 4-wide AES batch: the caller already holds the expanded round
+    /// keys and K1/K2 subkeys (the gateway per installed hop, the router
+    /// per cached σ), so per packet only the final block encryption
+    /// remains.
+    pub fn tag4_short_each(cmacs: [&Cmac; 4], msgs: [&[u8]; 4]) -> [[u8; 16]; 4] {
         for m in msgs {
-            assert!(m.len() <= BLOCK, "tag4_short_multikey requires single-block messages");
+            assert!(m.len() <= BLOCK, "tag4_short_each requires single-block messages");
         }
-        let ciphers: [Aes128; 4] = Aes128::new4(keys);
-        let cipher_refs = [&ciphers[0], &ciphers[1], &ciphers[2], &ciphers[3]];
-        // Subkeys: L_l = AES_{K_l}(0), interleaved across the four keys.
-        let mut l_blocks = [[0u8; 16]; 4];
-        Aes128::encrypt4_each(cipher_refs, &mut l_blocks);
         let mut last = [[0u8; 16]; 4];
         for l in 0..4 {
-            let k1 = dbl(&l_blocks[l]);
-            let sub = if msgs[l].len() == BLOCK { k1 } else { dbl(&k1) };
-            if msgs[l].len() == BLOCK {
-                last[l].copy_from_slice(msgs[l]);
-            } else {
-                last[l][..msgs[l].len()].copy_from_slice(msgs[l]);
-                last[l][msgs[l].len()] = 0x80;
-            }
-            for i in 0..BLOCK {
-                last[l][i] ^= sub[i];
-            }
+            last[l] = cmacs[l].last_block_short(msgs[l]);
         }
-        Aes128::encrypt4_each(cipher_refs, &mut last);
+        Aes128::encrypt4_each(
+            [&cmacs[0].cipher, &cmacs[1].cipher, &cmacs[2].cipher, &cmacs[3].cipher],
+            &mut last,
+        );
         last
     }
 
@@ -389,6 +414,34 @@ mod tests {
         let msgs: [&[u8]; 4] = [&MSG[..12], &MSG[..16], &[], &MSG[..5]];
         let batched =
             Cmac::tag4_short_multikey([&keys[0], &keys[1], &keys[2], &keys[3]], msgs);
+        for l in 0..4 {
+            assert_eq!(batched[l], Cmac::new(&keys[l]).tag(msgs[l]), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn new4_matches_scalar_instances() {
+        let keys: [[u8; 16]; 4] = core::array::from_fn(|l| [(l as u8) * 17 + 3; 16]);
+        let batched = Cmac::new4([&keys[0], &keys[1], &keys[2], &keys[3]]);
+        for l in 0..4 {
+            let scalar = Cmac::new(&keys[l]);
+            for msg in [&MSG[..0], &MSG[..12], &MSG[..16], &MSG[..40]] {
+                assert_eq!(batched[l].tag(msg), scalar.tag(msg), "lane {l} len {}", msg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tag4_short_each_matches_scalar_and_skips_expansion() {
+        let keys: [[u8; 16]; 4] = core::array::from_fn(|l| [(l as u8) * 29 + 5; 16]);
+        let cmacs = Cmac::new4([&keys[0], &keys[1], &keys[2], &keys[3]]);
+        let msgs: [&[u8]; 4] = [&MSG[..12], &MSG[..16], &[], &MSG[..7]];
+        let x0 = crate::ops::key_expansions();
+        let b0 = crate::ops::aes_block_ops();
+        let batched = Cmac::tag4_short_each([&cmacs[0], &cmacs[1], &cmacs[2], &cmacs[3]], msgs);
+        // Pre-expanded path: zero expansions, one 4-wide block batch.
+        assert_eq!(crate::ops::key_expansions() - x0, 0);
+        assert_eq!(crate::ops::aes_block_ops() - b0, 4);
         for l in 0..4 {
             assert_eq!(batched[l], Cmac::new(&keys[l]).tag(msgs[l]), "lane {l}");
         }

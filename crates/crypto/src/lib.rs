@@ -11,7 +11,10 @@
 //!   hop authenticators to the source AS (paper Eq. 5);
 //! * [`drkey`] — the dynamically-recreatable-key hierarchy (paper §2.3)
 //!   giving every AS pair a shared symmetric key without per-peer state on
-//!   the fast side.
+//!   the fast side;
+//! * [`ops`] — thread-local AES operation counters, so tests can assert
+//!   exact per-packet crypto costs (e.g. "a cache hit runs zero AES
+//!   blocks") rather than inferring them from throughput.
 //!
 //! Everything is deterministic and side-effect free; key material never
 //! appears in `Debug` output.
@@ -24,6 +27,7 @@ pub mod aes;
 pub mod cmac;
 pub mod ctr;
 pub mod drkey;
+pub mod ops;
 
 pub use aead::{Aead, AeadError};
 pub use aes::Aes128;

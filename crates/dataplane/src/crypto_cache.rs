@@ -1,0 +1,462 @@
+//! Reservation-scoped crypto caches for the border router (perf, §7.1).
+//!
+//! The router's per-packet cost is dominated by AES: an EER packet costs a
+//! CMAC over the 30-byte Eq. 4 input (~3 AES blocks) *plus* an AES key
+//! expansion to turn σ_i into a CMAC key for Eq. 6; a SegR packet costs a
+//! CMAC over the 22-byte Eq. 3 input. Real traffic is heavily skewed
+//! towards a small working set of active reservations, so almost all of
+//! that work recomputes values the router derived moments ago.
+//!
+//! This module caches those derivations *without* giving up the paper's
+//! per-flow-stateless router property (see DESIGN.md §10):
+//!
+//! * the **SegR token cache** maps the full Eq. 3 MAC input — the exact
+//!   byte string `ResInfo || (In_i, Eg_i)` that the token authenticates —
+//!   to the 4-byte token. A hit validates a packet with a constant-time
+//!   compare and **zero** AES block operations.
+//! * the **σ-cache** maps the full Eq. 4 MAC input to a pre-expanded
+//!   [`Cmac`] instance for σ_i (AES round keys + CMAC subkeys K1/K2). A
+//!   hit reduces EER validation from ~3 AES blocks + a key expansion to a
+//!   single-block CMAC (one AES block, no expansion).
+//!
+//! Keying by the full authenticated tuple makes the caches *soft* state:
+//! a hit and a miss are cryptographically indistinguishable (two packets
+//! with equal MAC input have equal MACs by definition), so eviction —
+//! even adversarially induced — only costs the miss-path recomputation,
+//! never correctness. Capacity is bounded, eviction is deterministic
+//! CLOCK (no wall clock, no RNG), and both caches are flushed whenever
+//! the DRKey epoch (and with it `K_i`) rolls over.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use colibri_crypto::{Cmac, Epoch};
+use colibri_wire::mac::{HOP_AUTH_INPUT_LEN, SEGR_INPUT_LEN};
+use colibri_wire::HVF_LEN;
+
+/// Cache key of the SegR token cache: the full Eq. 3 MAC input.
+pub type SegrKey = [u8; SEGR_INPUT_LEN];
+/// Cache key of the σ-cache: the full Eq. 4 MAC input.
+pub type SigmaKey = [u8; HOP_AUTH_INPUT_LEN];
+
+/// Capacity configuration for the router's crypto caches.
+///
+/// A capacity of 0 disables the corresponding cache entirely (every
+/// lookup misses, inserts are no-ops) — useful for baselines and for the
+/// differential tests that prove cached ≡ uncached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptoCacheConfig {
+    /// Maximum entries in the SegR token cache (~32 B/entry).
+    pub segr_capacity: usize,
+    /// Maximum entries in the σ-cache (~256 B/entry: expanded AES round
+    /// keys plus CMAC subkeys).
+    pub sigma_capacity: usize,
+}
+
+impl Default for CryptoCacheConfig {
+    fn default() -> Self {
+        // ~128 KiB SegR + ~1 MiB σ at the defaults: covers thousands of
+        // concurrently active reservations per router thread while
+        // staying far below L3 per core.
+        Self { segr_capacity: 4096, sigma_capacity: 4096 }
+    }
+}
+
+impl CryptoCacheConfig {
+    /// A configuration with both caches disabled (always-miss).
+    pub const DISABLED: Self = Self { segr_capacity: 0, sigma_capacity: 0 };
+}
+
+/// Hit/miss/eviction counters for both caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CryptoCacheStats {
+    /// SegR token cache hits (validated with zero AES operations).
+    pub segr_hits: u64,
+    /// SegR token cache misses (fell through to Eq. 3).
+    pub segr_misses: u64,
+    /// σ-cache hits (EER validated with a single AES block).
+    pub sigma_hits: u64,
+    /// σ-cache misses (fell through to Eq. 4 + key expansion).
+    pub sigma_misses: u64,
+    /// Entries evicted from the SegR cache by the CLOCK hand.
+    pub segr_evictions: u64,
+    /// Entries evicted from the σ-cache by the CLOCK hand.
+    pub sigma_evictions: u64,
+    /// Whole-cache flushes triggered by a DRKey epoch rollover.
+    pub epoch_flushes: u64,
+}
+
+impl CryptoCacheStats {
+    /// Folds another stats snapshot into this one (shard aggregation).
+    pub fn merge(&mut self, other: &CryptoCacheStats) {
+        self.segr_hits += other.segr_hits;
+        self.segr_misses += other.segr_misses;
+        self.sigma_hits += other.sigma_hits;
+        self.sigma_misses += other.sigma_misses;
+        self.segr_evictions += other.segr_evictions;
+        self.sigma_evictions += other.sigma_evictions;
+        self.epoch_flushes += other.epoch_flushes;
+    }
+
+    /// Total lookups across both caches.
+    pub fn lookups(&self) -> u64 {
+        self.segr_hits + self.segr_misses + self.sigma_hits + self.sigma_misses
+    }
+
+    /// Combined hit rate in `[0, 1]`; 0 if no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.segr_hits + self.sigma_hits) as f64 / lookups as f64
+        }
+    }
+}
+
+/// A bounded map with deterministic CLOCK (second-chance) eviction.
+///
+/// Lookup is a `HashMap` probe into a dense slot vector; entries carry a
+/// referenced bit that [`ClockCache::probe`] sets and the rotating hand
+/// clears. No wall clock and no randomness: the same operation sequence
+/// always produces the same cache contents, which is what lets the
+/// differential tests replay cached and uncached runs against each other.
+#[derive(Debug)]
+pub struct ClockCache<K, V> {
+    index: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    hand: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    referenced: bool,
+}
+
+impl<K: Eq + Hash + Clone, V> ClockCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            index: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            hand: 0,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, returning its slot index and marking it recently
+    /// used. The index stays valid (and the value unchanged) until the
+    /// next [`ClockCache::insert`] or [`ClockCache::clear`] — probes
+    /// never move entries.
+    pub fn probe(&mut self, key: &K) -> Option<usize> {
+        let idx = *self.index.get(key)?;
+        self.slots[idx].referenced = true;
+        Some(idx)
+    }
+
+    /// Reads the value in `idx`, as returned by [`ClockCache::probe`].
+    pub fn value(&self, idx: usize) -> &V {
+        &self.slots[idx].value
+    }
+
+    /// Inserts `key → value`, evicting via CLOCK if full. Re-inserting an
+    /// existing key overwrites its value in place. No-op at capacity 0.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.index.get(&key) {
+            self.slots[idx].value = value;
+            self.slots[idx].referenced = true;
+            return;
+        }
+        // New entries start unreferenced: a probe between inserts earns
+        // the reference bit. Were they born referenced, a streak of
+        // inserts would set every bit, and the next full sweep would
+        // clear them all and evict whatever the hand reached first —
+        // including the hottest entry.
+        if self.slots.len() < self.capacity {
+            self.index.insert(key.clone(), self.slots.len());
+            self.slots.push(Slot { key, value, referenced: false });
+            return;
+        }
+        // Second chance: sweep the hand, clearing referenced bits, until
+        // an unreferenced victim turns up. Terminates within two sweeps.
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.capacity;
+            if self.slots[idx].referenced {
+                self.slots[idx].referenced = false;
+            } else {
+                self.index.remove(&self.slots[idx].key);
+                self.index.insert(key.clone(), idx);
+                self.slots[idx] = Slot { key, value, referenced: false };
+                self.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    /// Drops every entry (keeps the allocation and the eviction counter).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.hand = 0;
+    }
+}
+
+/// Both router-side caches plus their epoch guard and counters.
+///
+/// All derived values depend on the per-epoch secret `K_i`, so the whole
+/// structure is tagged with the epoch it was filled under and flushed the
+/// moment a packet from a later epoch arrives.
+#[derive(Debug)]
+pub struct RouterCryptoCaches {
+    epoch: Option<Epoch>,
+    segr: ClockCache<SegrKey, [u8; HVF_LEN]>,
+    sigma: ClockCache<SigmaKey, Cmac>,
+    segr_hits: u64,
+    segr_misses: u64,
+    sigma_hits: u64,
+    sigma_misses: u64,
+    epoch_flushes: u64,
+}
+
+impl RouterCryptoCaches {
+    /// Creates empty caches at the configured capacities.
+    pub fn new(cfg: CryptoCacheConfig) -> Self {
+        Self {
+            epoch: None,
+            segr: ClockCache::new(cfg.segr_capacity),
+            sigma: ClockCache::new(cfg.sigma_capacity),
+            segr_hits: 0,
+            segr_misses: 0,
+            sigma_hits: 0,
+            sigma_misses: 0,
+            epoch_flushes: 0,
+        }
+    }
+
+    /// Flushes both caches if `epoch` differs from the one they were
+    /// filled under — every cached value is derived from the per-epoch
+    /// `K_i`, so nothing survives a rollover.
+    pub fn ensure_epoch(&mut self, epoch: Epoch) {
+        if self.epoch != Some(epoch) {
+            if self.epoch.is_some() {
+                self.segr.clear();
+                self.sigma.clear();
+                self.epoch_flushes += 1;
+            }
+            self.epoch = Some(epoch);
+        }
+    }
+
+    /// Looks up a SegR token by its full Eq. 3 input. A `Some` means the
+    /// caller can validate with a plain constant-time compare.
+    pub fn probe_segr(&mut self, key: &SegrKey) -> Option<[u8; HVF_LEN]> {
+        if self.segr.capacity() == 0 {
+            self.segr_misses += 1;
+            return None;
+        }
+        match self.segr.probe(key) {
+            Some(idx) => {
+                self.segr_hits += 1;
+                Some(*self.segr.value(idx))
+            }
+            None => {
+                self.segr_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches a freshly computed SegR token.
+    pub fn insert_segr(&mut self, key: SegrKey, token: [u8; HVF_LEN]) {
+        self.segr.insert(key, token);
+    }
+
+    /// Looks up a pre-expanded σ CMAC by its full Eq. 4 input, returning
+    /// a slot index readable via [`Self::sigma_at`]. Indices stay valid
+    /// until the next [`Self::insert_sigma`] — the batch path probes all
+    /// lanes first, reads every hit, then inserts the misses.
+    pub fn probe_sigma(&mut self, key: &SigmaKey) -> Option<usize> {
+        if self.sigma.capacity() == 0 {
+            self.sigma_misses += 1;
+            return None;
+        }
+        match self.sigma.probe(key) {
+            Some(idx) => {
+                self.sigma_hits += 1;
+                Some(idx)
+            }
+            None => {
+                self.sigma_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads a cached σ CMAC instance by slot index.
+    pub fn sigma_at(&self, idx: usize) -> &Cmac {
+        self.sigma.value(idx)
+    }
+
+    /// Caches a freshly expanded σ CMAC instance.
+    pub fn insert_sigma(&mut self, key: SigmaKey, cmac: Cmac) {
+        self.sigma.insert(key, cmac);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CryptoCacheStats {
+        CryptoCacheStats {
+            segr_hits: self.segr_hits,
+            segr_misses: self.segr_misses,
+            sigma_hits: self.sigma_hits,
+            sigma_misses: self.sigma_misses,
+            segr_evictions: self.segr.evictions(),
+            sigma_evictions: self.sigma.evictions(),
+            epoch_flushes: self.epoch_flushes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_insert_roundtrip() {
+        let mut c: ClockCache<u32, u32> = ClockCache::new(2);
+        assert_eq!(c.probe(&1), None);
+        c.insert(1, 10);
+        let idx = c.probe(&1).unwrap();
+        assert_eq!(*c.value(idx), 10);
+        c.insert(1, 11);
+        let idx = c.probe(&1).unwrap();
+        assert_eq!(*c.value(idx), 11);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_is_always_miss() {
+        let mut c: ClockCache<u32, u32> = ClockCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.probe(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_first() {
+        let mut c: ClockCache<u32, u32> = ClockCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Arm key 2's reference bit; key 1 stays unreferenced, so the
+        // hand (at slot 0) evicts it immediately.
+        assert!(c.probe(&2).is_some());
+        c.insert(3, 30);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.probe(&1).is_none());
+        assert!(c.probe(&2).is_some());
+        assert!(c.probe(&3).is_some());
+    }
+
+    #[test]
+    fn clock_second_chance_protects_hot_entry() {
+        let mut c: ClockCache<u32, u32> = ClockCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30); // evicts one of {1,2}, say X; 3 takes its slot
+        // Keep 3 hot while cycling cold keys through: 3 must survive
+        // because every probe re-arms its reference bit.
+        for k in 4..20u32 {
+            assert!(c.probe(&3).is_some(), "hot entry evicted at {k}");
+            c.insert(k, k);
+        }
+        assert!(c.probe(&3).is_some());
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_contents() {
+        let run = || {
+            let mut c: ClockCache<u32, u32> = ClockCache::new(3);
+            for i in 0..50u32 {
+                let k = i % 7;
+                if c.probe(&k).is_none() {
+                    c.insert(k, i);
+                }
+            }
+            let mut present: Vec<(u32, u32)> =
+                (0..7).filter_map(|k| c.probe(&k).map(|idx| (k, *c.value(idx)))).collect();
+            present.sort_unstable();
+            (present, c.evictions())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_rollover_flushes_both_caches() {
+        let mut caches = RouterCryptoCaches::new(CryptoCacheConfig::default());
+        let e0 = Epoch::containing(colibri_base::Instant::from_secs(10));
+        let e1 = e0.next();
+        caches.ensure_epoch(e0);
+        caches.insert_segr([1; SEGR_INPUT_LEN], [9; HVF_LEN]);
+        caches.insert_sigma([2; HOP_AUTH_INPUT_LEN], Cmac::new(&[3; 16]));
+        assert!(caches.probe_segr(&[1; SEGR_INPUT_LEN]).is_some());
+        assert!(caches.probe_sigma(&[2; HOP_AUTH_INPUT_LEN]).is_some());
+        caches.ensure_epoch(e1);
+        assert!(caches.probe_segr(&[1; SEGR_INPUT_LEN]).is_none());
+        assert!(caches.probe_sigma(&[2; HOP_AUTH_INPUT_LEN]).is_none());
+        let s = caches.stats();
+        assert_eq!(s.epoch_flushes, 1);
+        assert_eq!((s.segr_hits, s.segr_misses), (1, 1));
+        assert_eq!((s.sigma_hits, s.sigma_misses), (1, 1));
+        // Same-epoch re-ensure is a no-op.
+        caches.ensure_epoch(e1);
+        assert_eq!(caches.stats().epoch_flushes, 1);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let a = CryptoCacheStats {
+            segr_hits: 1,
+            segr_misses: 2,
+            sigma_hits: 3,
+            sigma_misses: 4,
+            segr_evictions: 5,
+            sigma_evictions: 6,
+            epoch_flushes: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.segr_hits, 2);
+        assert_eq!(b.epoch_flushes, 14);
+        assert_eq!(a.lookups(), 10);
+        assert!((a.hit_rate() - 0.4).abs() < 1e-12);
+    }
+}

@@ -15,10 +15,10 @@
 //! AS) and with the table size through cache misses (Fig. 5).
 
 use colibri_base::{Bandwidth, Duration, HostAddr, Instant, ResId};
-use colibri_crypto::Key;
+use colibri_crypto::Cmac;
 use colibri_ctrl::OwnedEer;
 use colibri_monitor::TokenBucket;
-use colibri_wire::mac::{eer_hvf, eer_hvf4};
+use colibri_wire::mac::{eer_hvf4_with, eer_hvf_with};
 use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
 use std::collections::HashMap;
 
@@ -53,14 +53,31 @@ impl std::error::Error for GatewayError {}
 #[derive(Clone)]
 struct InstalledVersion {
     res_info: ResInfo,
-    /// The hop authenticators σᵢ, one 16-byte key per on-path AS —
-    /// exactly the per-reservation state the paper's gateway keeps in its
-    /// `rte_hash` table. Stored raw (not pre-expanded) so the memory
-    /// footprint per reservation matches the reference system; the AES
-    /// key schedule is recomputed per packet, just like on the router.
-    hop_auths: Vec<Key>,
+    /// The hop authenticators σᵢ, one per on-path AS, stored as *fully
+    /// expanded* CMAC instances (AES round keys + subkeys K1/K2). The
+    /// reservation is installed once and then stamps every packet of its
+    /// lifetime, so the key expansion — a serial AES dependency chain the
+    /// 4-wide interleaving cannot hide — is paid at install time instead
+    /// of per packet × per hop. ~256 B per hop instead of 16 B; even at
+    /// 2²⁰ installed reservations × 8 hops that is ~2 GiB on a middlebox
+    /// appliance, and typical tables (Fig. 5's r ≤ 2¹⁶) stay in the MiBs.
+    sigma_cmacs: Vec<Cmac>,
     bw: Bandwidth,
     exp: Instant,
+}
+
+/// Expands raw σ keys into ready-to-MAC CMAC instances, four at a time
+/// so the serial AES key-expansion chains of up to four hops interleave.
+fn expand_hop_auths(hop_auths: &[colibri_crypto::Key]) -> Vec<Cmac> {
+    let mut out = Vec::with_capacity(hop_auths.len());
+    let mut chunks = hop_auths.chunks_exact(4);
+    for quad in &mut chunks {
+        out.extend(Cmac::new4([&quad[0].0, &quad[1].0, &quad[2].0, &quad[3].0]));
+    }
+    for k in chunks.remainder() {
+        out.push(k.cmac());
+    }
+    out
 }
 
 /// One reservation's gateway state.
@@ -141,7 +158,7 @@ impl Gateway {
                     exp_t: v.exp,
                     ver: v.ver,
                 },
-                hop_auths: v.hop_auths.clone(),
+                sigma_cmacs: expand_hop_auths(&v.hop_auths),
                 bw: v.bw,
                 exp: v.exp,
             })
@@ -222,9 +239,13 @@ impl Gateway {
     /// buffers — after warm-up the gateway performs zero heap allocations
     /// per packet, matching the paper's preallocated-mbuf DPDK pipeline.
     ///
-    /// Hop validation fields are computed four hops at a time with the
-    /// interleaved multi-key CMAC (Eq. 6), so the per-hop AES blocks of up
-    /// to four on-path ASes are in flight concurrently.
+    /// Hop validation fields are computed four hops at a time over the
+    /// version's pre-expanded σ CMAC instances (Eq. 6 via
+    /// [`eer_hvf4_with`]), so the per-hop AES blocks of up to four
+    /// on-path ASes are in flight concurrently and *no* AES key expansion
+    /// runs per packet — the schedules were expanded at install time.
+    /// Remainder hops (path length mod 4) likewise reuse their cached
+    /// instance through [`eer_hvf_with`].
     pub fn process_into(
         &mut self,
         src_host: HostAddr,
@@ -274,10 +295,10 @@ impl Gateway {
         debug_assert_eq!(buf.len(), pkt_size);
         {
             let mut view = PacketViewMut::parse(buf).expect("self-built packet");
-            let mut chunks = version.hop_auths.chunks_exact(4);
+            let mut chunks = version.sigma_cmacs.chunks_exact(4);
             let mut i = 0;
             for quad in &mut chunks {
-                let hvfs = eer_hvf4(
+                let hvfs = eer_hvf4_with(
                     [&quad[0], &quad[1], &quad[2], &quad[3]],
                     [(ts, pkt_size); 4],
                 );
@@ -286,8 +307,8 @@ impl Gateway {
                     i += 1;
                 }
             }
-            for sigma in chunks.remainder() {
-                view.set_hvf(i, eer_hvf(sigma, ts, pkt_size));
+            for sigma_cmac in chunks.remainder() {
+                view.set_hvf(i, eer_hvf_with(sigma_cmac, ts, pkt_size));
                 i += 1;
             }
         }

@@ -10,13 +10,17 @@
 //!   pipeline;
 //! * [`control`] — stamping control packets onto SegRs with their tokens;
 //! * [`classes`] — the best-effort / control / data traffic split with
-//!   CBWFQ scavenging (Appendix B).
+//!   CBWFQ scavenging (Appendix B);
+//! * [`crypto_cache`] — bounded, eviction-safe caches that amortize the
+//!   router's Eq. 3/4 MACs and AES key expansions across packets of the
+//!   same reservation (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classes;
 pub mod control;
+pub mod crypto_cache;
 pub mod gateway;
 pub mod parallel;
 pub mod router;
@@ -24,6 +28,7 @@ pub mod sharded;
 
 pub use classes::{CbwfqScheduler, Served, TrafficClass, TrafficSplit};
 pub use control::stamp_segr_packet;
+pub use crypto_cache::{ClockCache, CryptoCacheConfig, CryptoCacheStats, RouterCryptoCaches};
 pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
 pub use parallel::{ParallelGateway, RoutedOutput, ShardRouterPool, StampedOutput};
 pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, RouterVerdict};

@@ -24,6 +24,7 @@
 //! exited (a worker blocked on a full output queue is thereby unblocked),
 //! and finally joins the threads and aggregates their statistics.
 
+use crate::crypto_cache::CryptoCacheStats;
 use crate::gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats};
 use crate::router::{BorderRouter, RouterStats, RouterVerdict};
 use crate::sharded::shard_index;
@@ -340,7 +341,7 @@ pub struct RoutedOutput {
 struct RouterWorker {
     jobs: Arc<SpscQueue<RouterJob>>,
     out: Arc<SpscQueue<RoutedOutput>>,
-    handle: Option<JoinHandle<RouterStats>>,
+    handle: Option<JoinHandle<(RouterStats, CryptoCacheStats)>>,
 }
 
 /// A pool of border-router workers, each owning one [`BorderRouter`] and
@@ -424,12 +425,14 @@ impl ShardRouterPool {
     }
 
     /// Shuts the pool down: closes job queues, drains remaining outputs
-    /// into `out`, joins workers, and returns their summed statistics.
-    pub fn shutdown(mut self, out: &mut Vec<RoutedOutput>) -> RouterStats {
+    /// into `out`, joins workers, and returns their summed verdict and
+    /// crypto-cache statistics.
+    pub fn shutdown(mut self, out: &mut Vec<RoutedOutput>) -> (RouterStats, CryptoCacheStats) {
         for w in &self.workers {
             w.jobs.close();
         }
         let mut stats = RouterStats::default();
+        let mut cache_stats = CryptoCacheStats::default();
         for w in &mut self.workers {
             let handle = w.handle.take().expect("worker joined twice");
             while !handle.is_finished() {
@@ -441,7 +444,7 @@ impl ShardRouterPool {
             while let Some(item) = w.out.try_recv() {
                 out.push(item);
             }
-            let s = handle.join().expect("router worker panicked");
+            let (s, cs) = handle.join().expect("router worker panicked");
             stats.forwarded += s.forwarded;
             stats.parse_errors += s.parse_errors;
             stats.expired += s.expired;
@@ -450,8 +453,9 @@ impl ShardRouterPool {
             stats.blocked += s.blocked;
             stats.duplicates += s.duplicates;
             stats.shaped += s.shaped;
+            cache_stats.merge(&cs);
         }
-        stats
+        (stats, cache_stats)
     }
 }
 
@@ -465,7 +469,7 @@ fn router_worker(
     mut router: BorderRouter,
     jobs: Arc<SpscQueue<RouterJob>>,
     out: Arc<SpscQueue<RoutedOutput>>,
-) -> RouterStats {
+) -> (RouterStats, CryptoCacheStats) {
     let mut batch: Vec<RouterJob> = Vec::with_capacity(WORKER_BATCH);
     while jobs.recv_many(&mut batch, WORKER_BATCH) {
         // `process_batch` takes a single `now`; split the drained batch on
@@ -483,13 +487,13 @@ fn router_worker(
             drop(refs);
             for (job, verdict) in batch.drain(..end).zip(verdicts) {
                 if out.send(RoutedOutput { verdict, pkt: job.pkt }).is_err() {
-                    return router.stats;
+                    return (router.stats, router.cache_stats());
                 }
             }
         }
     }
     out.close();
-    router.stats
+    (router.stats, router.cache_stats())
 }
 
 #[cfg(test)]
@@ -650,9 +654,14 @@ mod tests {
             .count();
         assert_eq!(fwd, 6);
         let mut rest = Vec::new();
-        let stats = pool.shutdown(&mut rest);
+        let (stats, cache_stats) = pool.shutdown(&mut rest);
         assert!(rest.is_empty());
         assert_eq!(stats.forwarded, 6);
         assert_eq!(stats.parse_errors, 1);
+        // Six EER lookups happened across the shards. How many miss
+        // depends on batching: packets of the same reservation that land
+        // in one worker batch are probed before any insert, so they can
+        // all miss together — only the exact lookup count is stable.
+        assert_eq!(cache_stats.sigma_hits + cache_stats.sigma_misses, 6);
     }
 }

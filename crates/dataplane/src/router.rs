@@ -21,8 +21,15 @@
 use colibri_base::{Bandwidth, Duration, HostAddr, Instant, InterfaceId, IsdAsId};
 use colibri_crypto::{ct_eq, Cmac, Epoch, SecretValueGen};
 use colibri_monitor::{MonitorAction, OveruseReport, TransitMonitor, TransitMonitorConfig};
-use colibri_wire::mac::{eer_hvf, eer_hvf4, hop_auth, hop_auth4, segr_token, segr_token4};
+use colibri_wire::mac::{
+    eer_hvf4_with, eer_hvf_with, hop_auth4_from_inputs, hop_auth_from_input, hop_auth_input,
+    segr_input, segr_token4_from_inputs, segr_token_from_input,
+};
 use colibri_wire::{EerInfo, HopField, PacketViewMut, ResInfo, HVF_LEN};
+
+use crate::crypto_cache::{
+    CryptoCacheConfig, CryptoCacheStats, RouterCryptoCaches, SegrKey, SigmaKey,
+};
 
 /// Why the router dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +80,10 @@ pub struct RouterConfig {
     /// benchmarks reproduce that by disabling monitoring here. Production
     /// configurations keep it on.
     pub monitoring: bool,
+    /// Capacities of the reservation-scoped crypto caches (DESIGN.md §10).
+    /// Set both to 0 ([`CryptoCacheConfig::DISABLED`]) to force the
+    /// always-recompute paths.
+    pub cache: CryptoCacheConfig,
 }
 
 impl Default for RouterConfig {
@@ -82,6 +93,7 @@ impl Default for RouterConfig {
             skew: Duration::from_millis(100),
             monitor: TransitMonitorConfig::default(),
             monitoring: true,
+            cache: CryptoCacheConfig::default(),
         }
     }
 }
@@ -113,6 +125,7 @@ pub struct BorderRouter {
     cfg: RouterConfig,
     svgen: SecretValueGen,
     k_i_cache: Option<(Epoch, Cmac)>,
+    caches: RouterCryptoCaches,
     monitor: TransitMonitor,
     /// Counters.
     pub stats: RouterStats,
@@ -126,6 +139,7 @@ impl BorderRouter {
             isd_as,
             svgen: SecretValueGen::new(master_secret),
             k_i_cache: None,
+            caches: RouterCryptoCaches::new(cfg.cache),
             monitor: TransitMonitor::new(cfg.monitor),
             cfg,
             stats: RouterStats::default(),
@@ -137,11 +151,20 @@ impl BorderRouter {
         self.isd_as
     }
 
-    fn k_i(&mut self, epoch: Epoch) -> &Cmac {
+    /// Hit/miss/eviction counters of the crypto caches.
+    pub fn cache_stats(&self) -> CryptoCacheStats {
+        self.caches.stats()
+    }
+
+    /// Rolls `K_i` and the crypto caches to `epoch`. Afterwards
+    /// `k_i_cache` is `Some` for that epoch, so callers can split the
+    /// borrow — immutable `K_i` alongside the mutable caches — without
+    /// cloning the expanded CMAC state.
+    fn ensure_epoch(&mut self, epoch: Epoch) {
         if self.k_i_cache.as_ref().map(|(e, _)| *e) != Some(epoch) {
             self.k_i_cache = Some((epoch, self.svgen.secret_value(epoch).cmac()));
         }
-        &self.k_i_cache.as_ref().unwrap().1
+        self.caches.ensure_epoch(epoch);
     }
 
     fn drop(&mut self, reason: DropReason) -> RouterVerdict {
@@ -186,17 +209,41 @@ impl BorderRouter {
         let is_eer = view.is_eer();
         let eer_info = view.eer_info();
         let epoch = Epoch::containing(now);
-        // Cryptographic validation — stateless, from the AS secret only.
-        let valid = if is_eer {
-            let info = eer_info.expect("EER flag implies EERInfo");
-            let k_i = self.k_i(epoch);
-            let sigma = hop_auth(k_i, &res_info, &info, hop);
-            let expected = eer_hvf(&sigma, ts, pkt_size);
-            ct_eq(&expected, &view.hvf(curr))
-        } else {
-            let k_i = self.k_i(epoch);
-            let expected = segr_token(k_i, &res_info, hop);
-            ct_eq(&expected, &view.hvf(curr))
+        self.ensure_epoch(epoch);
+        // Cryptographic validation — derived from the AS secret only; the
+        // caches are soft state keyed by the exact authenticated bytes
+        // (DESIGN.md §10), so hit and miss verdicts are interchangeable.
+        let valid = {
+            let Self { k_i_cache, caches, .. } = &mut *self;
+            let k_i = &k_i_cache.as_ref().expect("ensure_epoch ran").1;
+            if is_eer {
+                let info = eer_info.expect("EER flag implies EERInfo");
+                let key: SigmaKey = hop_auth_input(&res_info, &info, hop);
+                let expected = match caches.probe_sigma(&key) {
+                    // Hit: one single-block CMAC (1 AES block, 0 expansions).
+                    Some(idx) => eer_hvf_with(caches.sigma_at(idx), ts, pkt_size),
+                    None => {
+                        let sigma = hop_auth_from_input(k_i, &key);
+                        let sigma_cmac = sigma.cmac();
+                        let expected = eer_hvf_with(&sigma_cmac, ts, pkt_size);
+                        caches.insert_sigma(key, sigma_cmac);
+                        expected
+                    }
+                };
+                ct_eq(&expected, &view.hvf(curr))
+            } else {
+                let key: SegrKey = segr_input(&res_info, hop);
+                let expected = match caches.probe_segr(&key) {
+                    // Hit: zero AES operations — just the compare below.
+                    Some(token) => token,
+                    None => {
+                        let token = segr_token_from_input(k_i, &key);
+                        caches.insert_segr(key, token);
+                        token
+                    }
+                };
+                ct_eq(&expected, &view.hvf(curr))
+            }
         };
         if !valid {
             return self.drop(DropReason::BadHvf);
@@ -238,11 +285,17 @@ impl BorderRouter {
     /// * each packet is parsed once, and the per-epoch `K_i` lookup, the
     ///   freshness window, and the monitoring toggle are hoisted out of
     ///   the per-packet loop;
-    /// * MAC verification runs four packets wide — σ derivation through
-    ///   [`hop_auth4`]/[`segr_token4`] under the shared `K_i`, and the
-    ///   Eq. 6 per-packet MAC through the multi-key [`eer_hvf4`] batch —
-    ///   so the AES T-table latency of one packet hides behind the other
-    ///   three.
+    /// * lanes that hit the reservation-scoped crypto caches skip the
+    ///   heavy derivations entirely: SegR hits validate with a
+    ///   constant-time compare (zero AES), EER σ-hits with a four-wide
+    ///   single-block CMAC ([`eer_hvf4_with`], one AES block per packet,
+    ///   no key expansion);
+    /// * miss lanes run the MAC verification four packets wide — σ
+    ///   derivation through [`hop_auth4_from_inputs`] /
+    ///   [`segr_token4_from_inputs`] under the shared `K_i`, σ expansion
+    ///   through the interleaved [`Cmac::new4`] — so the AES T-table
+    ///   latency of one packet hides behind the other three; the results
+    ///   populate the caches for subsequent packets.
     ///
     /// Monitoring (stateful: replay filter, OFD sketch, token buckets)
     /// still runs packet-by-packet in submission order, which is what
@@ -294,59 +347,114 @@ impl BorderRouter {
         // Phase 2 — stateless crypto, four lanes at a time under the
         // hoisted per-epoch key. EER and SegR lanes batch separately
         // (different MAC constructions); crypto has no ordering effects,
-        // so regrouping cannot change any verdict.
+        // so regrouping cannot change any verdict. Each class is further
+        // split into cache hits (cheap path) and misses (the PR 2 batched
+        // path, which then populates the cache). `ensure_epoch` pins
+        // `k_i_cache` for this epoch, letting the destructure below hold
+        // `K_i` by reference next to the mutable caches — no clone of the
+        // expanded CMAC state per batch.
         let epoch = Epoch::containing(now);
-        let k_i = self.k_i(epoch).clone();
-        let (mut eer_lanes, mut segr_lanes): (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
-        for (li, lane) in lanes.iter().enumerate() {
-            if lane.eer_info.is_some() {
-                eer_lanes.push(li);
-            } else {
-                segr_lanes.push(li);
+        self.ensure_epoch(epoch);
+        let Self { k_i_cache, caches, .. } = &mut *self;
+        let k_i = &k_i_cache.as_ref().expect("ensure_epoch ran").1;
+        // Probe pass, in lane (= submission) order so cache state and
+        // counters evolve deterministically. σ hits carry a slot index:
+        // probes never move entries, and all inserts happen after every
+        // hit slot has been read.
+        let mut eer_hits: Vec<(usize, usize)> = Vec::new();
+        let mut eer_misses: Vec<(usize, SigmaKey)> = Vec::new();
+        let mut segr_misses: Vec<(usize, SegrKey)> = Vec::new();
+        for (li, lane) in lanes.iter_mut().enumerate() {
+            match &lane.eer_info {
+                Some(info) => {
+                    let key = hop_auth_input(&lane.res_info, info, lane.hop);
+                    match caches.probe_sigma(&key) {
+                        Some(slot) => eer_hits.push((li, slot)),
+                        None => eer_misses.push((li, key)),
+                    }
+                }
+                None => {
+                    let key = segr_input(&lane.res_info, lane.hop);
+                    match caches.probe_segr(&key) {
+                        // SegR hit: constant-time compare, zero AES calls.
+                        Some(token) => lane.valid = ct_eq(&token, &lane.hvf),
+                        None => segr_misses.push((li, key)),
+                    }
+                }
             }
         }
-        for chunk in eer_lanes.chunks(4) {
+        // EER hits: Eq. 6 over pre-expanded σ instances — four packets
+        // for four AES blocks, no key expansion.
+        for chunk in eer_hits.chunks(4) {
             if let [a, b, c, d] = *chunk {
                 let quad = [a, b, c, d];
-                let sigmas = hop_auth4(
-                    &k_i,
-                    quad.map(|li| {
-                        let l = &lanes[li];
-                        (&l.res_info, l.eer_info.as_ref().unwrap(), l.hop)
-                    }),
+                let expected = eer_hvf4_with(
+                    quad.map(|(_, slot)| caches.sigma_at(slot)),
+                    quad.map(|(li, _)| (lanes[li].ts, lanes[li].pkt_size)),
                 );
-                let expected = eer_hvf4(
-                    [&sigmas[0], &sigmas[1], &sigmas[2], &sigmas[3]],
+                for (j, (li, _)) in quad.into_iter().enumerate() {
+                    let hvf = lanes[li].hvf;
+                    lanes[li].valid = ct_eq(&expected[j], &hvf);
+                }
+            } else {
+                for &(li, slot) in chunk {
+                    let l = &lanes[li];
+                    let expected = eer_hvf_with(caches.sigma_at(slot), l.ts, l.pkt_size);
+                    let valid = ct_eq(&expected, &l.hvf);
+                    lanes[li].valid = valid;
+                }
+            }
+        }
+        // EER misses: batched Eq. 4 under K_i, then expand the four σ
+        // into CMAC instances (interleaved) for Eq. 6 — bit-identical to
+        // `eer_hvf4`, which performs exactly this expansion internally —
+        // and keep the instances for the next packet of each reservation.
+        for chunk in eer_misses.chunks(4) {
+            if let [a, b, c, d] = chunk {
+                let sigmas =
+                    hop_auth4_from_inputs(k_i, [&a.1, &b.1, &c.1, &d.1]);
+                let sigma_cmacs =
+                    Cmac::new4([&sigmas[0].0, &sigmas[1].0, &sigmas[2].0, &sigmas[3].0]);
+                let quad = [a.0, b.0, c.0, d.0];
+                let expected = eer_hvf4_with(
+                    [&sigma_cmacs[0], &sigma_cmacs[1], &sigma_cmacs[2], &sigma_cmacs[3]],
                     quad.map(|li| (lanes[li].ts, lanes[li].pkt_size)),
                 );
                 for (j, li) in quad.into_iter().enumerate() {
                     let hvf = lanes[li].hvf;
                     lanes[li].valid = ct_eq(&expected[j], &hvf);
                 }
+                for ((_, key), sigma_cmac) in chunk.iter().zip(sigma_cmacs) {
+                    caches.insert_sigma(*key, sigma_cmac);
+                }
             } else {
-                for &li in chunk {
-                    let l = &lanes[li];
-                    let sigma = hop_auth(&k_i, &l.res_info, l.eer_info.as_ref().unwrap(), l.hop);
-                    let expected = eer_hvf(&sigma, l.ts, l.pkt_size);
+                for (li, key) in chunk {
+                    let sigma = hop_auth_from_input(k_i, key);
+                    let sigma_cmac = sigma.cmac();
+                    let l = &lanes[*li];
+                    let expected = eer_hvf_with(&sigma_cmac, l.ts, l.pkt_size);
                     let valid = ct_eq(&expected, &l.hvf);
-                    lanes[li].valid = valid;
+                    lanes[*li].valid = valid;
+                    caches.insert_sigma(*key, sigma_cmac);
                 }
             }
         }
-        for chunk in segr_lanes.chunks(4) {
-            if let [a, b, c, d] = *chunk {
-                let quad = [a, b, c, d];
-                let expected = segr_token4(&k_i, quad.map(|li| (&lanes[li].res_info, lanes[li].hop)));
-                for (j, li) in quad.into_iter().enumerate() {
-                    let hvf = lanes[li].hvf;
-                    lanes[li].valid = ct_eq(&expected[j], &hvf);
+        // SegR misses: batched Eq. 3, populating the token cache.
+        for chunk in segr_misses.chunks(4) {
+            if let [a, b, c, d] = chunk {
+                let expected = segr_token4_from_inputs(k_i, [&a.1, &b.1, &c.1, &d.1]);
+                for (j, (li, key)) in chunk.iter().enumerate() {
+                    let hvf = lanes[*li].hvf;
+                    lanes[*li].valid = ct_eq(&expected[j], &hvf);
+                    caches.insert_segr(*key, expected[j]);
                 }
             } else {
-                for &li in chunk {
-                    let l = &lanes[li];
-                    let expected = segr_token(&k_i, &l.res_info, l.hop);
-                    let valid = ct_eq(&expected, &l.hvf);
-                    lanes[li].valid = valid;
+                for (li, key) in chunk {
+                    let token = segr_token_from_input(k_i, key);
+                    let l = &lanes[*li];
+                    let valid = ct_eq(&token, &l.hvf);
+                    lanes[*li].valid = valid;
+                    caches.insert_segr(*key, token);
                 }
             }
         }

@@ -1,0 +1,289 @@
+//! Crypto-operation-count guarantees of the reservation-scoped caches.
+//!
+//! Throughput numbers say a cache is *faster*; these tests prove the
+//! stronger claims behind the numbers, using the thread-local operation
+//! counters in `colibri_crypto::ops`:
+//!
+//! * a SegR token-cache hit validates with **zero** AES block operations
+//!   and zero key expansions (just a constant-time compare);
+//! * an EER σ-cache hit costs exactly one AES block (the single-block
+//!   Eq. 6 CMAC) and **no** key expansion — versus multiple blocks plus
+//!   an expansion per packet with the cache disabled;
+//! * the gateway performs no key expansion per stamped packet in steady
+//!   state (σ schedules are expanded once, at install);
+//! * an epoch rollover between batches flushes both router caches *and*
+//!   the hoisted `K_i`, so stale authenticators can never validate.
+
+use colibri_base::{Bandwidth, Duration, HostAddr, Instant, IsdAsId, ResId, ReservationKey};
+use colibri_ctrl::{master_secret_for, OwnedEer, OwnedEerVersion};
+use colibri_crypto::{ops, Epoch, SecretValueGen};
+use colibri_dataplane::{
+    BorderRouter, CryptoCacheConfig, Gateway, GatewayConfig, RouterConfig, RouterVerdict,
+};
+use colibri_wire::mac::{eer_hvf, hop_auth, segr_token};
+use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
+
+const AS_ID: IsdAsId = IsdAsId::new(1, 5);
+
+fn router_with(cache: CryptoCacheConfig) -> BorderRouter {
+    // Monitoring off: these tests count *crypto* operations, and replay
+    // suppression would otherwise force distinct timestamps everywhere.
+    BorderRouter::new(
+        AS_ID,
+        &master_secret_for(AS_ID),
+        RouterConfig { monitoring: false, cache, ..RouterConfig::default() },
+    )
+}
+
+fn res_info(now: Instant) -> ResInfo {
+    ResInfo {
+        src_as: IsdAsId::new(1, 10),
+        res_id: ResId(3),
+        bw: colibri_base::BwClass(30),
+        exp_t: now + Duration::from_secs(10),
+        ver: 0,
+    }
+}
+
+/// A valid EER packet for hop 1 of a 3-hop path, sent `ts_off` ns ago.
+fn valid_eer(now: Instant, ts_off: u64) -> Vec<u8> {
+    let ri = res_info(now);
+    let info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+    let path = [HopField::new(0, 1), HopField::new(2, 3), HopField::new(4, 0)];
+    let ts = ri.exp_t.as_nanos().saturating_sub(now.as_nanos()) + ts_off;
+    let mut pkt = PacketBuilder::eer(ri, info).path(path).ts(ts).build(b"pay").unwrap();
+    let k_i = SecretValueGen::new(&master_secret_for(AS_ID))
+        .secret_value(Epoch::containing(now))
+        .cmac();
+    let size = pkt.len();
+    {
+        let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+        let sigma = hop_auth(&k_i, &ri, &info, path[1]);
+        v.set_hvf(1, eer_hvf(&sigma, ts, size));
+        v.set_curr_hop(1);
+    }
+    pkt
+}
+
+/// A valid SegR control packet for hop 1 of a 3-hop path, sent at `now`.
+fn valid_segr(now: Instant) -> Vec<u8> {
+    let ri = res_info(now);
+    let path = [HopField::new(0, 1), HopField::new(2, 3), HopField::new(4, 0)];
+    let ts = ri.exp_t.as_nanos() - now.as_nanos();
+    let mut pkt = PacketBuilder::segr(ri).control().path(path).ts(ts).build(b"ctl").unwrap();
+    let k_i = SecretValueGen::new(&master_secret_for(AS_ID))
+        .secret_value(Epoch::containing(now))
+        .cmac();
+    {
+        let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+        v.set_hvf(1, segr_token(&k_i, &ri, path[1]));
+        v.set_curr_hop(1);
+    }
+    pkt
+}
+
+/// Runs `f` and returns `(aes_block_delta, key_expansion_delta)`.
+fn crypto_ops_of(f: impl FnOnce()) -> (u64, u64) {
+    let b0 = ops::aes_block_ops();
+    let x0 = ops::key_expansions();
+    f();
+    (ops::aes_block_ops() - b0, ops::key_expansions() - x0)
+}
+
+#[test]
+fn segr_cache_hit_validates_with_zero_aes_ops() {
+    let mut r = router_with(CryptoCacheConfig::default());
+    let now = Instant::from_secs(1000);
+    // Warm: first packet misses and populates (and derives K_i).
+    let mut pkt = valid_segr(now);
+    assert!(matches!(r.process(&mut pkt, now), RouterVerdict::Forward(_)));
+    // Hit: the identical control packet revalidates with zero crypto.
+    let mut pkt = valid_segr(now);
+    let mut verdict = RouterVerdict::Drop(colibri_dataplane::DropReason::ParseError);
+    let (blocks, expansions) = crypto_ops_of(|| verdict = r.process(&mut pkt, now));
+    assert!(matches!(verdict, RouterVerdict::Forward(_)));
+    assert_eq!(blocks, 0, "SegR cache hit must cost zero AES block operations");
+    assert_eq!(expansions, 0, "SegR cache hit must cost zero key expansions");
+    let s = r.cache_stats();
+    assert_eq!((s.segr_hits, s.segr_misses), (1, 1));
+}
+
+#[test]
+fn eer_cache_hit_costs_one_block_and_no_expansion() {
+    let mut r = router_with(CryptoCacheConfig::default());
+    let now = Instant::from_secs(1000);
+    let mut pkt = valid_eer(now, 1);
+    assert!(matches!(r.process(&mut pkt, now), RouterVerdict::Forward(_)));
+    // Same reservation, fresh timestamp: σ-cache hit.
+    let mut pkt = valid_eer(now, 2);
+    let mut verdict = RouterVerdict::Drop(colibri_dataplane::DropReason::ParseError);
+    let (blocks, expansions) = crypto_ops_of(|| verdict = r.process(&mut pkt, now));
+    assert!(matches!(verdict, RouterVerdict::Forward(_)));
+    assert_eq!(blocks, 1, "σ-cache hit is one single-block Eq. 6 CMAC");
+    assert_eq!(expansions, 0, "σ-cache hit must not re-expand the schedule");
+    let s = r.cache_stats();
+    assert_eq!((s.sigma_hits, s.sigma_misses), (1, 1));
+}
+
+#[test]
+fn disabled_cache_recomputes_every_packet() {
+    let mut r = router_with(CryptoCacheConfig::DISABLED);
+    let now = Instant::from_secs(1000);
+    let mut pkt = valid_eer(now, 1);
+    assert!(matches!(r.process(&mut pkt, now), RouterVerdict::Forward(_)));
+    let mut pkt = valid_eer(now, 2);
+    let (blocks, expansions) = crypto_ops_of(|| {
+        assert!(matches!(r.process(&mut pkt, now), RouterVerdict::Forward(_)));
+    });
+    // Eq. 4 over 30 bytes (2 blocks) + σ expansion (1 expansion + its
+    // subkey block) + the Eq. 6 block: strictly more than the hit path.
+    assert!(blocks > 1, "disabled cache still recomputed only {blocks} blocks");
+    assert_eq!(expansions, 1, "disabled cache must re-expand σ per packet");
+    assert_eq!(r.cache_stats().sigma_hits, 0);
+}
+
+#[test]
+fn batched_segr_hits_cost_zero_aes_ops() {
+    let mut r = router_with(CryptoCacheConfig::default());
+    let now = Instant::from_secs(1000);
+    let batch: Vec<Vec<u8>> = (0..4).map(|_| valid_segr(now)).collect();
+    // Warm batch: all four probe-first lanes miss together, then populate.
+    let mut bufs = batch.clone();
+    let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+    r.process_batch(&mut refs, now);
+    assert_eq!(r.cache_stats().segr_misses, 4);
+    // Hot batch: zero AES across all four packets.
+    let mut bufs = batch;
+    let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+    let (blocks, expansions) = crypto_ops_of(|| {
+        let verdicts = r.process_batch(&mut refs, now);
+        assert!(verdicts.iter().all(|v| matches!(v, RouterVerdict::Forward(_))));
+    });
+    assert_eq!(blocks, 0);
+    assert_eq!(expansions, 0);
+    assert_eq!(r.cache_stats().segr_hits, 4);
+}
+
+#[test]
+fn batched_eer_hits_cost_one_block_per_packet() {
+    let mut r = router_with(CryptoCacheConfig::default());
+    let now = Instant::from_secs(1000);
+    let mut bufs: Vec<Vec<u8>> = (0..4u64).map(|i| valid_eer(now, i)).collect();
+    let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+    r.process_batch(&mut refs, now);
+    assert_eq!(r.cache_stats().sigma_misses, 4);
+    // Hot batch: one 4-wide single-block CMAC run → four block ops total.
+    let mut bufs: Vec<Vec<u8>> = (0..4u64).map(|i| valid_eer(now, 10 + i)).collect();
+    let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+    let (blocks, expansions) = crypto_ops_of(|| {
+        let verdicts = r.process_batch(&mut refs, now);
+        assert!(verdicts.iter().all(|v| matches!(v, RouterVerdict::Forward(_))));
+    });
+    assert_eq!(blocks, 4, "four σ-hits validate in one 4-wide single-block run");
+    assert_eq!(expansions, 0);
+    assert_eq!(r.cache_stats().sigma_hits, 4);
+}
+
+#[test]
+fn gateway_steady_state_performs_no_key_expansion() {
+    let now = Instant::from_secs(100);
+    let hops = 4usize;
+    let eer = OwnedEer {
+        key: ReservationKey::new(IsdAsId::new(1, 10), ResId(1)),
+        eer_info: EerInfo { src_host: HostAddr(7), dst_host: HostAddr(8) },
+        path_ases: (0..hops).map(|i| IsdAsId::new(1, 10 + i as u32)).collect(),
+        hop_fields: (0..hops)
+            .map(|i| {
+                HopField::new(
+                    if i == 0 { 0 } else { 1 },
+                    if i + 1 == hops { 0 } else { 2 },
+                )
+            })
+            .collect(),
+        versions: vec![OwnedEerVersion {
+            ver: 0,
+            bw: Bandwidth::from_gbps(10),
+            exp: Instant::from_secs(4000),
+            hop_auths: (0..hops).map(|h| colibri_crypto::Key([h as u8; 16])).collect(),
+        }],
+    };
+    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+    // Install expands every σ schedule exactly once.
+    let (_, install_expansions) = crypto_ops_of(|| gw.install(&eer, now));
+    assert_eq!(install_expansions as usize, hops);
+    // Steady state: stamping never expands a key again, and each packet
+    // costs exactly one single-block Eq. 6 CMAC per on-path hop.
+    let packets = 16u64;
+    let mut buf = Vec::new();
+    let (blocks, expansions) = crypto_ops_of(|| {
+        for i in 0..packets {
+            let t = now + Duration::from_millis(i);
+            gw.process_into(HostAddr(7), ResId(1), b"payload", t, &mut buf).unwrap();
+        }
+    });
+    assert_eq!(expansions, 0, "gateway must not expand keys per packet");
+    assert_eq!(blocks, packets * hops as u64);
+}
+
+#[test]
+fn epoch_rollover_between_batches_flushes_caches_and_k_i() {
+    let mut r = router_with(CryptoCacheConfig::default());
+    let boundary = Epoch::containing(Instant::from_secs(1000)).end();
+    let before = boundary.saturating_sub(Duration::from_secs(5));
+    let after = boundary + Duration::from_secs(5);
+
+    // Batch in the old epoch populates both caches.
+    let mut bufs = [valid_eer(before, 1), valid_segr(before)];
+    let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+    let verdicts = r.process_batch(&mut refs, before);
+    assert!(verdicts.iter().all(|v| matches!(v, RouterVerdict::Forward(_))));
+    let s = r.cache_stats();
+    assert_eq!((s.sigma_misses, s.segr_misses), (1, 1));
+    assert_eq!(s.epoch_flushes, 0);
+
+    // A batch after the boundary: K_i rolled, both caches flushed. The
+    // new-epoch packets (authenticated under the new K_i) validate as
+    // misses; a replayed old-epoch authenticator must NOT validate, even
+    // though its σ was cached seconds ago.
+    let stale = {
+        // A fresh, unexpired packet whose token was computed under the
+        // *old* epoch's K_i — only the key epoch differs.
+        let ri = res_info(after);
+        let path = [HopField::new(0, 1), HopField::new(2, 3), HopField::new(4, 0)];
+        let ts = ri.exp_t.as_nanos() - after.as_nanos();
+        let k_old = SecretValueGen::new(&master_secret_for(AS_ID))
+            .secret_value(Epoch::containing(before))
+            .cmac();
+        let mut pkt = PacketBuilder::segr(ri).control().path(path).ts(ts).build(b"ctl").unwrap();
+        {
+            let mut v = PacketViewMut::parse(&mut pkt).unwrap();
+            v.set_hvf(1, segr_token(&k_old, &ri, path[1]));
+            v.set_curr_hop(1);
+        }
+        pkt
+    };
+    let mut bufs = [valid_eer(after, 1), valid_segr(after), stale];
+    let mut refs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+    let verdicts = r.process_batch(&mut refs, after);
+    assert!(matches!(verdicts[0], RouterVerdict::Forward(_)));
+    assert!(matches!(verdicts[1], RouterVerdict::Forward(_)));
+    assert_eq!(
+        verdicts[2],
+        RouterVerdict::Drop(colibri_dataplane::DropReason::BadHvf),
+        "old-epoch authenticator must fail after the rollover"
+    );
+    let s = r.cache_stats();
+    assert_eq!(s.epoch_flushes, 1);
+    // All three lookups after the flush were misses — nothing survived.
+    assert_eq!((s.sigma_hits, s.segr_hits), (0, 0));
+    assert_eq!((s.sigma_misses, s.segr_misses), (2, 3));
+
+    // The scalar path flushes identically.
+    let mut r2 = router_with(CryptoCacheConfig::default());
+    let mut pkt = valid_eer(before, 1);
+    assert!(matches!(r2.process(&mut pkt, before), RouterVerdict::Forward(_)));
+    let mut pkt = valid_eer(after, 1);
+    assert!(matches!(r2.process(&mut pkt, after), RouterVerdict::Forward(_)));
+    assert_eq!(r2.cache_stats().epoch_flushes, 1);
+    assert_eq!(r2.cache_stats().sigma_hits, 0);
+}

@@ -23,6 +23,8 @@ use colibri_crypto::{Cmac, Key};
 pub const RES_INFO_ENC_LEN: usize = 18;
 /// Length of the canonical hop-field encoding.
 pub const HOP_ENC_LEN: usize = 4;
+/// Length of the Eq. 3 MAC input (`ResInfo || hop`).
+pub const SEGR_INPUT_LEN: usize = RES_INFO_ENC_LEN + HOP_ENC_LEN;
 /// Length of the Eq. 4 MAC input (`ResInfo || EERInfo || hop`).
 pub const HOP_AUTH_INPUT_LEN: usize = RES_INFO_ENC_LEN + 8 + HOP_ENC_LEN;
 
@@ -40,24 +42,52 @@ fn encode_hop(hop: HopField, out: &mut [u8; HOP_ENC_LEN]) {
     out[2..4].copy_from_slice(&hop.egress.0.to_be_bytes());
 }
 
-/// Computes the SegR token `V_i^(S)` (Eq. 3) under the AS secret `k_i`.
-pub fn segr_token(k_i: &Cmac, res: &ResInfo, hop: HopField) -> [u8; HVF_LEN] {
-    let mut msg = [0u8; RES_INFO_ENC_LEN + HOP_ENC_LEN];
+/// Encodes the full Eq. 3 MAC input `ResInfo || (In_i, Eg_i)`.
+///
+/// This byte string is exactly the set of packet bits the SegR token
+/// authenticates, which makes it the natural key for a router-side token
+/// cache: two packets with equal `segr_input` are cryptographically
+/// indistinguishable at this hop, so a cached verdict is sound.
+pub fn segr_input(res: &ResInfo, hop: HopField) -> [u8; SEGR_INPUT_LEN] {
+    let mut msg = [0u8; SEGR_INPUT_LEN];
     encode_res_info(res, (&mut msg[..RES_INFO_ENC_LEN]).try_into().unwrap());
     encode_hop(hop, (&mut msg[RES_INFO_ENC_LEN..]).try_into().unwrap());
-    k_i.tag_truncated::<HVF_LEN>(&msg)
+    msg
+}
+
+/// Encodes the full Eq. 4 MAC input `ResInfo || EERInfo || (In_i, Eg_i)`.
+///
+/// Like [`segr_input`], this doubles as the cache key for σ-caches: it is
+/// precisely the authenticated tuple from which σ_i is derived.
+pub fn hop_auth_input(res: &ResInfo, eer: &EerInfo, hop: HopField) -> [u8; HOP_AUTH_INPUT_LEN] {
+    let mut msg = [0u8; HOP_AUTH_INPUT_LEN];
+    encode_res_info(res, (&mut msg[..RES_INFO_ENC_LEN]).try_into().unwrap());
+    msg[RES_INFO_ENC_LEN..RES_INFO_ENC_LEN + 4].copy_from_slice(&eer.src_host.0.to_be_bytes());
+    msg[RES_INFO_ENC_LEN + 4..RES_INFO_ENC_LEN + 8].copy_from_slice(&eer.dst_host.0.to_be_bytes());
+    encode_hop(hop, (&mut msg[RES_INFO_ENC_LEN + 8..]).try_into().unwrap());
+    msg
+}
+
+/// Computes the SegR token `V_i^(S)` (Eq. 3) under the AS secret `k_i`.
+pub fn segr_token(k_i: &Cmac, res: &ResInfo, hop: HopField) -> [u8; HVF_LEN] {
+    segr_token_from_input(k_i, &segr_input(res, hop))
+}
+
+/// Eq. 3 over a pre-encoded input (see [`segr_input`]).
+pub fn segr_token_from_input(k_i: &Cmac, input: &[u8; SEGR_INPUT_LEN]) -> [u8; HVF_LEN] {
+    k_i.tag_truncated::<HVF_LEN>(input)
 }
 
 /// Computes the EER hop authenticator `σ_i` (Eq. 4) under the AS secret
 /// `k_i`. Unlike the SegR token this is *not* truncated: σ_i doubles as a
 /// reservation-specific key for the per-packet MAC.
 pub fn hop_auth(k_i: &Cmac, res: &ResInfo, eer: &EerInfo, hop: HopField) -> Key {
-    let mut msg = [0u8; HOP_AUTH_INPUT_LEN];
-    encode_res_info(res, (&mut msg[..RES_INFO_ENC_LEN]).try_into().unwrap());
-    msg[RES_INFO_ENC_LEN..RES_INFO_ENC_LEN + 4].copy_from_slice(&eer.src_host.0.to_be_bytes());
-    msg[RES_INFO_ENC_LEN + 4..RES_INFO_ENC_LEN + 8].copy_from_slice(&eer.dst_host.0.to_be_bytes());
-    encode_hop(hop, (&mut msg[RES_INFO_ENC_LEN + 8..]).try_into().unwrap());
-    Key(k_i.tag(&msg))
+    hop_auth_from_input(k_i, &hop_auth_input(res, eer, hop))
+}
+
+/// Eq. 4 over a pre-encoded input (see [`hop_auth_input`]).
+pub fn hop_auth_from_input(k_i: &Cmac, input: &[u8; HOP_AUTH_INPUT_LEN]) -> Key {
+    Key(k_i.tag(input))
 }
 
 /// Computes the per-packet hop validation field `V_i^(E)` (Eq. 6) from a
@@ -89,13 +119,20 @@ pub fn control_payload_mac(key: &Key, payload: &[u8]) -> [u8; 16] {
 /// 4-wide interleaved CMAC ([`Cmac::tag4`]). Bit-identical to four
 /// [`segr_token`] calls.
 pub fn segr_token4(k_i: &Cmac, inputs: [(&ResInfo, HopField); 4]) -> [[u8; HVF_LEN]; 4] {
-    let mut msgs = [[0u8; RES_INFO_ENC_LEN + HOP_ENC_LEN]; 4];
-    for l in 0..4 {
+    let msgs: [[u8; SEGR_INPUT_LEN]; 4] = core::array::from_fn(|l| {
         let (res, hop) = inputs[l];
-        encode_res_info(res, (&mut msgs[l][..RES_INFO_ENC_LEN]).try_into().unwrap());
-        encode_hop(hop, (&mut msgs[l][RES_INFO_ENC_LEN..]).try_into().unwrap());
-    }
-    let tags = k_i.tag4([&msgs[0], &msgs[1], &msgs[2], &msgs[3]]);
+        segr_input(res, hop)
+    });
+    segr_token4_from_inputs(k_i, [&msgs[0], &msgs[1], &msgs[2], &msgs[3]])
+}
+
+/// Batched Eq. 3 over pre-encoded inputs — the miss path of a SegR token
+/// cache feeds here directly, since the cache key *is* the MAC input.
+pub fn segr_token4_from_inputs(
+    k_i: &Cmac,
+    inputs: [&[u8; SEGR_INPUT_LEN]; 4],
+) -> [[u8; HVF_LEN]; 4] {
+    let tags = k_i.tag4([inputs[0], inputs[1], inputs[2], inputs[3]]);
     tags.map(|t| t[..HVF_LEN].try_into().unwrap())
 }
 
@@ -103,17 +140,17 @@ pub fn segr_token4(k_i: &Cmac, inputs: [(&ResInfo, HopField); 4]) -> [[u8; HVF_L
 /// router's σ derivation for four packets at once. Bit-identical to four
 /// [`hop_auth`] calls.
 pub fn hop_auth4(k_i: &Cmac, inputs: [(&ResInfo, &EerInfo, HopField); 4]) -> [Key; 4] {
-    let mut msgs = [[0u8; HOP_AUTH_INPUT_LEN]; 4];
-    for l in 0..4 {
+    let msgs: [[u8; HOP_AUTH_INPUT_LEN]; 4] = core::array::from_fn(|l| {
         let (res, eer, hop) = inputs[l];
-        encode_res_info(res, (&mut msgs[l][..RES_INFO_ENC_LEN]).try_into().unwrap());
-        msgs[l][RES_INFO_ENC_LEN..RES_INFO_ENC_LEN + 4]
-            .copy_from_slice(&eer.src_host.0.to_be_bytes());
-        msgs[l][RES_INFO_ENC_LEN + 4..RES_INFO_ENC_LEN + 8]
-            .copy_from_slice(&eer.dst_host.0.to_be_bytes());
-        encode_hop(hop, (&mut msgs[l][RES_INFO_ENC_LEN + 8..]).try_into().unwrap());
-    }
-    k_i.tag4([&msgs[0], &msgs[1], &msgs[2], &msgs[3]]).map(Key)
+        hop_auth_input(res, eer, hop)
+    });
+    hop_auth4_from_inputs(k_i, [&msgs[0], &msgs[1], &msgs[2], &msgs[3]])
+}
+
+/// Batched Eq. 4 over pre-encoded inputs — the miss path of a σ-cache
+/// feeds here directly, since the cache key *is* the MAC input.
+pub fn hop_auth4_from_inputs(k_i: &Cmac, inputs: [&[u8; HOP_AUTH_INPUT_LEN]; 4]) -> [Key; 4] {
+    k_i.tag4([inputs[0], inputs[1], inputs[2], inputs[3]]).map(Key)
 }
 
 /// Batched Eq. 6: four per-packet HVFs under four *different* hop
@@ -133,6 +170,23 @@ pub fn eer_hvf4(sigmas: [&Key; 4], inputs: [(u64, usize); 4]) -> [[u8; HVF_LEN];
         [&sigmas[0].0, &sigmas[1].0, &sigmas[2].0, &sigmas[3].0],
         [&msgs[0], &msgs[1], &msgs[2], &msgs[3]],
     );
+    tags.map(|t| t[..HVF_LEN].try_into().unwrap())
+}
+
+/// Batched Eq. 6 over four *pre-expanded* σ CMAC instances
+/// ([`Cmac::tag4_short_each`]): the cache-hit path. Skips all four key
+/// expansions and subkey derivations, leaving exactly four AES block
+/// operations for four packets. Bit-identical to four [`eer_hvf_with`]
+/// calls and hence to [`eer_hvf4`] over the corresponding σ keys.
+pub fn eer_hvf4_with(sigma_cmacs: [&Cmac; 4], inputs: [(u64, usize); 4]) -> [[u8; HVF_LEN]; 4] {
+    let mut msgs = [[0u8; 12]; 4];
+    for l in 0..4 {
+        let (ts, pkt_size) = inputs[l];
+        msgs[l][..8].copy_from_slice(&ts.to_be_bytes());
+        msgs[l][8..].copy_from_slice(&(pkt_size as u32).to_be_bytes());
+    }
+    let tags =
+        Cmac::tag4_short_each(sigma_cmacs, [&msgs[0], &msgs[1], &msgs[2], &msgs[3]]);
     tags.map(|t| t[..HVF_LEN].try_into().unwrap())
 }
 
@@ -231,6 +285,49 @@ mod tests {
         for l in 0..4 {
             assert_eq!(hvf4[l], eer_hvf(&auth4[l], ts_size[l].0, ts_size[l].1), "hvf lane {l}");
         }
+    }
+
+    #[test]
+    fn from_input_variants_match_struct_variants() {
+        let k_i = k();
+        let r = res();
+        let e = eer();
+        let hop = HopField::new(4, 7);
+
+        let seg_in = segr_input(&r, hop);
+        assert_eq!(segr_token_from_input(&k_i, &seg_in), segr_token(&k_i, &r, hop));
+        let auth_in = hop_auth_input(&r, &e, hop);
+        assert_eq!(hop_auth_from_input(&k_i, &auth_in), hop_auth(&k_i, &r, &e, hop));
+
+        // 4-wide from-input paths agree with the struct-level batch.
+        let mut infos = Vec::new();
+        for i in 0..4u32 {
+            let mut ri = res();
+            ri.res_id = ResId(200 + i);
+            infos.push(ri);
+        }
+        let hops = [HopField::new(1, 2), HopField::new(3, 4), HopField::new(5, 0), HopField::new(0, 7)];
+        let seg_ins: [[u8; SEGR_INPUT_LEN]; 4] =
+            core::array::from_fn(|l| segr_input(&infos[l], hops[l]));
+        assert_eq!(
+            segr_token4_from_inputs(&k_i, [&seg_ins[0], &seg_ins[1], &seg_ins[2], &seg_ins[3]]),
+            segr_token4(&k_i, core::array::from_fn(|l| (&infos[l], hops[l]))),
+        );
+        let auth_ins: [[u8; HOP_AUTH_INPUT_LEN]; 4] =
+            core::array::from_fn(|l| hop_auth_input(&infos[l], &e, hops[l]));
+        let sigmas = hop_auth4_from_inputs(
+            &k_i,
+            [&auth_ins[0], &auth_ins[1], &auth_ins[2], &auth_ins[3]],
+        );
+        assert_eq!(sigmas, hop_auth4(&k_i, core::array::from_fn(|l| (&infos[l], &e, hops[l]))));
+
+        // Pre-expanded Eq. 6 path matches the key-expanding batch.
+        let ts_size = [(10u64, 64usize), (11, 65), (u64::MAX, 0), (0, 1500)];
+        let cmacs: Vec<Cmac> = sigmas.iter().map(|s| s.cmac()).collect();
+        assert_eq!(
+            eer_hvf4_with(core::array::from_fn(|l| &cmacs[l]), ts_size),
+            eer_hvf4(core::array::from_fn(|l| &sigmas[l]), ts_size),
+        );
     }
 
     #[test]

@@ -149,7 +149,7 @@ fn main() {
             }
         }
         let secs = t0.elapsed().as_secs_f64();
-        let stats = pool.shutdown(&mut Vec::new());
+        let (stats, cache_stats) = pool.shutdown(&mut Vec::new());
         let last = hop + 1 == HOPS;
         for o in outs {
             match o.verdict {
@@ -162,10 +162,12 @@ fn main() {
             }
         }
         println!(
-            "  router hop{hop}: {:>7.3} Mpps  (AS {as_id}, forwarded {}, dropped {})",
+            "  router hop{hop}: {:>7.3} Mpps  (AS {as_id}, forwarded {}, dropped {}, \
+             σ-cache hit rate {:.1}%)",
             mpps(count, secs),
             stats.forwarded,
-            stats.bad_hvf + stats.parse_errors + stats.stale + stats.expired
+            stats.bad_hvf + stats.parse_errors + stats.stale + stats.expired,
+            cache_stats.hit_rate() * 100.0
         );
     }
 

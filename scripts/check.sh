@@ -14,7 +14,7 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repro_pipeline --quick --gate (batched data plane must not regress)"
+echo "==> repro_pipeline --quick --gate (batched + cached data plane must not regress)"
 cargo run --release -q -p colibri-bench --bin repro_pipeline -- \
   --quick --gate --out target/BENCH_dataplane.quick.json
 
