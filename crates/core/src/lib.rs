@@ -63,6 +63,7 @@
 //! | [`host`] | end-host stack: flows, renewal, pacing | §3.2 |
 //! | [`monitor`] | token bucket, OFD, replay, policing | §4.8 |
 //! | [`sim`] | discrete-event simulator, Table 2 | §7 |
+//! | [`telemetry`] | lock-free metrics, trace ring, exposition | — |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +75,7 @@ pub use colibri_dataplane as dataplane;
 pub use colibri_host as host;
 pub use colibri_monitor as monitor;
 pub use colibri_sim as sim;
+pub use colibri_telemetry as telemetry;
 pub use colibri_topology as topology;
 pub use colibri_wire as wire;
 

@@ -18,11 +18,14 @@ use crate::eer::EerError;
 use crate::messages::{EerSetupReq, SealedHopAuth, SegSetupReq};
 use crate::policy::EerPolicy;
 use crate::store::{OwnedEer, OwnedSegr, PendingVersion, ReservationStore, SegrRecord};
+use crate::telemetry::CservTelemetry;
 use colibri_base::{Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ResId, ReservationKey};
 use colibri_crypto::{Aead, Cmac, Epoch, Key, SecretValueGen};
+use colibri_telemetry::{Registry, TraceOp, TraceOutcome, Tracer};
 use colibri_wire::mac::{hop_auth, segr_token};
 use colibri_wire::{EerInfo, HopField, ResInfo, HVF_LEN};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Replay-cache key: initiating AS, its request id, and the hop index at
 /// which this CServ processed the request. Request ids are only unique per
@@ -146,6 +149,9 @@ pub struct CServ {
     /// Recorded EER admission verdicts; replay prevents double-charging
     /// SegR headroom and transfer-AS split demand.
     eer_replay: HashMap<ReplayKey, ReplayedVerdict<()>>,
+    /// Optional observability bindings (counters + trace ring). Detached
+    /// by default; handlers pay one branch when `None` (DESIGN.md §11).
+    telemetry: Option<CservTelemetry>,
 }
 
 impl std::fmt::Debug for CServ {
@@ -181,6 +187,28 @@ impl CServ {
             next_request_id: 1,
             seg_replay: HashMap::new(),
             eer_replay: HashMap::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Registers this CServ's counters under `shard` in `registry` and
+    /// starts recording. An existing attachment (including its tracer) is
+    /// replaced.
+    pub fn attach_telemetry(&mut self, registry: &Registry, shard: &str) {
+        self.telemetry = Some(CservTelemetry::new(registry, shard));
+    }
+
+    /// Attaches a shared trace ring; control-plane operations are
+    /// recorded into it stamped with the handlers' virtual-clock `now`.
+    /// Requires telemetry to be attached first (the tracer rides on it).
+    pub fn attach_tracer(&mut self, registry: &Registry, shard: &str, tracer: Arc<Tracer>) {
+        self.telemetry = Some(CservTelemetry::new(registry, shard).with_tracer(tracer));
+    }
+
+    #[inline]
+    fn trace(&self, at: Instant, op: TraceOp, outcome: TraceOutcome, detail: u64) {
+        if let Some(tracer) = self.telemetry.as_ref().and_then(|t| t.tracer.as_ref()) {
+            tracer.event(at, op, outcome, self.isd_as.to_u64(), detail);
         }
     }
 
@@ -278,6 +306,11 @@ impl CServ {
                 _ => None,
             })
             .collect();
+        if let Some(t) = &self.telemetry {
+            t.gc_runs.inc();
+            t.gc_orphans.add(orphaned.len() as u64);
+        }
+        self.trace(now, TraceOp::Gc, TraceOutcome::Ok, orphaned.len() as u64);
         for undo in orphaned {
             self.admission.undo(undo);
         }
@@ -310,7 +343,8 @@ impl CServ {
     /// or releases it — and the replay and key caches are cleared. Ends
     /// with the aggregate consistency self-check; an `Err` means the
     /// store itself is inconsistent and the service must not serve.
-    pub fn recover(&mut self) -> Result<(), String> {
+    /// `now` stamps the recovery trace event (restart time).
+    pub fn recover(&mut self, now: Instant) -> Result<(), String> {
         let mut rebuilt = self.admission.fresh_like();
         let mut keys = Vec::with_capacity(self.store.segr_count());
         self.store.for_each_segr_key(|k| keys.push(k));
@@ -326,7 +360,13 @@ impl CServ {
         self.k_i_cache = None;
         self.seg_replay.clear();
         self.eer_replay.clear();
-        self.admission.audit()
+        let result = self.admission.audit();
+        if let Some(t) = &self.telemetry {
+            t.recoveries.inc();
+        }
+        let outcome = if result.is_ok() { TraceOutcome::Ok } else { TraceOutcome::Failed };
+        self.trace(now, TraceOp::Recovery, outcome, self.store.segr_count() as u64);
+        result
     }
 
     // -----------------------------------------------------------------
@@ -336,21 +376,39 @@ impl CServ {
     /// Forward-pass admission of a SegR setup/renewal at this AS
     /// (paper Fig. 1a ➋). `running_demand` is the request demand clamped
     /// by upstream grants. Returns this AS's grant and an undo token.
+    /// `now` is the processing time (stamps the admission trace event).
     pub fn segr_admit_hop(
         &mut self,
         req: &SegSetupReq,
         hop_index: usize,
         running_demand: Bandwidth,
+        now: Instant,
     ) -> Result<(Bandwidth, UndoToken), CservError> {
         let rk: ReplayKey = (req.res_info.src_as, req.request_id, hop_index as u32);
         if req.request_id != 0 {
             if let Some((verdict, _)) = self.seg_replay.get(&rk) {
                 // Retry of an already-processed request: replay the
                 // recorded verdict; the aggregates are left untouched.
+                if let Some(t) = &self.telemetry {
+                    t.replayed_verdicts.inc();
+                }
+                let outcome =
+                    if verdict.is_ok() { TraceOutcome::Ok } else { TraceOutcome::Denied };
+                self.trace(now, TraceOp::Retry, outcome, req.request_id);
                 return *verdict;
             }
         }
         let result = self.segr_admit_hop_inner(req, hop_index, running_demand);
+        if let Some(t) = &self.telemetry {
+            match &result {
+                Ok(_) => t.segr_admit_ok.inc(),
+                Err(_) => t.segr_admit_denied.inc(),
+            }
+        }
+        let op =
+            if req.res_info.ver > 0 { TraceOp::Renewal } else { TraceOp::SegrAdmission };
+        let outcome = if result.is_ok() { TraceOutcome::Ok } else { TraceOutcome::Denied };
+        self.trace(now, op, outcome, req.request_id);
         if req.request_id != 0 && self.seg_replay.len() < REPLAY_CAP {
             self.seg_replay.insert(rk, (result, req.res_info.exp_t));
         }
@@ -387,13 +445,23 @@ impl CServ {
     /// duplicate aborts and aborts racing a never-delivered request are
     /// no-ops. Used by the retrying drivers in [`crate::reliable`], which
     /// cannot know whether their abort follows a delivered admission.
-    pub fn segr_abort_request(&mut self, src_as: IsdAsId, request_id: u64, hop_index: usize) {
+    pub fn segr_abort_request(
+        &mut self,
+        src_as: IsdAsId,
+        request_id: u64,
+        hop_index: usize,
+        now: Instant,
+    ) {
         if request_id == 0 {
             return;
         }
         let rk: ReplayKey = (src_as, request_id, hop_index as u32);
         if let Some((Ok((_, undo)), _)) = self.seg_replay.remove(&rk) {
             self.admission.undo(undo);
+            if let Some(t) = &self.telemetry {
+                t.rollbacks.inc();
+            }
+            self.trace(now, TraceOp::Rollback, TraceOutcome::Ok, request_id);
         }
     }
 
@@ -425,6 +493,9 @@ impl CServ {
                         bw: final_bw,
                         exp: final_res_info.exp_t,
                     });
+                    if let Some(t) = &self.telemetry {
+                        t.renewals.inc();
+                    }
                 }
             }
             None => {
@@ -512,10 +583,25 @@ impl CServ {
             if let Some((verdict, _)) = self.eer_replay.get(&rk) {
                 // Retry: replay the recorded verdict without re-charging
                 // SegR headroom or the transfer-AS proportional split.
+                if let Some(t) = &self.telemetry {
+                    t.replayed_verdicts.inc();
+                }
+                let outcome =
+                    if verdict.is_ok() { TraceOutcome::Ok } else { TraceOutcome::Denied };
+                self.trace(now, TraceOp::Retry, outcome, req.request_id);
                 return *verdict;
             }
         }
         let result = self.eer_admit_hop_inner(req, hop_index, now);
+        if let Some(t) = &self.telemetry {
+            match &result {
+                Ok(()) => t.eer_admit_ok.inc(),
+                Err(_) => t.eer_admit_denied.inc(),
+            }
+        }
+        let op = if req.res_info.ver > 0 { TraceOp::Renewal } else { TraceOp::EerAdmission };
+        let outcome = if result.is_ok() { TraceOutcome::Ok } else { TraceOutcome::Denied };
+        self.trace(now, op, outcome, req.request_id);
         if req.request_id != 0 && self.eer_replay.len() < REPLAY_CAP {
             self.eer_replay.insert(rk, (result, req.res_info.exp_t));
         }
@@ -629,7 +715,7 @@ impl CServ {
     /// request, then forgets the replay entry. Duplicate aborts, and
     /// aborts for requests that were lost before arriving, change
     /// nothing.
-    pub fn eer_abort_request(&mut self, req: &EerSetupReq, hop_index: usize) {
+    pub fn eer_abort_request(&mut self, req: &EerSetupReq, hop_index: usize, now: Instant) {
         if req.request_id == 0 {
             self.eer_abort_hop(req, hop_index);
             return;
@@ -637,6 +723,10 @@ impl CServ {
         let rk: ReplayKey = (req.res_info.src_as, req.request_id, hop_index as u32);
         if let Some((Ok(()), _)) = self.eer_replay.remove(&rk) {
             self.eer_abort_hop(req, hop_index);
+            if let Some(t) = &self.telemetry {
+                t.rollbacks.inc();
+            }
+            self.trace(now, TraceOp::Rollback, TraceOutcome::Ok, req.request_id);
         }
     }
 
@@ -676,6 +766,9 @@ impl CServ {
         // whole path accepted it; refused attempts stay retryable.
         if res_info.ver > 0 {
             self.renewal_times.insert(res_info.key(), now);
+            if let Some(t) = &self.telemetry {
+                t.renewals.inc();
+            }
         }
         let epoch = Epoch::containing(now);
         let sigma = hop_auth(self.k_i(epoch), res_info, eer_info, hop);
@@ -816,7 +909,7 @@ mod tests {
             grants: vec![],
         };
         assert_eq!(
-            c.segr_admit_hop(&req, 0, Bandwidth::from_mbps(10)).unwrap_err(),
+            c.segr_admit_hop(&req, 0, Bandwidth::from_mbps(10), Instant::EPOCH).unwrap_err(),
             CservError::SourceDenied(IsdAsId::new(9, 9))
         );
     }
@@ -876,11 +969,11 @@ mod tests {
         c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
         c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
         let req = seg_req(42, Bandwidth::from_mbps(100));
-        let (g1, _) = c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        let (g1, _) = c.segr_admit_hop(&req, 0, req.demand, Instant::EPOCH).unwrap();
         let snap = c.admission().aggregates();
         // A retry of the same request id must return the same grant and
         // leave every memoized aggregate untouched.
-        let (g2, _) = c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        let (g2, _) = c.segr_admit_hop(&req, 0, req.demand, Instant::EPOCH).unwrap();
         assert_eq!(g1, g2);
         assert_eq!(c.admission().aggregates(), snap);
     }
@@ -892,15 +985,50 @@ mod tests {
         c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
         let clean = c.admission().aggregates();
         let req = seg_req(7, Bandwidth::from_mbps(50));
-        c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        c.segr_admit_hop(&req, 0, req.demand, Instant::EPOCH).unwrap();
         let src = req.res_info.src_as;
-        c.segr_abort_request(src, 7, 0);
+        c.segr_abort_request(src, 7, 0, Instant::EPOCH);
         assert_eq!(c.admission().aggregates(), clean);
         // A duplicate abort, and an abort for a request that never
         // arrived, must both be no-ops.
-        c.segr_abort_request(src, 7, 0);
-        c.segr_abort_request(src, 999, 0);
+        c.segr_abort_request(src, 7, 0, Instant::EPOCH);
+        c.segr_abort_request(src, 999, 0, Instant::EPOCH);
         assert_eq!(c.admission().aggregates(), clean);
+    }
+
+    #[test]
+    fn telemetry_counts_admissions_and_traces_retries() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let reg = Registry::new();
+        let tracer = Arc::new(Tracer::new(16));
+        c.attach_tracer(&reg, "cserv_1_10", Arc::clone(&tracer));
+        let req = seg_req(42, Bandwidth::from_mbps(100));
+        c.segr_admit_hop(&req, 0, req.demand, Instant::from_secs(1)).unwrap();
+        // Retry of the same request id: absorbed by the replay cache.
+        c.segr_admit_hop(&req, 0, req.demand, Instant::from_secs(2)).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.total("colibri_ctrl_segr_admit_ok_total"), 1);
+        assert_eq!(snap.total("colibri_ctrl_segr_admit_denied_total"), 0);
+        assert_eq!(snap.total("colibri_ctrl_replayed_verdicts_total"), 1);
+        let evs = tracer.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].op, TraceOp::SegrAdmission);
+        assert_eq!(evs[0].outcome, TraceOutcome::Ok);
+        assert_eq!(evs[0].at, Instant::from_secs(1));
+        assert_eq!(evs[1].op, TraceOp::Retry);
+
+        c.segr_abort_request(req.res_info.src_as, 42, 0, Instant::from_secs(3));
+        assert_eq!(reg.snapshot().total("colibri_ctrl_rollbacks_total"), 1);
+        assert_eq!(tracer.events_for(TraceOp::Rollback).len(), 1);
+
+        c.gc(Instant::from_secs(4));
+        let snap = reg.snapshot();
+        assert_eq!(snap.total("colibri_ctrl_gc_runs_total"), 1);
+        c.recover(Instant::from_secs(5)).expect("consistent");
+        assert_eq!(reg.snapshot().total("colibri_ctrl_recoveries_total"), 1);
+        assert_eq!(tracer.events_for(TraceOp::Recovery).len(), 1);
     }
 
     #[test]
@@ -910,12 +1038,12 @@ mod tests {
         c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
         let now = Instant::from_secs(1);
         let req = seg_req(3, Bandwidth::from_mbps(200));
-        let (granted, _) = c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        let (granted, _) = c.segr_admit_hop(&req, 0, req.demand, Instant::EPOCH).unwrap();
         let final_info =
             ResInfo { bw: BwClass::from_bandwidth_ceil(granted), ..req.res_info };
         c.segr_finalize_hop(&final_info, req.path[0].1, 0, 1, granted, now);
         let live = c.admission().aggregates();
-        c.recover().expect("store is consistent");
+        c.recover(Instant::EPOCH).expect("store is consistent");
         assert_eq!(c.admission().aggregates(), live);
     }
 
@@ -928,9 +1056,9 @@ mod tests {
         // Admitted on the forward pass but never finalized: the crash
         // happened mid-setup; recovery must not leak this bandwidth.
         let req = seg_req(5, Bandwidth::from_mbps(100));
-        c.segr_admit_hop(&req, 0, req.demand).unwrap();
+        c.segr_admit_hop(&req, 0, req.demand, Instant::EPOCH).unwrap();
         assert_ne!(c.admission().aggregates(), clean);
-        c.recover().expect("store is consistent");
+        c.recover(Instant::EPOCH).expect("store is consistent");
         assert_eq!(c.admission().aggregates(), clean);
     }
 }

@@ -24,6 +24,7 @@ pub mod policy;
 pub mod reliable;
 pub mod setup;
 pub mod store;
+pub mod telemetry;
 
 pub use admission::{
     AdmissionError, AggregateSnapshot, SegrAdmission, SegrAdmissionConfig, SegrRequest,
@@ -44,5 +45,6 @@ pub use setup::{master_secret_for, renew_eer_adaptive,
     SegrGrant, SetupError,
 };
 pub use store::{OwnedEer, OwnedEerVersion, OwnedSegr, PendingOwned, ReservationStore, SegrRecord};
+pub use telemetry::CservTelemetry;
 pub use dissemination::{RegisteredSegr, SegrCache, SegrRegistry};
 pub use distributed::{DistributedCServ, DistributedError, EerAdmitRequest};

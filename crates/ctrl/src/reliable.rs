@@ -138,6 +138,16 @@ impl RetryStats {
         self.timeouts += other.timeouts;
         self.undelivered_aborts += other.undelivered_aborts;
     }
+
+    /// The field-wise difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &RetryStats) -> RetryStats {
+        RetryStats {
+            attempts: self.attempts.saturating_sub(earlier.attempts),
+            lost: self.lost.saturating_sub(earlier.lost),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            undelivered_aborts: self.undelivered_aborts.saturating_sub(earlier.undelivered_aborts),
+        }
+    }
 }
 
 /// SplitMix64 — the deterministic mixer behind backoff jitter.
@@ -160,6 +170,25 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 /// an explicit abort does).
 #[allow(clippy::too_many_arguments)] // internal plumbing: one bundle per call site would obscure it
 pub(crate) fn reliable_exchange<T>(
+    ch: &mut dyn ControlChannel,
+    policy: &RetryPolicy,
+    clock: &Clock,
+    from: IsdAsId,
+    to: IsdAsId,
+    salt: u64,
+    stats: &mut RetryStats,
+    process: impl FnMut(Instant) -> T,
+) -> Option<T> {
+    let before = *stats;
+    let out = exchange_inner(ch, policy, clock, from, to, salt, stats, process);
+    // One registry push per hop exchange, not per attempt: the scrape
+    // sees exactly what the per-setup RetryStats accumulated.
+    crate::telemetry::record_retry_delta(stats.delta_since(&before));
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exchange_inner<T>(
     ch: &mut dyn ControlChannel,
     policy: &RetryPolicy,
     clock: &Clock,

@@ -323,12 +323,12 @@ fn run_segr_pass(
         let run = running;
         let salt = splitmix64(request_id ^ ((i as u64) << 32));
         let verdict =
-            reliable_exchange(ch, policy, clock, from, *as_id, salt, &mut stats, |_now| {
+            reliable_exchange(ch, policy, clock, from, *as_id, salt, &mut stats, |now| {
                 let cserv = reg.get_mut(*as_id).unwrap();
                 if !verify_at_hop(cserv, initiator, &payload, &macs[i], epoch) {
                     return HopVerdict::BadAuth;
                 }
-                match cserv.segr_admit_hop(&req, i, run) {
+                match cserv.segr_admit_hop(&req, i, run, now) {
                     Ok((granted, _undo)) => HopVerdict::Granted(granted),
                     Err(reason) => HopVerdict::Refused(reason),
                 }
@@ -435,11 +435,12 @@ fn rollback_segr(
             continue;
         }
         let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xAB << 48));
-        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |_now| {
-            reg.get_mut(as_id).unwrap().segr_abort_request(src, req.request_id, i);
+        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |now| {
+            reg.get_mut(as_id).unwrap().segr_abort_request(src, req.request_id, i, now);
         });
         if done.is_none() {
             stats.undelivered_aborts += 1;
+            crate::telemetry::record_undelivered_abort();
         }
     }
 }
@@ -884,11 +885,12 @@ fn rollback_eer(
             continue;
         }
         let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xBA << 48));
-        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |_now| {
-            reg.get_mut(as_id).unwrap().eer_abort_request(req, i);
+        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |now| {
+            reg.get_mut(as_id).unwrap().eer_abort_request(req, i, now);
         });
         if done.is_none() {
             stats.undelivered_aborts += 1;
+            crate::telemetry::record_undelivered_abort();
         }
     }
 }

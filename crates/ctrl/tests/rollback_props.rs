@@ -176,7 +176,7 @@ proptest! {
         for id in reg.ids() {
             let cserv = reg.get_mut(id).unwrap();
             let live = cserv.admission().aggregates();
-            cserv.recover().unwrap_or_else(|e| panic!("recovery self-check at {id}: {e}"));
+            cserv.recover(now).unwrap_or_else(|e| panic!("recovery self-check at {id}: {e}"));
             prop_assert_eq!(
                 cserv.admission().aggregates(),
                 live,

@@ -98,6 +98,20 @@ impl CryptoCacheStats {
         self.epoch_flushes += other.epoch_flushes;
     }
 
+    /// The field-wise difference `self - earlier` (counters are
+    /// monotone; saturates at zero).
+    pub fn delta_since(&self, earlier: &CryptoCacheStats) -> CryptoCacheStats {
+        CryptoCacheStats {
+            segr_hits: self.segr_hits.saturating_sub(earlier.segr_hits),
+            segr_misses: self.segr_misses.saturating_sub(earlier.segr_misses),
+            sigma_hits: self.sigma_hits.saturating_sub(earlier.sigma_hits),
+            sigma_misses: self.sigma_misses.saturating_sub(earlier.sigma_misses),
+            segr_evictions: self.segr_evictions.saturating_sub(earlier.segr_evictions),
+            sigma_evictions: self.sigma_evictions.saturating_sub(earlier.sigma_evictions),
+            epoch_flushes: self.epoch_flushes.saturating_sub(earlier.epoch_flushes),
+        }
+    }
+
     /// Total lookups across both caches.
     pub fn lookups(&self) -> u64 {
         self.segr_hits + self.segr_misses + self.sigma_hits + self.sigma_misses

@@ -14,9 +14,11 @@
 //! preserved: per-packet cost grows with path length (one CMAC per on-path
 //! AS) and with the table size through cache misses (Fig. 5).
 
+use crate::telemetry::GatewayTelemetry;
 use colibri_base::{Bandwidth, Duration, HostAddr, Instant, ResId};
 use colibri_crypto::Cmac;
 use colibri_ctrl::OwnedEer;
+use colibri_telemetry::Registry;
 use colibri_monitor::TokenBucket;
 use colibri_wire::mac::{eer_hvf4_with, eer_hvf_with};
 use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
@@ -122,6 +124,7 @@ impl Default for GatewayConfig {
 pub struct Gateway {
     cfg: GatewayConfig,
     table: HashMap<ResId, Entry>,
+    telemetry: Option<GatewayTelemetry>,
     /// Counters for observability and the protection experiment.
     pub stats: GatewayStats,
 }
@@ -137,10 +140,27 @@ pub struct GatewayStats {
     pub rejected: u64,
 }
 
+impl GatewayStats {
+    /// Folds another stats snapshot into this one (shard aggregation).
+    pub fn merge(&mut self, other: &GatewayStats) {
+        self.forwarded += other.forwarded;
+        self.rate_limited += other.rate_limited;
+        self.rejected += other.rejected;
+    }
+}
+
 impl Gateway {
     /// An empty gateway.
     pub fn new(cfg: GatewayConfig) -> Self {
-        Self { cfg, table: HashMap::new(), stats: GatewayStats::default() }
+        Self { cfg, table: HashMap::new(), telemetry: None, stats: GatewayStats::default() }
+    }
+
+    /// Attaches telemetry (outcome counters plus the Volatile per-packet
+    /// stamp-latency histogram), registered under `shard` in `registry`.
+    /// Detached gateways — the default — pay one predictable branch per
+    /// packet.
+    pub fn attach_telemetry(&mut self, registry: &Registry, shard: &str) {
+        self.telemetry = Some(GatewayTelemetry::new(registry, shard));
     }
 
     /// Installs (or refreshes) a reservation from the CServ's owned-EER
@@ -254,26 +274,41 @@ impl Gateway {
         now: Instant,
         buf: &mut Vec<u8>,
     ) -> Result<colibri_base::InterfaceId, GatewayError> {
+        // Wall clock feeds only the Volatile stamp-latency histogram; it
+        // never influences processing (determinism rules, DESIGN.md §11).
+        let wall_start = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let entry = match self.table.get_mut(&res_id) {
             Some(e) => e,
             None => {
                 self.stats.rejected += 1;
+                if let Some(t) = &self.telemetry {
+                    t.rejected.inc();
+                }
                 return Err(GatewayError::UnknownReservation(res_id));
             }
         };
         if entry.eer_info.src_host != src_host {
             self.stats.rejected += 1;
+            if let Some(t) = &self.telemetry {
+                t.rejected.inc();
+            }
             return Err(GatewayError::WrongHost);
         }
         // Use the latest live version (§4.2).
         let Some(version) = entry.versions.iter().rev().find(|v| v.exp > now) else {
             self.stats.rejected += 1;
+            if let Some(t) = &self.telemetry {
+                t.rejected.inc();
+            }
             return Err(GatewayError::Expired(res_id));
         };
         let pkt_size = colibri_wire::header_len(entry.hops.len(), true) + payload.len();
         // Deterministic monitoring (§4.8), sized by the full packet.
         if !entry.monitor.try_consume(pkt_size as u64, now) {
             self.stats.rate_limited += 1;
+            if let Some(t) = &self.telemetry {
+                t.rate_limited.inc();
+            }
             return Err(GatewayError::RateLimited(res_id));
         }
         // High-precision timestamp: ns until expiry, strictly decreasing
@@ -313,6 +348,12 @@ impl Gateway {
             }
         }
         self.stats.forwarded += 1;
+        if let Some(t) = &self.telemetry {
+            t.forwarded.inc();
+            if let Some(start) = wall_start {
+                t.stamp_ns.observe(start.elapsed().as_nanos() as u64);
+            }
+        }
         Ok(entry.hops[0].egress)
     }
 }

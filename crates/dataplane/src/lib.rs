@@ -13,7 +13,12 @@
 //!   CBWFQ scavenging (Appendix B);
 //! * [`crypto_cache`] — bounded, eviction-safe caches that amortize the
 //!   router's Eq. 3/4 MACs and AES key expansions across packets of the
-//!   same reservation (DESIGN.md §10).
+//!   same reservation (DESIGN.md §10);
+//! * [`telemetry`] — opt-in bindings onto the `colibri-telemetry`
+//!   registry: verdict/cache/outcome counters and batch/latency
+//!   histograms, recorded as stats-struct deltas so the Invariant
+//!   metrics stay bit-identical between the scalar and batched paths
+//!   (DESIGN.md §11).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,11 +30,16 @@ pub mod gateway;
 pub mod parallel;
 pub mod router;
 pub mod sharded;
+pub mod telemetry;
 
 pub use classes::{CbwfqScheduler, Served, TrafficClass, TrafficSplit};
 pub use control::stamp_segr_packet;
 pub use crypto_cache::{ClockCache, CryptoCacheConfig, CryptoCacheStats, RouterCryptoCaches};
 pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
-pub use parallel::{ParallelGateway, RoutedOutput, ShardRouterPool, StampedOutput};
+pub use parallel::{
+    GatewayPoolSnapshot, ParallelGateway, RoutedOutput, RouterPoolSnapshot, ShardRouterPool,
+    StampedOutput,
+};
 pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, RouterVerdict};
 pub use sharded::{shard_index, ShardedGateway};
+pub use telemetry::{GatewayTelemetry, RouterTelemetry};

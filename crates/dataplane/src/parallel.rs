@@ -30,9 +30,33 @@ use crate::router::{BorderRouter, RouterStats, RouterVerdict};
 use crate::sharded::shard_index;
 use colibri_base::{HostAddr, Instant, InterfaceId, ResId};
 use colibri_ctrl::OwnedEer;
+use colibri_telemetry::Registry;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// The aggregated result of a [`ParallelGateway`] run: the cross-shard
+/// merge of every worker's [`GatewayStats`], computed once at shutdown
+/// so callers stop re-summing per-shard structs by hand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayPoolSnapshot {
+    /// Number of shard workers that contributed.
+    pub shards: usize,
+    /// Summed outcome counters.
+    pub stats: GatewayStats,
+}
+
+/// The aggregated result of a [`ShardRouterPool`] run: the cross-shard
+/// merge of every worker's verdict and crypto-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterPoolSnapshot {
+    /// Number of shard workers that contributed.
+    pub shards: usize,
+    /// Summed verdict counters.
+    pub stats: RouterStats,
+    /// Summed crypto-cache counters.
+    pub cache: CryptoCacheStats,
+}
 
 /// How many jobs a worker pulls per queue lock. Batching amortizes the
 /// lock and lets the router validate whole batches with the interleaved
@@ -171,13 +195,34 @@ pub struct ParallelGateway {
 impl ParallelGateway {
     /// Spawns `n` shard workers with identical configuration.
     pub fn new(n: usize, cfg: GatewayConfig, queue_cap: usize) -> Self {
+        Self::build(n, cfg, queue_cap, None)
+    }
+
+    /// Like [`Self::new`], but each worker's gateway registers its
+    /// telemetry as shard `gw<i>` in `registry`, so a scrape shows the
+    /// per-shard split and [`colibri_telemetry::Snapshot::total`] the
+    /// cross-shard merge.
+    pub fn with_telemetry(
+        n: usize,
+        cfg: GatewayConfig,
+        queue_cap: usize,
+        registry: &Registry,
+    ) -> Self {
+        Self::build(n, cfg, queue_cap, Some(registry))
+    }
+
+    fn build(n: usize, cfg: GatewayConfig, queue_cap: usize, registry: Option<&Registry>) -> Self {
         assert!(n >= 1);
         let workers = (0..n)
-            .map(|_| {
+            .map(|i| {
                 let jobs = Arc::new(SpscQueue::new(queue_cap));
                 let out = Arc::new(SpscQueue::new(queue_cap));
                 let (jq, oq) = (Arc::clone(&jobs), Arc::clone(&out));
-                let handle = std::thread::spawn(move || gateway_worker(Gateway::new(cfg), jq, oq));
+                let mut gw = Gateway::new(cfg);
+                if let Some(reg) = registry {
+                    gw.attach_telemetry(reg, &format!("gw{i}"));
+                }
+                let handle = std::thread::spawn(move || gateway_worker(gw, jq, oq));
                 GatewayWorker { jobs, out, handle: Some(handle) }
             })
             .collect();
@@ -257,13 +302,13 @@ impl ParallelGateway {
     }
 
     /// Shuts the pool down: closes all job queues, drains every remaining
-    /// output into `out`, joins the workers, and returns their aggregated
-    /// statistics.
-    pub fn shutdown(mut self, out: &mut Vec<StampedOutput>) -> GatewayStats {
+    /// output into `out`, joins the workers, and returns the aggregated
+    /// cross-shard snapshot.
+    pub fn shutdown(mut self, out: &mut Vec<StampedOutput>) -> GatewayPoolSnapshot {
         for w in &self.workers {
             w.jobs.close();
         }
-        let mut stats = GatewayStats::default();
+        let mut snap = GatewayPoolSnapshot { shards: self.workers.len(), ..Default::default() };
         for w in &mut self.workers {
             let handle = w.handle.take().expect("worker joined twice");
             // Drain until the worker exits so it can never be stuck on a
@@ -278,11 +323,9 @@ impl ParallelGateway {
                 out.push(item);
             }
             let s = handle.join().expect("gateway worker panicked");
-            stats.forwarded += s.forwarded;
-            stats.rate_limited += s.rate_limited;
-            stats.rejected += s.rejected;
+            snap.stats.merge(&s);
         }
-        stats
+        snap
     }
 }
 
@@ -361,14 +404,37 @@ pub struct ShardRouterPool {
 impl ShardRouterPool {
     /// Spawns `n` router workers; `make` builds each worker's router
     /// (typically identical AS/secret/config).
-    pub fn new(n: usize, queue_cap: usize, mut make: impl FnMut(usize) -> BorderRouter) -> Self {
+    pub fn new(n: usize, queue_cap: usize, make: impl FnMut(usize) -> BorderRouter) -> Self {
+        Self::build(n, queue_cap, make, None)
+    }
+
+    /// Like [`Self::new`], but each worker's router (and its monitor)
+    /// registers telemetry as shard `router<i>` in `registry`.
+    pub fn with_telemetry(
+        n: usize,
+        queue_cap: usize,
+        registry: &Registry,
+        make: impl FnMut(usize) -> BorderRouter,
+    ) -> Self {
+        Self::build(n, queue_cap, make, Some(registry))
+    }
+
+    fn build(
+        n: usize,
+        queue_cap: usize,
+        mut make: impl FnMut(usize) -> BorderRouter,
+        registry: Option<&Registry>,
+    ) -> Self {
         assert!(n >= 1);
         let workers = (0..n)
             .map(|i| {
                 let jobs = Arc::new(SpscQueue::new(queue_cap));
                 let out = Arc::new(SpscQueue::new(queue_cap));
                 let (jq, oq) = (Arc::clone(&jobs), Arc::clone(&out));
-                let router = make(i);
+                let mut router = make(i);
+                if let Some(reg) = registry {
+                    router.attach_telemetry(reg, &format!("router{i}"));
+                }
                 let handle = std::thread::spawn(move || router_worker(router, jq, oq));
                 RouterWorker { jobs, out, handle: Some(handle) }
             })
@@ -425,14 +491,13 @@ impl ShardRouterPool {
     }
 
     /// Shuts the pool down: closes job queues, drains remaining outputs
-    /// into `out`, joins workers, and returns their summed verdict and
-    /// crypto-cache statistics.
-    pub fn shutdown(mut self, out: &mut Vec<RoutedOutput>) -> (RouterStats, CryptoCacheStats) {
+    /// into `out`, joins workers, and returns the aggregated cross-shard
+    /// snapshot (summed verdict and crypto-cache counters).
+    pub fn shutdown(mut self, out: &mut Vec<RoutedOutput>) -> RouterPoolSnapshot {
         for w in &self.workers {
             w.jobs.close();
         }
-        let mut stats = RouterStats::default();
-        let mut cache_stats = CryptoCacheStats::default();
+        let mut snap = RouterPoolSnapshot { shards: self.workers.len(), ..Default::default() };
         for w in &mut self.workers {
             let handle = w.handle.take().expect("worker joined twice");
             while !handle.is_finished() {
@@ -445,17 +510,10 @@ impl ShardRouterPool {
                 out.push(item);
             }
             let (s, cs) = handle.join().expect("router worker panicked");
-            stats.forwarded += s.forwarded;
-            stats.parse_errors += s.parse_errors;
-            stats.expired += s.expired;
-            stats.stale += s.stale;
-            stats.bad_hvf += s.bad_hvf;
-            stats.blocked += s.blocked;
-            stats.duplicates += s.duplicates;
-            stats.shaped += s.shaped;
-            cache_stats.merge(&cs);
+            snap.stats.merge(&s);
+            snap.cache.merge(&cs);
         }
-        (stats, cache_stats)
+        snap
     }
 }
 
@@ -565,10 +623,11 @@ mod tests {
             }
         }
         let mut rest = Vec::new();
-        let stats = pg.shutdown(&mut rest);
+        let snap = pg.shutdown(&mut rest);
         assert!(rest.is_empty());
-        assert_eq!(stats.forwarded, 8);
-        assert_eq!(stats.rejected, 1);
+        assert_eq!(snap.shards, 3);
+        assert_eq!(snap.stats.forwarded, 8);
+        assert_eq!(snap.stats.rejected, 1);
     }
 
     #[test]
@@ -654,14 +713,45 @@ mod tests {
             .count();
         assert_eq!(fwd, 6);
         let mut rest = Vec::new();
-        let (stats, cache_stats) = pool.shutdown(&mut rest);
+        let snap = pool.shutdown(&mut rest);
         assert!(rest.is_empty());
-        assert_eq!(stats.forwarded, 6);
-        assert_eq!(stats.parse_errors, 1);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.stats.forwarded, 6);
+        assert_eq!(snap.stats.parse_errors, 1);
         // Six EER lookups happened across the shards. How many miss
         // depends on batching: packets of the same reservation that land
         // in one worker batch are probed before any insert, so they can
         // all miss together — only the exact lookup count is stable.
-        assert_eq!(cache_stats.sigma_hits + cache_stats.sigma_misses, 6);
+        assert_eq!(snap.cache.sigma_hits + snap.cache.sigma_misses, 6);
+    }
+
+    #[test]
+    fn telemetry_pools_scrape_per_shard_and_merged() {
+        let now = Instant::from_secs(1);
+        let reg = Registry::new();
+        let mut pg = ParallelGateway::with_telemetry(
+            2,
+            GatewayConfig { burst: Duration::from_secs(3600) },
+            16,
+            &reg,
+        );
+        for i in 0..6 {
+            pg.install(&owned(i), now);
+        }
+        for i in 0..6 {
+            pg.submit(HostAddr(7), ResId(i), b"p".to_vec(), now);
+        }
+        pg.submit(HostAddr(7), ResId(999), b"x".to_vec(), now);
+        let mut outs = Vec::new();
+        pg.flush(&mut outs);
+        let snap_pool = pg.shutdown(&mut outs);
+        let scrape = reg.snapshot();
+        // Scraped cross-shard totals equal the pool's aggregated stats.
+        assert_eq!(scrape.total("colibri_gateway_forwarded_total"), snap_pool.stats.forwarded);
+        assert_eq!(scrape.total("colibri_gateway_rejected_total"), snap_pool.stats.rejected);
+        // Per-shard split is visible and sums to the total.
+        let m = scrape.metric("colibri_gateway_forwarded_total").unwrap();
+        assert_eq!(m.shards.len(), 2);
+        colibri_telemetry::verify_exposition(&scrape.render_prometheus()).unwrap();
     }
 }

@@ -30,6 +30,8 @@ use colibri_wire::{EerInfo, HopField, PacketViewMut, ResInfo, HVF_LEN};
 use crate::crypto_cache::{
     CryptoCacheConfig, CryptoCacheStats, RouterCryptoCaches, SegrKey, SigmaKey,
 };
+use crate::telemetry::RouterTelemetry;
+use colibri_telemetry::Registry;
 
 /// Why the router dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +121,47 @@ pub struct RouterStats {
     pub shaped: u64,
 }
 
+impl RouterStats {
+    /// Folds another stats snapshot into this one (shard aggregation).
+    pub fn merge(&mut self, other: &RouterStats) {
+        self.forwarded += other.forwarded;
+        self.parse_errors += other.parse_errors;
+        self.expired += other.expired;
+        self.stale += other.stale;
+        self.bad_hvf += other.bad_hvf;
+        self.blocked += other.blocked;
+        self.duplicates += other.duplicates;
+        self.shaped += other.shaped;
+    }
+
+    /// The field-wise difference `self - earlier` (counters are
+    /// monotone; saturates at zero).
+    pub fn delta_since(&self, earlier: &RouterStats) -> RouterStats {
+        RouterStats {
+            forwarded: self.forwarded.saturating_sub(earlier.forwarded),
+            parse_errors: self.parse_errors.saturating_sub(earlier.parse_errors),
+            expired: self.expired.saturating_sub(earlier.expired),
+            stale: self.stale.saturating_sub(earlier.stale),
+            bad_hvf: self.bad_hvf.saturating_sub(earlier.bad_hvf),
+            blocked: self.blocked.saturating_sub(earlier.blocked),
+            duplicates: self.duplicates.saturating_sub(earlier.duplicates),
+            shaped: self.shaped.saturating_sub(earlier.shaped),
+        }
+    }
+
+    /// Total packets seen (forwarded plus every drop class).
+    pub fn processed(&self) -> u64 {
+        self.forwarded
+            + self.parse_errors
+            + self.expired
+            + self.stale
+            + self.bad_hvf
+            + self.blocked
+            + self.duplicates
+            + self.shaped
+    }
+}
+
 /// The border router of one AS.
 pub struct BorderRouter {
     isd_as: IsdAsId,
@@ -127,6 +170,7 @@ pub struct BorderRouter {
     k_i_cache: Option<(Epoch, Cmac)>,
     caches: RouterCryptoCaches,
     monitor: TransitMonitor,
+    telemetry: Option<RouterTelemetry>,
     /// Counters.
     pub stats: RouterStats,
 }
@@ -141,8 +185,34 @@ impl BorderRouter {
             k_i_cache: None,
             caches: RouterCryptoCaches::new(cfg.cache),
             monitor: TransitMonitor::new(cfg.monitor),
+            telemetry: None,
             cfg,
             stats: RouterStats::default(),
+        }
+    }
+
+    /// Attaches telemetry (verdict counters, cache counters, batch
+    /// histograms, and the monitor's detection counters), registered
+    /// under `shard` in `registry`. Detached routers — the default —
+    /// pay one predictable branch per `process`/`process_batch` call.
+    ///
+    /// Counters are recorded as deltas of [`RouterStats`] /
+    /// [`CryptoCacheStats`] at the end of each call, so the exported
+    /// Invariant metrics are bit-identical between the scalar and
+    /// batched paths whenever the stats structs are (which the
+    /// differential proptests guarantee).
+    pub fn attach_telemetry(&mut self, registry: &Registry, shard: &str) {
+        self.telemetry = Some(RouterTelemetry::new(registry, shard));
+        self.monitor.attach_telemetry(registry, shard);
+    }
+
+    fn flush_telemetry(&mut self) {
+        if self.telemetry.is_some() {
+            let stats = self.stats;
+            let cache = self.caches.stats();
+            if let Some(t) = &mut self.telemetry {
+                t.record(&stats, &cache);
+            }
         }
     }
 
@@ -186,6 +256,12 @@ impl BorderRouter {
     /// The packet is parsed exactly once: the same [`PacketViewMut`]
     /// serves header validation, the HVF read, and the final hop advance.
     pub fn process(&mut self, pkt: &mut [u8], now: Instant) -> RouterVerdict {
+        let verdict = self.process_inner(pkt, now);
+        self.flush_telemetry();
+        verdict
+    }
+
+    fn process_inner(&mut self, pkt: &mut [u8], now: Instant) -> RouterVerdict {
         let mut view = match PacketViewMut::parse(pkt) {
             Ok(v) => v,
             Err(_) => return self.drop(DropReason::ParseError),
@@ -301,6 +377,9 @@ impl BorderRouter {
     /// still runs packet-by-packet in submission order, which is what
     /// makes the verdicts bit-identical to the sequential path.
     pub fn process_batch(&mut self, pkts: &mut [&mut [u8]], now: Instant) -> Vec<RouterVerdict> {
+        // Wall clock feeds only the Volatile per-batch latency histogram;
+        // it never influences processing (determinism rules, DESIGN.md §11).
+        let wall_start = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let mut verdicts = vec![RouterVerdict::Drop(DropReason::ParseError); pkts.len()];
         // Phase 1 — parse once and run the stateless header checks,
         // collecting survivors (with everything the crypto and forwarding
@@ -497,6 +576,13 @@ impl BorderRouter {
                 views[lane.idx].as_mut().expect("lane implies view").advance_hop();
                 RouterVerdict::Forward(lane.hop.egress)
             };
+        }
+        if let Some(start) = wall_start {
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            if let Some(t) = &self.telemetry {
+                t.observe_batch(pkts.len(), wall_ns);
+            }
+            self.flush_telemetry();
         }
         verdicts
     }

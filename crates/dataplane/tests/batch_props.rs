@@ -366,6 +366,96 @@ proptest! {
         prop_assert_eq!(a.stats, b.stats);
     }
 
+    /// Telemetry observes, it never perturbs — and its `Invariant`
+    /// metrics are themselves a differential oracle: a scalar and a
+    /// batched router, instrumented on separate registries, must produce
+    /// identical [`Stability::Invariant`] cross-shard totals over
+    /// arbitrary adversarial batches. (`PathDependent` metrics like
+    /// batch-size distributions legitimately differ and are excluded by
+    /// `invariant_totals`.) The same holds for `Gateway::process` vs
+    /// `Gateway::process_into`.
+    #[test]
+    fn telemetry_invariant_totals_equal_scalar_vs_batched(
+        gens in prop::collection::vec(gen_strategy(), 1..24)
+    ) {
+        use colibri_telemetry::Registry;
+
+        let now = Instant::from_secs(1000);
+        let originals: Vec<Vec<u8>> = gens.iter().map(|g| materialize(g, now)).collect();
+
+        let reg_scalar = Registry::new();
+        let mut scalar = router();
+        scalar.attach_telemetry(&reg_scalar, "scalar");
+        let mut scalar_bufs = originals.clone();
+        let scalar_verdicts: Vec<RouterVerdict> =
+            scalar_bufs.iter_mut().map(|p| scalar.process(p, now)).collect();
+
+        let reg_batched = Registry::new();
+        let mut batched = router();
+        batched.attach_telemetry(&reg_batched, "batched");
+        let mut batch_bufs = originals.clone();
+        let mut refs: Vec<&mut [u8]> = batch_bufs.iter_mut().map(Vec::as_mut_slice).collect();
+        let batch_verdicts = batched.process_batch(&mut refs, now);
+
+        prop_assert_eq!(&batch_verdicts, &scalar_verdicts);
+        prop_assert_eq!(
+            reg_batched.snapshot().invariant_totals(),
+            reg_scalar.snapshot().invariant_totals()
+        );
+        // The instrumented counters also agree with the plain stats.
+        prop_assert_eq!(
+            reg_scalar.snapshot().total("colibri_router_forwarded_total"),
+            scalar.stats.forwarded
+        );
+    }
+
+    /// Gateway telemetry is equally batching-blind: `process_into` with a
+    /// dirty reused buffer leaves the same invariant totals as `process`.
+    #[test]
+    fn gateway_telemetry_invariant_totals_equal(
+        ops in prop::collection::vec((0u32..6, 0u64..3, 0usize..128), 1..32)
+    ) {
+        use colibri_telemetry::Registry;
+
+        let now = Instant::from_secs(100);
+        let cfg = GatewayConfig { burst: Duration::from_secs(3600) };
+        let reg_a = Registry::new();
+        let reg_b = Registry::new();
+        let mut a = Gateway::new(cfg);
+        a.attach_telemetry(&reg_a, "scalar");
+        let mut b = Gateway::new(cfg);
+        b.attach_telemetry(&reg_b, "into");
+        for id in 0..4u32 {
+            let eer = OwnedEer {
+                key: colibri_base::ReservationKey::new(IsdAsId::new(1, 10), ResId(id)),
+                eer_info: EerInfo { src_host: HostAddr(7), dst_host: HostAddr(8) },
+                path_ases: vec![IsdAsId::new(1, 10), IsdAsId::new(1, 1)],
+                hop_fields: vec![HopField::new(0, 1), HopField::new(2, 0)],
+                versions: vec![OwnedEerVersion {
+                    ver: 0,
+                    bw: Bandwidth::from_mbps(50),
+                    exp: Instant::from_secs(200),
+                    hop_auths: vec![colibri_crypto::Key([id as u8; 16]); 2],
+                }],
+            };
+            a.install(&eer, now);
+            b.install(&eer, now);
+        }
+        let mut buf = vec![0xEE; 777];
+        for (i, &(res, host_sel, payload_len)) in ops.iter().enumerate() {
+            let host = HostAddr(if host_sel == 0 { 99 } else { 7 });
+            let payload = vec![i as u8; payload_len];
+            let t = now + Duration::from_millis(i as u64);
+            let _ = a.process(host, ResId(res), &payload, t);
+            let _ = b.process_into(host, ResId(res), &payload, t, &mut buf);
+        }
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(
+            reg_a.snapshot().invariant_totals(),
+            reg_b.snapshot().invariant_totals()
+        );
+    }
+
     /// The crypto caches are invisible: a router with randomly sized
     /// caches (including capacity 0 and capacities tiny enough to thrash)
     /// produces bit-identical verdicts, buffers, and [`RouterStats`] to a

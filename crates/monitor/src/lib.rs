@@ -28,5 +28,7 @@ pub use blocklist::Blocklist;
 pub use ofd::{normalized_ns, OfdConfig, OveruseFlowDetector};
 pub use replay::{ReplaySuppressor, ReplayVerdict};
 pub use token_bucket::TokenBucket;
-pub use transit::{MonitorAction, OveruseReport, TransitMonitor, TransitMonitorConfig};
+pub use transit::{
+    MonitorAction, MonitorTelemetry, OveruseReport, TransitMonitor, TransitMonitorConfig,
+};
 pub use watchlist::{Verdict, Watchlist};

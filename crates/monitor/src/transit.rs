@@ -20,6 +20,7 @@ use crate::ofd::{normalized_ns, OfdConfig, OveruseFlowDetector};
 use crate::replay::{ReplaySuppressor, ReplayVerdict};
 use crate::watchlist::{Verdict, Watchlist};
 use colibri_base::{Bandwidth, Duration, Instant, IsdAsId, ReservationKey};
+use colibri_telemetry::{Counter, Gauge, Registry, Stability};
 
 /// Configuration of the transit monitoring pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +83,57 @@ pub struct OveruseReport {
     pub at: Instant,
 }
 
+/// Telemetry handles for one [`TransitMonitor`] instance.
+///
+/// All counters are [`Stability::Invariant`]: the monitor is driven in
+/// strict submission order by both the scalar and the batched router
+/// path, so the detection sequence — OFD flags, watchlist insertions,
+/// overuse confirmations, blocklist insertions — is identical between
+/// them. The watched-flows gauge tracks watchlist occupancy (churn is
+/// the insertion counter against the gauge level).
+#[derive(Debug, Clone)]
+pub struct MonitorTelemetry {
+    ofd_flags: Counter,
+    watch_insertions: Counter,
+    overuse_confirmed: Counter,
+    blocklist_insertions: Counter,
+    watched_flows: Gauge,
+}
+
+impl MonitorTelemetry {
+    /// Registers the monitor metrics under `shard` in `registry`.
+    pub fn new(registry: &Registry, shard: &str) -> Self {
+        let s = registry.shard(shard);
+        Self {
+            ofd_flags: s.counter(
+                "colibri_monitor_ofd_flags_total",
+                Stability::Invariant,
+                "packets the probabilistic OFD sketch flagged as suspicious",
+            ),
+            watch_insertions: s.counter(
+                "colibri_monitor_watch_insertions_total",
+                Stability::Invariant,
+                "flows moved onto the deterministic watchlist",
+            ),
+            overuse_confirmed: s.counter(
+                "colibri_monitor_overuse_confirmed_total",
+                Stability::Invariant,
+                "overuse verdicts confirmed by exact measurement",
+            ),
+            blocklist_insertions: s.counter(
+                "colibri_monitor_blocklist_insertions_total",
+                Stability::Invariant,
+                "source-AS blocklist insertions (confirmed overuse and manual blocks)",
+            ),
+            watched_flows: s.gauge(
+                "colibri_monitor_watched_flows",
+                Stability::PathDependent,
+                "flows currently on the deterministic watchlist",
+            ),
+        }
+    }
+}
+
 /// The transit-AS monitoring pipeline.
 #[derive(Debug)]
 pub struct TransitMonitor {
@@ -95,6 +147,7 @@ pub struct TransitMonitor {
     /// Table 2 phase 3 operates the router in this state.
     shaped: std::collections::HashMap<ReservationKey, crate::token_bucket::TokenBucket>,
     reports: Vec<OveruseReport>,
+    telemetry: Option<MonitorTelemetry>,
 }
 
 impl TransitMonitor {
@@ -107,8 +160,16 @@ impl TransitMonitor {
             blocklist: Blocklist::new(),
             shaped: std::collections::HashMap::new(),
             reports: Vec::new(),
+            telemetry: None,
             cfg,
         }
+    }
+
+    /// Attaches detection telemetry, registered under `shard` in
+    /// `registry`. Detached (the default) costs nothing on the packet
+    /// path.
+    pub fn attach_telemetry(&mut self, registry: &Registry, shard: &str) {
+        self.telemetry = Some(MonitorTelemetry::new(registry, shard));
     }
 
     /// Processes one *authenticated* EER packet.
@@ -141,15 +202,34 @@ impl TransitMonitor {
         }
         // Probabilistic stage.
         let suspicious = self.ofd.observe(key, normalized_ns(pkt_bytes, bw), now);
-        if suspicious && !self.watchlist.is_watched(key) {
-            self.watchlist.watch(key, bw, now);
+        if suspicious {
+            if let Some(t) = &self.telemetry {
+                t.ofd_flags.inc();
+            }
+            if !self.watchlist.is_watched(key) {
+                self.watchlist.watch(key, bw, now);
+                if let Some(t) = &self.telemetry {
+                    t.watch_insertions.inc();
+                    t.watched_flows.set(self.watchlist.len() as u64);
+                }
+            }
         }
-        // Deterministic stage for watched flows.
-        if let Some(Verdict::Overuse { observed_bytes, allowed_bytes }) =
-            self.watchlist.observe(key, pkt_bytes, now)
-        {
+        // Deterministic stage for watched flows. The occupancy gauge only
+        // moves on insertion (above) and on a verdict (which removes the
+        // flow), so the clean forward path touches no telemetry cells.
+        let verdict = self.watchlist.observe(key, pkt_bytes, now);
+        if verdict.is_some() {
+            if let Some(t) = &self.telemetry {
+                t.watched_flows.set(self.watchlist.len() as u64);
+            }
+        }
+        if let Some(Verdict::Overuse { observed_bytes, allowed_bytes }) = verdict {
             let until = self.cfg.block_duration.map(|d| now + d);
             self.blocklist.block(key.src_as, until);
+            if let Some(t) = &self.telemetry {
+                t.overuse_confirmed.inc();
+                t.blocklist_insertions.inc();
+            }
             self.reports.push(OveruseReport { key, observed_bytes, allowed_bytes, at: now });
             return MonitorAction::DropBlocked;
         }
@@ -169,6 +249,9 @@ impl TransitMonitor {
     /// Manually blocks an AS (e.g. on instruction from the CServ).
     pub fn block(&mut self, src_as: IsdAsId, until: Option<Instant>) {
         self.blocklist.block(src_as, until);
+        if let Some(t) = &self.telemetry {
+            t.blocklist_insertions.inc();
+        }
     }
 
     /// Places a flow under deterministic token-bucket shaping at its

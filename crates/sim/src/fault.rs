@@ -290,7 +290,7 @@ pub fn apply_restarts(
     for c in &plan.crashes {
         if c.restart_at > prev && c.restart_at <= now && !recovered.contains(&c.as_id) {
             if let Some(cserv) = reg.get_mut(c.as_id) {
-                cserv.recover().expect("post-crash recovery self-check failed");
+                cserv.recover(c.restart_at).expect("post-crash recovery self-check failed");
                 recovered.push(c.as_id);
             }
         }

@@ -1,0 +1,241 @@
+//! Fixed-capacity, replay-deterministic event tracing for control-plane
+//! operations.
+//!
+//! The tracer is a bounded ring buffer of [`TraceEvent`]s: admission
+//! verdicts, renewals, retries, rollbacks, recoveries. Events carry
+//! [`colibri_base::Instant`] timestamps only — no wall clock, no RNG —
+//! so a replayed run (same seeds, same fault plan) produces a
+//! bit-identical trace, exactly like `sim::fault` replays.
+//!
+//! Recording is constant-time and allocation-free after construction:
+//! the ring is pre-sized, events are `Copy`, and an over-full ring
+//! overwrites the oldest event while counting the loss in
+//! [`Tracer::dropped`] — the hot path never blocks on an observer.
+
+use colibri_base::Instant;
+use std::sync::Mutex;
+
+/// The control-plane operation a trace event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// Segment-reservation admission at one hop.
+    SegrAdmission,
+    /// End-to-end reservation admission at one hop.
+    EerAdmission,
+    /// A renewal (SegR or EER).
+    Renewal,
+    /// A delivery retry performed by the reliable control channel.
+    Retry,
+    /// A rollback / abort of a partially admitted request.
+    Rollback,
+    /// A CServ state rebuild after a crash.
+    Recovery,
+    /// Expiry garbage collection.
+    Gc,
+}
+
+impl TraceOp {
+    /// Stable lowercase label used in exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceOp::SegrAdmission => "segr_admission",
+            TraceOp::EerAdmission => "eer_admission",
+            TraceOp::Renewal => "renewal",
+            TraceOp::Retry => "retry",
+            TraceOp::Rollback => "rollback",
+            TraceOp::Recovery => "recovery",
+            TraceOp::Gc => "gc",
+        }
+    }
+}
+
+/// How the traced operation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOutcome {
+    /// The operation succeeded.
+    Ok,
+    /// The operation was denied by policy or admission.
+    Denied,
+    /// The operation failed (loss, timeout, crash).
+    Failed,
+}
+
+impl TraceOutcome {
+    /// Stable lowercase label used in exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceOutcome::Ok => "ok",
+            TraceOutcome::Denied => "denied",
+            TraceOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One recorded control-plane event. `Copy`, fixed-size, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: Instant,
+    /// The operation class.
+    pub op: TraceOp,
+    /// How it ended.
+    pub outcome: TraceOutcome,
+    /// The acting entity, packed by the caller (e.g. an `IsdAsId` as
+    /// `u64`); `0` when not applicable.
+    pub actor: u64,
+    /// Operation-specific detail (request id, attempt number, reclaimed
+    /// count — whatever the recording site documents).
+    pub detail: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: Vec<TraceEvent>,
+    /// Index of the oldest event when the ring is full.
+    head: usize,
+    total: u64,
+}
+
+/// A bounded, shareable control-plane event tracer.
+///
+/// Interior mutability is a `Mutex`: tracing sits on the control path
+/// (admissions, retries — thousands per second, not millions), where a
+/// short uncontended lock is cheaper than the complexity of a lock-free
+/// MPMC ring, and the data plane never touches it.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A tracer retaining the most recent `capacity` events (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            ring: Mutex::new(Ring { events: Vec::with_capacity(capacity), head: 0, total: 0 }),
+            capacity,
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event, overwriting the oldest if the ring is full.
+    pub fn record(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().expect("tracer lock poisoned");
+        ring.total += 1;
+        if ring.events.len() < self.capacity {
+            ring.events.push(ev);
+        } else {
+            let head = ring.head;
+            ring.events[head] = ev;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+
+    /// Convenience recorder.
+    pub fn event(&self, at: Instant, op: TraceOp, outcome: TraceOutcome, actor: u64, detail: u64) {
+        self.record(TraceEvent { at, op, outcome, actor, detail });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("tracer lock poisoned");
+        let mut out = Vec::with_capacity(ring.events.len());
+        out.extend_from_slice(&ring.events[ring.head..]);
+        out.extend_from_slice(&ring.events[..ring.head]);
+        out
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.ring.lock().expect("tracer lock poisoned").total
+    }
+
+    /// Events lost to ring overwrites.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.ring.lock().expect("tracer lock poisoned");
+        ring.total - ring.events.len() as u64
+    }
+
+    /// Retained events matching `op`, oldest first.
+    pub fn events_for(&self, op: TraceOp) -> Vec<TraceEvent> {
+        self.events().into_iter().filter(|e| e.op == op).collect()
+    }
+
+    /// Renders the retained events as one line per event, oldest first —
+    /// the text form shown by `examples/observability.rs`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!(
+                "{} {:<15} {:<7} actor={} detail={}\n",
+                e.at,
+                e.op.label(),
+                e.outcome.label(),
+                e.actor,
+                e.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, detail: u64) -> TraceEvent {
+        TraceEvent {
+            at: Instant::from_nanos(t),
+            op: TraceOp::Retry,
+            outcome: TraceOutcome::Failed,
+            actor: 7,
+            detail,
+        }
+    }
+
+    #[test]
+    fn ring_retains_most_recent_in_order() {
+        let t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(ev(i, i));
+        }
+        let evs = t.events();
+        assert_eq!(evs.iter().map(|e| e.detail).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let t = Tracer::new(10);
+        t.event(Instant::from_secs(1), TraceOp::SegrAdmission, TraceOutcome::Ok, 1, 2);
+        t.event(Instant::from_secs(2), TraceOp::Rollback, TraceOutcome::Failed, 3, 4);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events_for(TraceOp::Rollback).len(), 1);
+        assert!(t.render_text().contains("rollback"));
+    }
+
+    #[test]
+    fn replay_determinism_same_inputs_same_trace() {
+        let run = || {
+            let t = Tracer::new(4);
+            for i in 0..9u64 {
+                t.event(
+                    Instant::from_nanos(i * 10),
+                    if i % 2 == 0 { TraceOp::Retry } else { TraceOp::Renewal },
+                    if i % 3 == 0 { TraceOutcome::Failed } else { TraceOutcome::Ok },
+                    i,
+                    i * i,
+                );
+            }
+            t.events()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -108,7 +108,8 @@ fn main() {
     let gw_secs = t0.elapsed().as_secs_f64();
     let ok = stamped.iter().filter(|o| o.result.is_ok()).count();
     assert_eq!(ok, packets, "every packet must stamp");
-    let gw_stats = gw.shutdown(&mut stamped);
+    let gw_snap = gw.shutdown(&mut stamped);
+    let gw_stats = gw_snap.stats;
     println!(
         "  gateway    : {:>7.3} Mpps  (stamped {} packets, {} rate-limited)",
         mpps(packets, gw_secs),
@@ -149,7 +150,8 @@ fn main() {
             }
         }
         let secs = t0.elapsed().as_secs_f64();
-        let (stats, cache_stats) = pool.shutdown(&mut Vec::new());
+        let snap = pool.shutdown(&mut Vec::new());
+        let (stats, cache_stats) = (snap.stats, snap.cache);
         let last = hop + 1 == HOPS;
         for o in outs {
             match o.verdict {

@@ -14,7 +14,11 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> repro_pipeline --quick --gate (batched + cached data plane must not regress)"
+echo "==> cargo clippy -p colibri-telemetry -- -D warnings"
+cargo clippy -p colibri-telemetry --all-targets -- -D warnings
+
+echo "==> repro_pipeline --quick --gate (data plane must not regress; telemetry ≤2%," \
+     "scrape verified: no unregistered/duplicate metric names)"
 cargo run --release -q -p colibri-bench --bin repro_pipeline -- \
   --quick --gate --out target/BENCH_dataplane.quick.json
 
