@@ -463,6 +463,283 @@ fn shard_sweep(shards: usize, packets: usize) -> ShardRow {
     ShardRow { shards, wall_mpps, cpu_seconds, projected_mpps, cache_hit_rate: cache_stats.hit_rate() }
 }
 
+/// Control-plane resilience metrics (DESIGN.md §12): the standard
+/// renewal-storm plan from `tests/chaos.rs` — 24 cross-ISD clients, the
+/// destination-side core's CServ crashed for 30 s — plus a scheduled ×4
+/// overload against a shedding CServ. Everything runs on the virtual
+/// clock with seeded fault plans, so the numbers are bit-stable and the
+/// gate cannot flake.
+mod resilience {
+    use colibri::base::Clock;
+    use colibri::ctrl::{
+        GuardedChannel, OverloadConfig, OverloadControl, RequestClass, RetryPolicy, ShedConfig,
+    };
+    use colibri::host::Env;
+    use colibri::prelude::*;
+    use colibri::sim::{apply_overloads, apply_restarts, FaultPlan, LinkFaults};
+    use colibri::topology::gen::{internet_like, InternetConfig};
+    use std::collections::HashMap;
+
+    pub struct ResilienceRow {
+        /// Distinct client flows whose path crosses the crashed AS.
+        pub clients: u64,
+        /// Delivery attempts at the crashed AS during the crash window.
+        pub storm_window_attempts: u64,
+        /// `storm_window_attempts / clients` — the gate bound is 3.0.
+        pub attempt_amplification: f64,
+        pub breaker_opens: u64,
+        pub breaker_probes: u64,
+        /// Attempts the breaker absorbed without touching the network.
+        pub breaker_fast_fails: u64,
+        /// Requests offered to the overloaded CServ's admission queue.
+        pub overload_offered: u64,
+        pub overload_shed: u64,
+        pub shed_rate: f64,
+        /// Renewals admitted while the ×4 overload was active.
+        pub renewals_admitted: u64,
+        /// New setups shed `Busy` in the same window (class priority).
+        pub new_setups_shed: u64,
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(200),
+            jitter_pct: 20,
+            per_hop_timeout: Duration::from_millis(200),
+            deadline: Duration::MAX,
+        }
+    }
+
+    pub fn measure() -> ResilienceRow {
+        let (clients, window_attempts, opens, probes, fast_fails) = renewal_storm();
+        let (offered, shed, renewals_admitted, new_setups_shed) = overload_shedding();
+        ResilienceRow {
+            clients,
+            storm_window_attempts: window_attempts,
+            attempt_amplification: window_attempts as f64 / clients as f64,
+            breaker_opens: opens,
+            breaker_probes: probes,
+            breaker_fast_fails: fast_fails,
+            overload_offered: offered,
+            overload_shed: shed,
+            shed_rate: if offered == 0 { 0.0 } else { shed as f64 / offered as f64 },
+            renewals_admitted,
+            new_setups_shed,
+        }
+    }
+
+    /// The chaos suite's storm scenario: 24 cross-ISD flows through a
+    /// pair of single-homed cores; the remote core crashes for 30 s as
+    /// every EER comes up for renewal. Returns (clients, attempts at
+    /// the crashed AS during the crash, opens, probes, fast-fails).
+    fn renewal_storm() -> (u64, u64, u64, u64, u64) {
+        let gen = internet_like(
+            &InternetConfig {
+                isds: 2,
+                cores_per_isd: 1,
+                leaves_per_isd: 6,
+                providers_per_leaf: 1,
+                ..Default::default()
+            },
+            0xC0FFEE,
+        );
+        let mut reg = CservRegistry::provision(&gen.topo, CservConfig::default());
+        let leaves: Vec<IsdAsId> = gen.topo.as_ids().filter(|&a| !gen.topo.is_core(a)).collect();
+        let (isd1, isd2): (Vec<IsdAsId>, Vec<IsdAsId>) =
+            leaves.iter().copied().partition(|l| l.isd == leaves[0].isd);
+
+        let mut managers: HashMap<IsdAsId, (FlowManager, Gateway)> = leaves
+            .iter()
+            .map(|&l| {
+                (
+                    l,
+                    (
+                        FlowManager::new(
+                            l,
+                            FlowConfig {
+                                segr_demand: Bandwidth::from_mbps(200),
+                                ..FlowConfig::default()
+                            },
+                        ),
+                        Gateway::new(GatewayConfig::default()),
+                    ),
+                )
+            })
+            .collect();
+        macro_rules! env {
+            ($gw:expr) => {
+                Env { reg: &mut reg, topo: &gen.topo, segments: &gen.segments, gateway: $gw }
+            };
+        }
+
+        let clock = Clock::starting_at(Instant::from_secs(1));
+        let policy = policy();
+        let crashed = IsdAsId::new(2, 1);
+        let crash_at = Instant::from_secs(10);
+        let restart_at = Instant::from_secs(40);
+        let plan = FaultPlan::new(0xBADC0DE)
+            .with_default_faults(LinkFaults::lossy(10_000).with_delay(Duration::from_millis(1)))
+            .with_crash(crashed, crash_at, restart_at);
+        let mut ch = plan.channel();
+        let mut guard = OverloadControl::new(OverloadConfig::default());
+
+        let mut flows: Vec<(IsdAsId, FlowId)> = Vec::new();
+        for i in 0..6usize {
+            let pairs = [
+                (isd1[i], isd2[i]),
+                (isd2[i], isd1[(i + 1) % 6]),
+                (isd1[i], isd2[(i + 2) % 6]),
+                (isd2[i], isd1[(i + 3) % 6]),
+            ];
+            for (j, (src, dst)) in pairs.into_iter().enumerate() {
+                let (fm, gw) = managers.get_mut(&src).unwrap();
+                let id = fm
+                    .open_with(
+                        &mut env!(gw),
+                        dst,
+                        HostAddr(100 + (4 * i + j) as u32),
+                        HostAddr(200 + (4 * i + j) as u32),
+                        Bandwidth::from_mbps(5),
+                        10_000_000,
+                        &clock,
+                        &mut GuardedChannel::new(&mut ch, &mut guard),
+                        &policy,
+                    )
+                    .expect("storm flow must open before the crash");
+                flows.push((src, id));
+            }
+        }
+
+        let t_end = restart_at + Duration::from_secs(60);
+        let mut prev = clock.now();
+        let mut window_start = None;
+        let mut window_end = None;
+        while clock.now() < t_end {
+            if window_start.is_none() && clock.now() >= crash_at {
+                window_start = Some(guard.dest_stats(crashed).attempts);
+            }
+            if window_end.is_none() && clock.now() >= restart_at {
+                window_end = Some(guard.dest_stats(crashed).attempts);
+            }
+            for &l in &leaves {
+                let (fm, gw) = managers.get_mut(&l).unwrap();
+                fm.tick_with(
+                    &mut env!(gw),
+                    &clock,
+                    &mut GuardedChannel::new(&mut ch, &mut guard),
+                    &policy,
+                );
+            }
+            apply_restarts(&plan, &mut reg, prev, clock.now());
+            prev = clock.now();
+            clock.advance(Duration::from_secs(2));
+        }
+        for &(src, id) in &flows {
+            assert!(
+                matches!(managers[&src].0.flow(id).unwrap().kind, FlowKind::Reserved(_)),
+                "storm flow {src}/{id:?} did not recover"
+            );
+        }
+
+        let window = window_end.expect("passed restart") - window_start.expect("passed crash");
+        let stats = guard.dest_stats(crashed);
+        (flows.len() as u64, window, stats.opens, stats.probes, stats.breaker_fast_fails)
+    }
+
+    /// A ×4 scheduled overload against a shedding CServ: two hedged
+    /// flows keep renewing, a third tries to open mid-overload and is
+    /// shed. Returns (offered, shed, renewals admitted, setups shed).
+    fn overload_shedding() -> (u64, u64, u64, u64) {
+        let gen = internet_like(
+            &InternetConfig {
+                isds: 2,
+                cores_per_isd: 1,
+                leaves_per_isd: 1,
+                providers_per_leaf: 1,
+                ..Default::default()
+            },
+            0x0B0E,
+        );
+        let mut reg = CservRegistry::provision(&gen.topo, CservConfig::default());
+        let leaves: Vec<IsdAsId> = gen.topo.as_ids().filter(|&a| !gen.topo.is_core(a)).collect();
+        let (src, dst) = (leaves[0], leaves[1]);
+        let shedding_core = IsdAsId::new(dst.isd.0, 1);
+
+        let mut fm = FlowManager::new(
+            src,
+            FlowConfig {
+                eer_renew_hedge: Duration::from_secs(6),
+                segr_demand: Bandwidth::from_mbps(200),
+                ..FlowConfig::default()
+            },
+        );
+        let mut gw = Gateway::new(GatewayConfig::default());
+        macro_rules! env {
+            () => {
+                Env { reg: &mut reg, topo: &gen.topo, segments: &gen.segments, gateway: &mut gw }
+            };
+        }
+
+        let clock = Clock::starting_at(Instant::from_secs(1));
+        let policy = policy();
+        let plan = FaultPlan::new(0xFEED)
+            .with_default_faults(LinkFaults::lossy(0).with_delay(Duration::from_millis(1)))
+            .with_overload(shedding_core, Instant::from_secs(2), Instant::from_secs(60), 4000);
+        let mut ch = plan.channel();
+
+        let open = |fm: &mut FlowManager,
+                    env: &mut Env<'_>,
+                    ch: &mut dyn colibri::ctrl::ControlChannel,
+                    tag: u32| {
+            fm.open_with(
+                env,
+                dst,
+                HostAddr(tag),
+                HostAddr(tag + 100),
+                Bandwidth::from_mbps(5),
+                10_000_000,
+                &clock,
+                ch,
+                &policy,
+            )
+        };
+        open(&mut fm, &mut env!(), &mut ch, 1).expect("open A");
+        open(&mut fm, &mut env!(), &mut ch, 2).expect("open B");
+
+        // Same service model as the chaos suite: slow relative to the
+        // ~1 ms link delays, so message latency cannot drain the queue
+        // between back-to-back offers.
+        reg.get_mut(shedding_core).unwrap().enable_shedding(
+            ShedConfig {
+                base_service: Duration::from_millis(200),
+                max_backlog: Duration::from_millis(800),
+                min_retry_after: Duration::from_secs(2),
+            },
+            clock.now(),
+        );
+        while clock.now() < Instant::from_secs(8) {
+            apply_overloads(&plan, &mut reg, clock.now());
+            fm.tick_with(&mut env!(), &clock, &mut ch, &policy);
+            clock.advance(Duration::from_millis(500));
+        }
+        apply_overloads(&plan, &mut reg, clock.now());
+        assert!(
+            open(&mut fm, &mut env!(), &mut ch, 3).is_err(),
+            "a new setup mid-overload must be shed"
+        );
+
+        let shed = *reg.get(shedding_core).unwrap().shed_stats().expect("shedding enabled");
+        (
+            shed.total_admitted() + shed.total_shed(),
+            shed.total_shed(),
+            shed.admitted[RequestClass::Renewal as usize],
+            shed.shed_busy[RequestClass::NewSetup as usize],
+        )
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -571,6 +848,25 @@ fn main() {
         );
     }
 
+    println!("\n## control-plane resilience (renewal storm + overload shedding, virtual clock)");
+    let res = resilience::measure();
+    println!(
+        "storm: {} attempts at the crashed AS for {} clients (amplification {:.2}, bound 3.0)",
+        res.storm_window_attempts, res.clients, res.attempt_amplification
+    );
+    println!(
+        "breaker: {} open(s), {} probe(s), {} fast-fail(s) absorbed",
+        res.breaker_opens, res.breaker_probes, res.breaker_fast_fails
+    );
+    println!(
+        "shedding: {}/{} offered requests shed ({:.1}%); {} renewal(s) admitted, {} new setup(s) shed",
+        res.overload_shed,
+        res.overload_offered,
+        res.shed_rate * 100.0,
+        res.renewals_admitted,
+        res.new_setups_shed
+    );
+
     // Machine-readable output.
     let mut json = String::new();
     json.push_str("{\n");
@@ -643,6 +939,25 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"control_resilience\": {\n");
+    json.push_str(&format!("    \"clients\": {},\n", res.clients));
+    json.push_str(&format!(
+        "    \"storm_window_attempts\": {},\n",
+        res.storm_window_attempts
+    ));
+    json.push_str(&format!(
+        "    \"attempt_amplification\": {:.4},\n",
+        res.attempt_amplification
+    ));
+    json.push_str(&format!("    \"breaker_opens\": {},\n", res.breaker_opens));
+    json.push_str(&format!("    \"breaker_probes\": {},\n", res.breaker_probes));
+    json.push_str(&format!("    \"breaker_fast_fails\": {},\n", res.breaker_fast_fails));
+    json.push_str(&format!("    \"overload_offered\": {},\n", res.overload_offered));
+    json.push_str(&format!("    \"overload_shed\": {},\n", res.overload_shed));
+    json.push_str(&format!("    \"shed_rate\": {:.4},\n", res.shed_rate));
+    json.push_str(&format!("    \"renewals_admitted\": {},\n", res.renewals_admitted));
+    json.push_str(&format!("    \"new_setups_shed\": {}\n", res.new_setups_shed));
+    json.push_str("  },\n");
     json.push_str(
         "  \"note\": \"projected_mpps = shards * packets / cpu_seconds; equals aggregate throughput only when each shard has its own core\"\n",
     );
@@ -715,12 +1030,30 @@ fn main() {
                 ok = false;
             }
         }
+        // Overload resilience: attempts at a downed AS stay linear in
+        // the client population (virtual clock + seeded plan, so this
+        // bound is deterministic, not a noisy perf threshold).
+        if res.attempt_amplification > 3.0 {
+            eprintln!(
+                "GATE FAIL: storm attempt amplification {:.2} exceeds 3.0 ({} attempts / {} clients)",
+                res.attempt_amplification, res.storm_window_attempts, res.clients
+            );
+            ok = false;
+        }
+        if res.renewals_admitted < 2 || res.new_setups_shed < 1 {
+            eprintln!(
+                "GATE FAIL: shedding must admit renewals ({}) ahead of new setups (shed {})",
+                res.renewals_admitted, res.new_setups_shed
+            );
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
         println!(
             "gate passed: batched paths within 10% of scalar or faster; cached router ≥ batched at \
-             ≥95% hit rate; telemetry within 2%; scrape verified"
+             ≥95% hit rate; telemetry within 2%; scrape verified; storm amplification ≤ 3.0 with \
+             renewals shed-prioritized"
         );
     }
 }

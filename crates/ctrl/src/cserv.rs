@@ -17,6 +17,7 @@ use crate::admission::{AdmissionError, SegrAdmission, SegrAdmissionConfig, SegrR
 use crate::eer::EerError;
 use crate::messages::{EerSetupReq, SealedHopAuth, SegSetupReq};
 use crate::policy::EerPolicy;
+use crate::shed::{AdmissionQueue, RequestClass, ShedConfig, ShedStats, ShedVerdict};
 use crate::store::{OwnedEer, OwnedSegr, PendingVersion, ReservationStore, SegrRecord};
 use crate::telemetry::CservTelemetry;
 use colibri_base::{Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ResId, ReservationKey};
@@ -55,6 +56,11 @@ pub struct CservConfig {
     /// scalability, CServs can rate-limit the amount of renewal requests
     /// for an EER (e.g., to one per second)" (§4.2).
     pub eer_renewal_min_interval: Duration,
+    /// Deadline-aware load shedding (the bounded admission work queue of
+    /// [`crate::shed`]). `None` — the default — admits with unlimited
+    /// throughput, matching the legacy in-process behavior; deployments
+    /// model finite admission capacity by setting a [`ShedConfig`].
+    pub shed: Option<ShedConfig>,
 }
 
 impl Default for CservConfig {
@@ -64,6 +70,7 @@ impl Default for CservConfig {
             segr_lifetime: Duration::from_secs(300),
             eer_lifetime: Duration::from_secs(16),
             eer_renewal_min_interval: Duration::from_secs(1),
+            shed: None,
         }
     }
 }
@@ -91,6 +98,17 @@ pub enum CservError {
     BadAuthentication,
     /// An EER renewal arrived faster than the per-EER rate limit (§4.2).
     RenewalRateLimited,
+    /// The admission work queue is full for this request's class; the
+    /// initiator should retry no sooner than `retry_after`. Never cached
+    /// in the replay caches — a retry after the backlog drains gets a
+    /// fresh verdict.
+    Busy {
+        /// Earliest sensible retry delay, derived from the backlog.
+        retry_after: Duration,
+    },
+    /// The request's propagated deadline cannot be met even if admitted
+    /// immediately; shed at this hop instead of timing out end-to-end.
+    DeadlineExceeded,
 }
 
 impl From<AdmissionError> for CservError {
@@ -118,6 +136,10 @@ impl std::fmt::Display for CservError {
             CservError::NoSuchPendingVersion => write!(f, "no such pending version"),
             CservError::BadAuthentication => write!(f, "control message authentication failed"),
             CservError::RenewalRateLimited => write!(f, "EER renewal rate limit exceeded"),
+            CservError::Busy { retry_after } => {
+                write!(f, "admission queue full; retry after {retry_after:?}")
+            }
+            CservError::DeadlineExceeded => write!(f, "request deadline cannot be met"),
         }
     }
 }
@@ -149,6 +171,9 @@ pub struct CServ {
     /// Recorded EER admission verdicts; replay prevents double-charging
     /// SegR headroom and transfer-AS split demand.
     eer_replay: HashMap<ReplayKey, ReplayedVerdict<()>>,
+    /// Bounded admission work queue (deadline-aware load shedding);
+    /// `None` admits with unlimited throughput.
+    shed: Option<AdmissionQueue>,
     /// Optional observability bindings (counters + trace ring). Detached
     /// by default; handlers pay one branch when `None` (DESIGN.md §11).
     telemetry: Option<CservTelemetry>,
@@ -187,6 +212,7 @@ impl CServ {
             next_request_id: 1,
             seg_replay: HashMap::new(),
             eer_replay: HashMap::new(),
+            shed: cfg.shed.map(|s| AdmissionQueue::new(s, Instant::EPOCH)),
             telemetry: None,
         }
     }
@@ -215,6 +241,63 @@ impl CServ {
     /// The configuration.
     pub fn config(&self) -> &CservConfig {
         &self.cfg
+    }
+
+    /// Turns deadline-aware load shedding on (or reconfigures it) with
+    /// an empty work queue starting at `now`.
+    pub fn enable_shedding(&mut self, cfg: ShedConfig, now: Instant) {
+        self.cfg.shed = Some(cfg);
+        self.shed = Some(AdmissionQueue::new(cfg, now));
+    }
+
+    /// Shed counters, when shedding is enabled.
+    pub fn shed_stats(&self) -> Option<&ShedStats> {
+        self.shed.as_ref().map(|q| q.stats())
+    }
+
+    /// Sets the admission service-time inflation factor (1000 = nominal).
+    /// Driven by the simulator's overload injection; a no-op when
+    /// shedding is disabled (an unlimited-throughput CServ has no
+    /// service model to inflate).
+    pub fn set_service_factor_milli(&mut self, factor_milli: u32) {
+        if let Some(q) = &mut self.shed {
+            q.set_factor_milli(factor_milli);
+        }
+    }
+
+    /// The current admission service-time inflation factor; 1000 when
+    /// shedding is disabled or service times are nominal.
+    pub fn service_factor_milli(&self) -> u32 {
+        self.shed.as_ref().map_or(1000, |q| q.factor_milli())
+    }
+
+    /// Offers an admission request to the bounded work queue (when
+    /// enabled). `Ok(())` admits; the error is the shed verdict to
+    /// return to the initiator. Shed verdicts are intentionally *not*
+    /// memoized in the replay caches: a retry after the backlog drains
+    /// must be re-evaluated, not replayed.
+    fn shed_offer(
+        &mut self,
+        class: RequestClass,
+        now: Instant,
+        deadline: Instant,
+    ) -> Result<(), CservError> {
+        let Some(q) = &mut self.shed else { return Ok(()) };
+        match q.offer(class, now, deadline) {
+            ShedVerdict::Admitted => Ok(()),
+            ShedVerdict::Busy { retry_after } => {
+                if let Some(t) = &self.telemetry {
+                    t.shed_busy.inc();
+                }
+                Err(CservError::Busy { retry_after })
+            }
+            ShedVerdict::DeadlineExceeded => {
+                if let Some(t) = &self.telemetry {
+                    t.shed_deadline.inc();
+                }
+                Err(CservError::DeadlineExceeded)
+            }
+        }
     }
 
     /// Declares an interface capacity (from the topology, at startup).
@@ -289,6 +372,13 @@ impl CServ {
         self.denied_sources.contains(&src_as)
     }
 
+    /// Number of live renewal rate-limit entries (observability; bounded
+    /// by the renewals seen within one `eer_renewal_min_interval` once
+    /// `gc` has run).
+    pub fn renewal_rate_entries(&self) -> usize {
+        self.renewal_times.len()
+    }
+
     /// Garbage-collects expired reservations.
     pub fn gc(&mut self, now: Instant) {
         // Backstop for undelivered aborts: a cached admission verdict
@@ -333,6 +423,12 @@ impl CServ {
         self.store.gc(now);
         self.seg_replay.retain(|_, (_, exp)| *exp > now);
         self.eer_replay.retain(|_, (_, exp)| *exp > now);
+        // Rate-limit bookkeeping: an entry older than the minimum renewal
+        // interval can never influence another verdict, so it is garbage
+        // the moment the interval passes. Without this purge the map grew
+        // by one entry per EER forever.
+        let min_interval = self.cfg.eer_renewal_min_interval;
+        self.renewal_times.retain(|_, &mut last| now.saturating_since(last) < min_interval);
     }
 
     /// Rebuilds all volatile control-plane state from the reservation
@@ -360,6 +456,16 @@ impl CServ {
         self.k_i_cache = None;
         self.seg_replay.clear();
         self.eer_replay.clear();
+        // Stale rate-limit entries (older than the interval) are dropped;
+        // recent ones survive so a restart cannot be used to sidestep the
+        // §4.2 renewal rate limit.
+        let min_interval = self.cfg.eer_renewal_min_interval;
+        self.renewal_times.retain(|_, &mut last| now.saturating_since(last) < min_interval);
+        // In-flight admission work died with the process: the queue
+        // restarts empty at nominal speed.
+        if let Some(q) = &mut self.shed {
+            q.reset(now);
+        }
         let result = self.admission.audit();
         if let Some(t) = &self.telemetry {
             t.recoveries.inc();
@@ -397,6 +503,17 @@ impl CServ {
                 self.trace(now, TraceOp::Retry, outcome, req.request_id);
                 return *verdict;
             }
+        }
+        // Load shedding runs after the replay lookup (a retry of an
+        // already-decided request costs no admission work) and before
+        // any state changes; shed verdicts return here and are never
+        // cached below.
+        let class =
+            if req.res_info.ver > 0 { RequestClass::Renewal } else { RequestClass::NewSetup };
+        if let Err(e) = self.shed_offer(class, now, req.deadline) {
+            let op = if req.res_info.ver > 0 { TraceOp::Renewal } else { TraceOp::SegrAdmission };
+            self.trace(now, op, TraceOutcome::Denied, req.request_id);
+            return Err(e);
         }
         let result = self.segr_admit_hop_inner(req, hop_index, running_demand);
         if let Some(t) = &self.telemetry {
@@ -591,6 +708,14 @@ impl CServ {
                 self.trace(now, TraceOp::Retry, outcome, req.request_id);
                 return *verdict;
             }
+        }
+        // Shed before doing any admission work; see `segr_admit_hop`.
+        let class =
+            if req.res_info.ver > 0 { RequestClass::Renewal } else { RequestClass::NewSetup };
+        if let Err(e) = self.shed_offer(class, now, req.deadline) {
+            let op = if req.res_info.ver > 0 { TraceOp::Renewal } else { TraceOp::EerAdmission };
+            self.trace(now, op, TraceOutcome::Denied, req.request_id);
+            return Err(e);
         }
         let result = self.eer_admit_hop_inner(req, hop_index, now);
         if let Some(t) = &self.telemetry {
@@ -896,6 +1021,7 @@ mod tests {
         c.deny_source(IsdAsId::new(9, 9));
         let req = SegSetupReq {
             request_id: 0,
+            deadline: Instant::MAX,
             res_info: ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: ResId(0),
@@ -918,6 +1044,7 @@ mod tests {
     fn segs_of_hop_mapping() {
         let req = EerSetupReq {
             request_id: 0,
+            deadline: Instant::MAX,
             res_info: ResInfo {
                 src_as: IsdAsId::new(1, 10),
                 res_id: ResId(0),
@@ -949,6 +1076,7 @@ mod tests {
     fn seg_req(request_id: u64, demand: Bandwidth) -> SegSetupReq {
         SegSetupReq {
             request_id,
+            deadline: Instant::MAX,
             res_info: ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: ResId(1),
@@ -1029,6 +1157,114 @@ mod tests {
         c.recover(Instant::from_secs(5)).expect("consistent");
         assert_eq!(reg.snapshot().total("colibri_ctrl_recoveries_total"), 1);
         assert_eq!(tracer.events_for(TraceOp::Recovery).len(), 1);
+    }
+
+    #[test]
+    fn renewal_rate_entries_are_purged_by_gc_and_recover() {
+        let mut c = cserv(10);
+        let eer_info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+        let hop = HopField::new(1, 2);
+        let t0 = Instant::from_secs(100);
+        // Ten finalized renewals leave ten rate-limit entries.
+        for i in 0..10u32 {
+            let info = ResInfo {
+                src_as: IsdAsId::new(9, 9),
+                res_id: ResId(i),
+                bw: BwClass(1),
+                exp_t: t0 + Duration::from_secs(16),
+                ver: 1,
+            };
+            c.eer_finalize_hop(&info, &eer_info, hop, 0, t0);
+        }
+        assert_eq!(c.renewal_rate_entries(), 10);
+        // Within the rate-limit interval nothing may be dropped (the
+        // entries still gate renewals)…
+        c.gc(t0 + Duration::from_millis(500));
+        assert_eq!(c.renewal_rate_entries(), 10);
+        // …but once the interval passes, GC purges them all. Before the
+        // fix this map grew by one entry per EER forever.
+        c.gc(t0 + Duration::from_secs(2));
+        assert_eq!(c.renewal_rate_entries(), 0);
+        // recover() drops stale entries too, but keeps recent ones so a
+        // restart cannot bypass the §4.2 rate limit.
+        let t1 = Instant::from_secs(200);
+        let info = ResInfo {
+            src_as: IsdAsId::new(9, 9),
+            res_id: ResId(77),
+            bw: BwClass(1),
+            exp_t: t1 + Duration::from_secs(16),
+            ver: 1,
+        };
+        c.eer_finalize_hop(&info, &eer_info, hop, 0, t1);
+        c.recover(t1 + Duration::from_millis(100)).expect("consistent");
+        assert_eq!(c.renewal_rate_entries(), 1, "recent entry survives a restart");
+        c.recover(t1 + Duration::from_secs(5)).expect("consistent");
+        assert_eq!(c.renewal_rate_entries(), 0, "stale entry dropped on restart");
+    }
+
+    #[test]
+    fn shedding_prioritizes_renewals_and_never_caches_busy() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let t = Instant::from_secs(50);
+        c.enable_shedding(
+            ShedConfig {
+                base_service: Duration::from_millis(2),
+                max_backlog: Duration::from_millis(8),
+                min_retry_after: Duration::from_millis(50),
+            },
+            t,
+        );
+        // New setups may use half the backlog: two admit, the third gets
+        // an explicit Busy with a retry hint.
+        let mut reqs = Vec::new();
+        for i in 0..3u64 {
+            let mut r = seg_req(100 + i, Bandwidth::from_mbps(10));
+            r.res_info.res_id = ResId(10 + i as u32);
+            reqs.push(r);
+        }
+        assert!(c.segr_admit_hop(&reqs[0], 0, reqs[0].demand, t).is_ok());
+        assert!(c.segr_admit_hop(&reqs[1], 0, reqs[1].demand, t).is_ok());
+        let err = c.segr_admit_hop(&reqs[2], 0, reqs[2].demand, t).unwrap_err();
+        let CservError::Busy { retry_after } = err else { panic!("expected Busy, got {err}") };
+        assert!(retry_after >= Duration::from_millis(4));
+        // Renewals (ver > 0) still admit: their class owns the full
+        // backlog, so setups can never starve them.
+        let mut renew = seg_req(200, Bandwidth::from_mbps(10));
+        renew.res_info.res_id = ResId(10);
+        renew.res_info.ver = 1;
+        assert!(c.segr_admit_hop(&renew, 0, renew.demand, t).is_ok());
+        // A Busy verdict must not be memoized: the same request id,
+        // retried after the hinted delay, is re-evaluated and admits.
+        let later = t + retry_after;
+        assert!(
+            c.segr_admit_hop(&reqs[2], 0, reqs[2].demand, later).is_ok(),
+            "Busy was cached in the replay map"
+        );
+        let s = c.shed_stats().unwrap();
+        assert_eq!(s.shed_busy[RequestClass::NewSetup as usize], 1);
+        assert_eq!(s.admitted[RequestClass::Renewal as usize], 1);
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_shed_at_this_hop() {
+        let mut c = cserv(10);
+        c.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10));
+        c.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10));
+        let t = Instant::from_secs(50);
+        c.enable_shedding(ShedConfig::default(), t);
+        let mut req = seg_req(300, Bandwidth::from_mbps(10));
+        req.deadline = t; // already expired when it arrives
+        assert_eq!(
+            c.segr_admit_hop(&req, 0, req.demand, t).unwrap_err(),
+            CservError::DeadlineExceeded
+        );
+        // With a meetable deadline the same request admits (and the shed
+        // verdict was not cached under its request id).
+        req.deadline = t + Duration::from_secs(1);
+        assert!(c.segr_admit_hop(&req, 0, req.demand, t).is_ok());
+        assert_eq!(c.shed_stats().unwrap().shed_deadline[RequestClass::NewSetup as usize], 1);
     }
 
     #[test]

@@ -20,9 +20,11 @@ pub mod distributed;
 pub mod eer;
 pub mod keyserver;
 pub mod messages;
+pub mod overload;
 pub mod policy;
 pub mod reliable;
 pub mod setup;
+pub mod shed;
 pub mod store;
 pub mod telemetry;
 
@@ -34,12 +36,16 @@ pub use cserv::{CServ, CservConfig, CservError};
 pub use eer::{EerError, SegrUsage, TransferSplit};
 pub use keyserver::{KeyClient, KeyServer, KeyServerConfig, KeyServerError};
 pub use messages::{CtrlMsg, EerSetupReq, EerSetupResp, SegSetupReq, SegSetupResp};
+pub use overload::{
+    BreakerState, DestStats, GuardedChannel, OverloadConfig, OverloadControl,
+};
 pub use policy::{AllowAll, DenyAll, EerPolicy, PerHostCap};
 pub use reliable::{
     activate_segr_reliable, renew_eer_adaptive_reliable, renew_eer_reliable,
     renew_segr_reliable, setup_eer_reliable, setup_segr_reliable, ControlChannel, Delivery,
-    PerfectChannel, RetryPolicy, RetryStats,
+    FastFailReason, PerfectChannel, Preflight, RetryPolicy, RetryStats,
 };
+pub use shed::{AdmissionQueue, RequestClass, ShedConfig, ShedStats, ShedVerdict};
 pub use setup::{master_secret_for, renew_eer_adaptive, 
     activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, CservRegistry, EerGrant,
     SegrGrant, SetupError,

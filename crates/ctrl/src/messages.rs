@@ -33,6 +33,10 @@ pub struct SegSetupReq {
     /// role: adaptive renewal retries the same version with a different
     /// demand, which must be a *new* admission, not a replay.
     pub request_id: u64,
+    /// The initiator's absolute completion deadline, propagated so an
+    /// overloaded on-path CServ can shed the request at the *first* hop
+    /// when it cannot possibly finish in time (`Instant::MAX` = none).
+    pub deadline: Instant,
     /// Reservation metadata: key, requested bandwidth class, expiry,
     /// version (0 for initial setup, incremented on renewal).
     pub res_info: ResInfo,
@@ -83,6 +87,9 @@ pub struct EerSetupReq {
     /// [`SegSetupReq::request_id`]); retries replay the recorded verdict
     /// rather than re-charging SegR headroom or transfer-AS splits.
     pub request_id: u64,
+    /// The initiator's absolute completion deadline (see
+    /// [`SegSetupReq::deadline`]; `Instant::MAX` = none).
+    pub deadline: Instant,
     /// Reservation metadata for the EER.
     pub res_info: ResInfo,
     /// Source and destination hosts.
@@ -205,6 +212,7 @@ impl CtrlMsg {
             CtrlMsg::SegSetup(m) => {
                 w.u8(0);
                 w.u64(m.request_id);
+                w.u64(m.deadline.as_nanos());
                 put_res_info(&mut w, &m.res_info);
                 w.u64(m.demand.as_bps());
                 w.u64(m.min_bw.as_bps());
@@ -235,6 +243,7 @@ impl CtrlMsg {
             CtrlMsg::EerSetup(m) => {
                 w.u8(3);
                 w.u64(m.request_id);
+                w.u64(m.deadline.as_nanos());
                 put_res_info(&mut w, &m.res_info);
                 w.u32(m.eer_info.src_host.0);
                 w.u32(m.eer_info.dst_host.0);
@@ -279,6 +288,7 @@ impl CtrlMsg {
         let msg = match r.u8()? {
             0 => {
                 let request_id = r.u64()?;
+                let deadline = Instant::from_nanos(r.u64()?);
                 let res_info = get_res_info(&mut r)?;
                 let demand = Bandwidth::from_bps(r.u64()?);
                 let min_bw = Bandwidth::from_bps(r.u64()?);
@@ -288,7 +298,15 @@ impl CtrlMsg {
                 for _ in 0..n {
                     grants.push(Bandwidth::from_bps(r.u64()?));
                 }
-                CtrlMsg::SegSetup(SegSetupReq { request_id, res_info, demand, min_bw, path, grants })
+                CtrlMsg::SegSetup(SegSetupReq {
+                    request_id,
+                    deadline,
+                    res_info,
+                    demand,
+                    min_bw,
+                    path,
+                    grants,
+                })
             }
             1 => {
                 let key = get_key(&mut r)?;
@@ -316,6 +334,7 @@ impl CtrlMsg {
             2 => CtrlMsg::SegActivate(SegActivate { key: get_key(&mut r)?, ver: r.u8()? }),
             3 => {
                 let request_id = r.u64()?;
+                let deadline = Instant::from_nanos(r.u64()?);
                 let res_info = get_res_info(&mut r)?;
                 let eer_info = EerInfo {
                     src_host: HostAddr(r.u32()?),
@@ -335,6 +354,7 @@ impl CtrlMsg {
                 }
                 CtrlMsg::EerSetup(EerSetupReq {
                     request_id,
+                    deadline,
                     res_info,
                     eer_info,
                     demand,
@@ -410,6 +430,7 @@ mod tests {
     fn seg_setup_roundtrip() {
         roundtrip(CtrlMsg::SegSetup(SegSetupReq {
             request_id: 0xDEAD_BEEF_0042,
+            deadline: Instant::from_secs(9),
             res_info: res_info(),
             demand: Bandwidth::from_mbps(500),
             min_bw: Bandwidth::from_mbps(100),
@@ -452,6 +473,7 @@ mod tests {
     fn eer_setup_roundtrip() {
         roundtrip(CtrlMsg::EerSetup(EerSetupReq {
             request_id: 7,
+            deadline: Instant::MAX,
             res_info: res_info(),
             eer_info: EerInfo { src_host: HostAddr(11), dst_host: HostAddr(22) },
             demand: Bandwidth::from_mbps(25),

@@ -39,11 +39,40 @@ pub enum Delivery {
     Down,
 }
 
+/// Why an attempt was fast-failed before touching the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastFailReason {
+    /// The destination's circuit breaker is open (recent consecutive
+    /// failures; a probe will test recovery after the cooldown).
+    BreakerOpen,
+    /// The per-destination retry budget is exhausted: retries are
+    /// capped as a fraction of first attempts to kill retry storms.
+    RetryBudgetExhausted,
+}
+
+/// Admission decision for one delivery attempt, made *before* the
+/// attempt touches the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preflight {
+    /// Attempt normally.
+    Proceed,
+    /// Abandon the exchange immediately without a network attempt.
+    FastFail(FastFailReason),
+}
+
 /// A point-to-point control-message delivery model between ASes.
 ///
 /// Implementations decide, deterministically or pseudo-randomly, whether
 /// a message from `from` to `to` sent at `now` arrives and how long it
 /// takes. The retrying drivers call `deliver` once per leg per attempt.
+///
+/// The `preflight`/`observe` pair is the overload-protection hook: the
+/// retry loop asks `preflight` before every attempt (an open circuit
+/// breaker or exhausted retry budget fast-fails the whole exchange) and
+/// reports each attempt's outcome through `observe`. The defaults are
+/// no-ops, so plain channels behave exactly as before;
+/// [`crate::overload::GuardedChannel`] routes them to an
+/// [`crate::overload::OverloadControl`].
 pub trait ControlChannel {
     /// Attempts to deliver one message leg.
     fn deliver(&mut self, from: IsdAsId, to: IsdAsId, now: Instant) -> Delivery;
@@ -54,6 +83,20 @@ pub trait ControlChannel {
     fn node_up(&self, as_id: IsdAsId, now: Instant) -> bool {
         let _ = (as_id, now);
         true
+    }
+
+    /// Admission decision for attempt number `attempt` (1-based) of an
+    /// exchange towards `to`. Default: always proceed.
+    fn preflight(&mut self, to: IsdAsId, now: Instant, attempt: u32) -> Preflight {
+        let _ = (to, now, attempt);
+        Preflight::Proceed
+    }
+
+    /// Outcome report for an attempt that `preflight` let through:
+    /// `ok` is true iff the round trip completed within the timeout.
+    /// Default: ignore.
+    fn observe(&mut self, to: IsdAsId, now: Instant, ok: bool) {
+        let _ = (to, now, ok);
     }
 }
 
@@ -86,6 +129,12 @@ pub struct RetryPolicy {
     /// A hop exchange whose round trip exceeds this counts as failed and
     /// is retried (the replay cache absorbs the duplicate).
     pub per_hop_timeout: Duration,
+    /// End-to-end deadline for the whole operation, measured from the
+    /// moment the driving pass starts. It is propagated inside the setup
+    /// requests so an overloaded CServ can shed a request that cannot
+    /// complete in time at the *first* hop, and the retry loop gives up
+    /// once the virtual clock passes it. `Duration::MAX` disables it.
+    pub deadline: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -96,6 +145,7 @@ impl Default for RetryPolicy {
             max_backoff: Duration::from_secs(2),
             jitter_pct: 20,
             per_hop_timeout: Duration::from_millis(500),
+            deadline: Duration::MAX,
         }
     }
 }
@@ -114,6 +164,16 @@ impl RetryPolicy {
             .min(u128::from(u64::MAX)) as u64;
         capped.saturating_add(Duration::from_nanos(jitter))
     }
+
+    /// The absolute deadline for an operation starting at `start`
+    /// (`Instant::MAX` when the policy has no deadline).
+    pub fn deadline_from(&self, start: Instant) -> Instant {
+        if self.deadline == Duration::MAX {
+            Instant::MAX
+        } else {
+            start.saturating_add(self.deadline)
+        }
+    }
 }
 
 /// Counters describing what the retry machinery had to do for one setup.
@@ -128,6 +188,14 @@ pub struct RetryStats {
     /// Abort messages that exhausted their retry budget undelivered (the
     /// target's expiry GC is the backstop for these).
     pub undelivered_aborts: u64,
+    /// Exchanges abandoned without a network attempt because the
+    /// destination's circuit breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Exchanges abandoned because the per-destination retry budget was
+    /// exhausted.
+    pub budget_denied: u64,
+    /// Exchanges abandoned because the operation deadline passed.
+    pub deadline_givups: u64,
 }
 
 impl RetryStats {
@@ -137,6 +205,9 @@ impl RetryStats {
         self.lost += other.lost;
         self.timeouts += other.timeouts;
         self.undelivered_aborts += other.undelivered_aborts;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.budget_denied += other.budget_denied;
+        self.deadline_givups += other.deadline_givups;
     }
 
     /// The field-wise difference `self - earlier` (saturating).
@@ -146,6 +217,9 @@ impl RetryStats {
             lost: self.lost.saturating_sub(earlier.lost),
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
             undelivered_aborts: self.undelivered_aborts.saturating_sub(earlier.undelivered_aborts),
+            breaker_fast_fails: self.breaker_fast_fails.saturating_sub(earlier.breaker_fast_fails),
+            budget_denied: self.budget_denied.saturating_sub(earlier.budget_denied),
+            deadline_givups: self.deadline_givups.saturating_sub(earlier.deadline_givups),
         }
     }
 }
@@ -176,11 +250,12 @@ pub(crate) fn reliable_exchange<T>(
     from: IsdAsId,
     to: IsdAsId,
     salt: u64,
+    deadline: Instant,
     stats: &mut RetryStats,
     process: impl FnMut(Instant) -> T,
 ) -> Option<T> {
     let before = *stats;
-    let out = exchange_inner(ch, policy, clock, from, to, salt, stats, process);
+    let out = exchange_inner(ch, policy, clock, from, to, salt, deadline, stats, process);
     // One registry push per hop exchange, not per attempt: the scrape
     // sees exactly what the per-setup RetryStats accumulated.
     crate::telemetry::record_retry_delta(stats.delta_since(&before));
@@ -195,20 +270,46 @@ fn exchange_inner<T>(
     from: IsdAsId,
     to: IsdAsId,
     salt: u64,
+    deadline: Instant,
     stats: &mut RetryStats,
     mut process: impl FnMut(Instant) -> T,
 ) -> Option<T> {
     for attempt in 1..=policy.max_attempts.max(1) {
-        stats.attempts += 1;
         let now = clock.now();
+        // The operation deadline has passed: further attempts cannot
+        // produce a result the initiator still wants.
+        if now >= deadline {
+            stats.deadline_givups += 1;
+            return None;
+        }
+        // Overload protection runs before the attempt is even counted:
+        // a fast-fail never touches the network, so a downed AS sees
+        // O(probes) traffic rather than O(clients × retries).
+        match ch.preflight(to, now, attempt) {
+            Preflight::Proceed => {}
+            Preflight::FastFail(FastFailReason::BreakerOpen) => {
+                stats.breaker_fast_fails += 1;
+                return None;
+            }
+            Preflight::FastFail(FastFailReason::RetryBudgetExhausted) => {
+                stats.budget_denied += 1;
+                return None;
+            }
+        }
+        stats.attempts += 1;
         if !ch.node_up(to, now) {
             stats.lost += 1;
+            ch.observe(to, now, false);
             clock.advance(policy.backoff(attempt, salt));
             continue;
         }
         if from == to {
-            // Intra-AS processing: no network leg to lose.
-            return Some(process(now));
+            // Intra-AS processing: no network leg to lose. Still an
+            // observed success, so a breaker for the local AS re-closes
+            // after its CServ recovers.
+            let out = process(now);
+            ch.observe(to, now, true);
+            return Some(out);
         }
         match ch.deliver(from, to, now) {
             Delivery::Delivered(l1) => {
@@ -218,14 +319,24 @@ fn exchange_inner<T>(
                     Delivery::Delivered(l2) => {
                         clock.advance(l2);
                         if l1.saturating_add(l2) <= policy.per_hop_timeout {
+                            ch.observe(to, clock.now(), true);
                             return Some(out);
                         }
                         stats.timeouts += 1;
+                        // Timeouts count as failures: this is how gray
+                        // failures (latency ramps) trip the breaker.
+                        ch.observe(to, clock.now(), false);
                     }
-                    Delivery::Lost | Delivery::Down => stats.lost += 1,
+                    Delivery::Lost | Delivery::Down => {
+                        stats.lost += 1;
+                        ch.observe(to, clock.now(), false);
+                    }
                 }
             }
-            Delivery::Lost | Delivery::Down => stats.lost += 1,
+            Delivery::Lost | Delivery::Down => {
+                stats.lost += 1;
+                ch.observe(to, now, false);
+            }
         }
         clock.advance(policy.backoff(attempt, salt));
     }
@@ -365,6 +476,7 @@ mod tests {
             max_backoff: Duration::MAX,
             jitter_pct: 100,
             per_hop_timeout: Duration::MAX,
+            deadline: Duration::MAX,
         };
         // Must not panic; must clamp.
         assert_eq!(p.backoff(u32::MAX, u64::MAX), Duration::MAX);
@@ -394,10 +506,11 @@ mod tests {
         let a = IsdAsId::new(1, 1);
         let b = IsdAsId::new(1, 2);
         let mut calls = 0;
-        let out = reliable_exchange(&mut ch, &policy, &clock, a, b, 7, &mut stats, |_| {
-            calls += 1;
-            calls
-        });
+        let out =
+            reliable_exchange(&mut ch, &policy, &clock, a, b, 7, Instant::MAX, &mut stats, |_| {
+                calls += 1;
+                calls
+            });
         assert_eq!(out, Some(1));
         assert_eq!(stats.lost, 3);
         assert!(stats.attempts >= 4);
@@ -412,8 +525,72 @@ mod tests {
         let policy = RetryPolicy { max_attempts: 4, ..RetryPolicy::default() };
         let a = IsdAsId::new(1, 1);
         let b = IsdAsId::new(1, 2);
-        let out = reliable_exchange(&mut ch, &policy, &clock, a, b, 7, &mut stats, |_| ());
+        let out =
+            reliable_exchange(&mut ch, &policy, &clock, a, b, 7, Instant::MAX, &mut stats, |_| ());
         assert_eq!(out, None);
         assert_eq!(stats.attempts, 4);
+    }
+
+    #[test]
+    fn exchange_gives_up_once_the_deadline_passes() {
+        let clock = Clock::starting_at(Instant::from_secs(10));
+        let mut ch = FlakyChannel { fail_first: u32::MAX };
+        let mut stats = RetryStats::default();
+        let policy = RetryPolicy { max_attempts: 1000, ..RetryPolicy::default() };
+        let a = IsdAsId::new(1, 1);
+        let b = IsdAsId::new(1, 2);
+        // The backoffs advance the clock; the deadline cuts the loop off
+        // long before the thousand-attempt budget would.
+        let deadline = clock.now() + Duration::from_secs(2);
+        let out = reliable_exchange(&mut ch, &policy, &clock, a, b, 7, deadline, &mut stats, |_| ());
+        assert_eq!(out, None);
+        assert_eq!(stats.deadline_givups, 1);
+        assert!(stats.attempts < 1000, "deadline must beat the attempt budget");
+        // An already-expired deadline fails without any attempt.
+        let mut fresh = RetryStats::default();
+        let out = reliable_exchange(
+            &mut ch,
+            &policy,
+            &clock,
+            a,
+            b,
+            7,
+            Instant::EPOCH,
+            &mut fresh,
+            |_| (),
+        );
+        assert_eq!(out, None);
+        assert_eq!(fresh.attempts, 0);
+        assert_eq!(fresh.deadline_givups, 1);
+    }
+
+    /// A channel whose preflight always fast-fails: the exchange must
+    /// abandon without a single delivery attempt.
+    struct ClosedChannel;
+
+    impl ControlChannel for ClosedChannel {
+        fn deliver(&mut self, _f: IsdAsId, _t: IsdAsId, _now: Instant) -> Delivery {
+            panic!("fast-failed exchanges must never deliver");
+        }
+
+        fn preflight(&mut self, _to: IsdAsId, _now: Instant, _attempt: u32) -> Preflight {
+            Preflight::FastFail(FastFailReason::BreakerOpen)
+        }
+    }
+
+    #[test]
+    fn fast_fail_skips_the_network_entirely() {
+        let clock = Clock::new();
+        let mut ch = ClosedChannel;
+        let mut stats = RetryStats::default();
+        let policy = RetryPolicy::default();
+        let a = IsdAsId::new(1, 1);
+        let b = IsdAsId::new(1, 2);
+        let out =
+            reliable_exchange(&mut ch, &policy, &clock, a, b, 7, Instant::MAX, &mut stats, |_| ());
+        assert_eq!(out, None);
+        assert_eq!(stats.attempts, 0, "no delivery attempt happened");
+        assert_eq!(stats.breaker_fast_fails, 1);
+        assert_eq!(clock.now(), Instant::EPOCH, "no backoff was paid");
     }
 }

@@ -293,9 +293,19 @@ fn run_segr_pass(
     let initiator = segment.first_as();
     let request_id =
         reg.get_mut(initiator).ok_or(SetupError::UnknownAs(initiator))?.alloc_request_id();
+    // The operation deadline, propagated in the request so overloaded
+    // on-path CServs can shed early, and enforced by every exchange.
+    let deadline = policy.deadline_from(clock.now());
     let path: Vec<_> = segment.hops.iter().map(|h| (h.isd_as, h.hop_field())).collect();
-    let req =
-        SegSetupReq { request_id, res_info, demand, min_bw, path: path.clone(), grants: Vec::new() };
+    let req = SegSetupReq {
+        request_id,
+        deadline,
+        res_info,
+        demand,
+        min_bw,
+        path: path.clone(),
+        grants: Vec::new(),
+    };
     let payload = crate::messages::CtrlMsg::SegSetup(req.clone()).encode();
     let epoch = Epoch::containing(clock.now());
     let path_ases: Vec<_> = path.iter().map(|(a, _)| *a).collect();
@@ -323,7 +333,7 @@ fn run_segr_pass(
         let run = running;
         let salt = splitmix64(request_id ^ ((i as u64) << 32));
         let verdict =
-            reliable_exchange(ch, policy, clock, from, *as_id, salt, &mut stats, |now| {
+            reliable_exchange(ch, policy, clock, from, *as_id, salt, deadline, &mut stats, |now| {
                 let cserv = reg.get_mut(*as_id).unwrap();
                 if !verify_at_hop(cserv, initiator, &payload, &macs[i], epoch) {
                     return HopVerdict::BadAuth;
@@ -363,9 +373,12 @@ fn run_segr_pass(
     for i in (0..n).rev() {
         let (as_id, hop) = path[i];
         let salt = splitmix64(request_id ^ ((i as u64) << 32) ^ (1 << 63));
-        let tok = reliable_exchange(ch, policy, clock, initiator, as_id, salt, &mut stats, |now| {
-            reg.get_mut(as_id).unwrap().segr_finalize_hop(&final_res_info, hop, i, n, final_bw, now)
-        });
+        let tok =
+            reliable_exchange(ch, policy, clock, initiator, as_id, salt, deadline, &mut stats, |now| {
+                reg.get_mut(as_id)
+                    .unwrap()
+                    .segr_finalize_hop(&final_res_info, hop, i, n, final_bw, now)
+            });
         match tok {
             Some(t) => tokens[i] = t,
             None => {
@@ -435,7 +448,10 @@ fn rollback_segr(
             continue;
         }
         let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xAB << 48));
-        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |now| {
+        // Cleanup must run regardless of the initiator's deadline: an
+        // abandoned setup that also skipped its aborts would leak until
+        // the expiry-GC backstop.
+        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, Instant::MAX, stats, |now| {
             reg.get_mut(as_id).unwrap().segr_abort_request(src, req.request_id, i, now);
         });
         if done.is_none() {
@@ -476,6 +492,7 @@ pub(crate) fn activate_segr_with(
         cserv.store().owned_segr(key).ok_or(SetupError::NotOwned(key))?.segment.clone()
     };
     let mut stats = RetryStats::default();
+    let deadline = policy.deadline_from(clock.now());
     for (i, hop) in segment.hops.iter().enumerate() {
         if reg.get(hop.isd_as).is_none() {
             return Err(SetupError::UnknownAs(hop.isd_as));
@@ -488,6 +505,7 @@ pub(crate) fn activate_segr_with(
             initiator,
             hop.isd_as,
             salt,
+            deadline,
             &mut stats,
             |_now| {
                 let cserv = reg.get_mut(hop.isd_as).unwrap();
@@ -687,8 +705,10 @@ fn run_eer_pass(
             .unwrap_or_default()
     };
     let request_id = reg.get_mut(src).ok_or(SetupError::UnknownAs(src))?.alloc_request_id();
+    let deadline = policy.deadline_from(clock.now());
     let req = EerSetupReq {
         request_id,
+        deadline,
         res_info,
         eer_info,
         demand,
@@ -720,7 +740,7 @@ fn run_eer_pass(
         let from = if i == 0 { src } else { hops[i - 1].0 };
         let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xEE << 48));
         let verdict =
-            reliable_exchange(ch, policy, clock, from, *as_id, salt, &mut stats, |now| {
+            reliable_exchange(ch, policy, clock, from, *as_id, salt, deadline, &mut stats, |now| {
                 let cserv = reg.get_mut(*as_id).unwrap();
                 if !verify_at_hop(cserv, src, &payload, &macs[i], epoch) {
                     return HopVerdict::BadAuth;
@@ -755,7 +775,8 @@ fn run_eer_pass(
     for (i, (as_id, hop)) in hops.iter().enumerate() {
         let last = i == hops.len() - 1;
         let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xEF << 48));
-        let auth = reliable_exchange(ch, policy, clock, src, *as_id, salt, &mut stats, |now| {
+        let auth =
+            reliable_exchange(ch, policy, clock, src, *as_id, salt, deadline, &mut stats, |now| {
             let cserv = reg.get_mut(*as_id).unwrap();
             let s = cserv.eer_finalize_hop(&req.res_info, &req.eer_info, *hop, i, now);
             if last {
@@ -885,7 +906,8 @@ fn rollback_eer(
             continue;
         }
         let salt = splitmix64(req.request_id ^ ((i as u64) << 32) ^ (0xBA << 48));
-        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, stats, |now| {
+        // As in `rollback_segr`: aborts ignore the operation deadline.
+        let done = reliable_exchange(ch, policy, clock, src, as_id, salt, Instant::MAX, stats, |now| {
             reg.get_mut(as_id).unwrap().eer_abort_request(req, i, now);
         });
         if done.is_none() {

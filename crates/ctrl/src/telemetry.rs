@@ -32,6 +32,12 @@ pub const METRIC_RETRY_LOST: &str = "colibri_ctrl_retry_lost_total";
 pub const METRIC_RETRY_TIMEOUTS: &str = "colibri_ctrl_retry_timeouts_total";
 /// Metric name: aborts that exhausted their retry budget undelivered.
 pub const METRIC_UNDELIVERED_ABORTS: &str = "colibri_ctrl_undelivered_aborts_total";
+/// Metric name: exchanges fast-failed by an open circuit breaker.
+pub const METRIC_BREAKER_FAST_FAILS: &str = "colibri_ctrl_breaker_fast_fails_total";
+/// Metric name: retries denied by an exhausted retry budget.
+pub const METRIC_RETRY_BUDGET_DENIED: &str = "colibri_ctrl_retry_budget_denied_total";
+/// Metric name: exchanges abandoned because the deadline passed.
+pub const METRIC_DEADLINE_GIVUPS: &str = "colibri_ctrl_deadline_givups_total";
 
 static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -40,6 +46,9 @@ struct ThreadCells {
     lost: Counter,
     timeouts: Counter,
     undelivered: Counter,
+    breaker_fast_fails: Counter,
+    budget_denied: Counter,
+    deadline_givups: Counter,
 }
 
 thread_local! {
@@ -73,6 +82,21 @@ fn with_cells<R>(f: impl FnOnce(&ThreadCells) -> R) -> R {
                     dep,
                     "abort messages that exhausted their retry budget (expiry GC backstop)",
                 ),
+                breaker_fast_fails: s.counter(
+                    METRIC_BREAKER_FAST_FAILS,
+                    dep,
+                    "hop exchanges fast-failed by an open circuit breaker",
+                ),
+                budget_denied: s.counter(
+                    METRIC_RETRY_BUDGET_DENIED,
+                    dep,
+                    "hop exchanges abandoned on an exhausted per-destination retry budget",
+                ),
+                deadline_givups: s.counter(
+                    METRIC_DEADLINE_GIVUPS,
+                    dep,
+                    "hop exchanges abandoned because the operation deadline passed",
+                ),
             }
         });
         f(cells)
@@ -90,6 +114,9 @@ pub(crate) fn record_retry_delta(d: RetryStats) {
         c.lost.add(d.lost);
         c.timeouts.add(d.timeouts);
         c.undelivered.add(d.undelivered_aborts);
+        c.breaker_fast_fails.add(d.breaker_fast_fails);
+        c.budget_denied.add(d.budget_denied);
+        c.deadline_givups.add(d.deadline_givups);
     });
 }
 
@@ -125,6 +152,10 @@ pub struct CservTelemetry {
     pub(crate) gc_runs: Counter,
     /// Orphaned admissions reclaimed by the GC abort backstop.
     pub(crate) gc_orphans: Counter,
+    /// Admission requests shed with `Busy` (class backlog full).
+    pub(crate) shed_busy: Counter,
+    /// Admission requests shed because the deadline was unmeetable.
+    pub(crate) shed_deadline: Counter,
     /// Shared event ring for control-plane operations.
     pub(crate) tracer: Option<Arc<Tracer>>,
 }
@@ -185,6 +216,16 @@ impl CservTelemetry {
                 "colibri_ctrl_gc_orphaned_admissions_total",
                 dep,
                 "orphaned admissions (undelivered aborts) reclaimed at expiry",
+            ),
+            shed_busy: s.counter(
+                "colibri_ctrl_shed_busy_total",
+                dep,
+                "admission requests shed with Busy (class backlog full)",
+            ),
+            shed_deadline: s.counter(
+                "colibri_ctrl_shed_deadline_total",
+                dep,
+                "admission requests shed because the propagated deadline was unmeetable",
             ),
             tracer: None,
         }

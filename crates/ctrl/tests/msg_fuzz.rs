@@ -42,6 +42,7 @@ fn arb_msg() -> impl Strategy<Value = CtrlMsg> {
             |(res_info, d, m, path, request_id)| {
                 CtrlMsg::SegSetup(SegSetupReq {
                     request_id,
+                    deadline: Instant::from_nanos(request_id.rotate_left(17)),
                     res_info,
                     demand: Bandwidth::from_bps(d),
                     min_bw: Bandwidth::from_bps(m),
@@ -67,6 +68,7 @@ fn arb_msg() -> impl Strategy<Value = CtrlMsg> {
             .prop_map(|(res_info, sh, dh, d, path, segr_ids)| {
                 CtrlMsg::EerSetup(EerSetupReq {
                     request_id: d ^ 0x9E37_79B9_7F4A_7C15,
+                    deadline: Instant::from_nanos(d.rotate_left(11)),
                     res_info,
                     eer_info: EerInfo { src_host: HostAddr(sh), dst_host: HostAddr(dh) },
                     demand: Bandwidth::from_bps(d),

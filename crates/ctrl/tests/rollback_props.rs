@@ -119,6 +119,7 @@ proptest! {
             max_backoff: Duration::from_millis(40),
             jitter_pct: 20,
             per_hop_timeout: Duration::from_millis(500),
+            deadline: Duration::MAX,
         };
         let _ = setup_segr_reliable(
             &mut reg,

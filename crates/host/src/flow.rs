@@ -29,7 +29,8 @@
 use colibri_base::{Bandwidth, Clock, Duration, HostAddr, Instant, IsdAsId, ReservationKey};
 use colibri_ctrl::{
     activate_segr_reliable, renew_eer_reliable, renew_segr_reliable, setup_eer_reliable,
-    setup_segr_reliable, ControlChannel, CservRegistry, PerfectChannel, RetryPolicy, SetupError,
+    setup_segr_reliable, ControlChannel, CservError, CservRegistry, PerfectChannel, RetryPolicy,
+    SetupError,
 };
 use colibri_dataplane::{Gateway, GatewayError, StampedPacket};
 use colibri_topology::{find_paths, FullPath, SegmentStore, Topology};
@@ -53,6 +54,12 @@ pub struct Env<'a> {
 pub struct FlowConfig {
     /// Renew an EER when less than this remains of its lifetime.
     pub eer_renew_ahead: Duration,
+    /// Extra head start on EER renewals beyond `eer_renew_ahead`. A
+    /// non-zero hedge starts renewing early enough that a CServ
+    /// answering `Busy { retry_after }` under overload can be honored —
+    /// the renewal waits out `retry_after` instead of hammering the
+    /// service — and still completes before the reservation lapses.
+    pub eer_renew_hedge: Duration,
     /// Renew a SegR when less than this remains.
     pub segr_renew_ahead: Duration,
     /// Flows declaring less than this expected volume ride best-effort.
@@ -67,6 +74,7 @@ impl Default for FlowConfig {
     fn default() -> Self {
         Self {
             eer_renew_ahead: Duration::from_secs(8),
+            eer_renew_hedge: Duration::ZERO,
             segr_renew_ahead: Duration::from_secs(60),
             min_reserved_flow_bytes: 100_000,
             max_path_attempts: 4,
@@ -115,6 +123,10 @@ pub struct Flow {
     /// Number of times the flow moved to a different path after its
     /// reservation lapsed.
     pub failovers: u64,
+    /// Renewal attempts are suppressed until this instant: set from a
+    /// CServ's `Busy { retry_after }` answer so an overloaded service
+    /// is not hammered, cleared on the next successful renewal.
+    pub defer_renewal_until: Instant,
 }
 
 /// Errors opening a flow.
@@ -148,6 +160,9 @@ pub struct TickReport {
     pub degradations: usize,
     /// Degraded flows whose reservation was re-established.
     pub reestablished: usize,
+    /// Renewals deferred because the CServ answered `Busy` with a
+    /// `retry_after` hint that has not yet elapsed.
+    pub busy_deferred: usize,
 }
 
 /// A freshly established EER (internal result of the path-attempt loop).
@@ -341,6 +356,7 @@ impl FlowManager {
                     eer_exp: Instant::EPOCH,
                     renewals: 0,
                     failovers: 0,
+                    defer_renewal_until: Instant::EPOCH,
                 },
             );
             return Ok(id);
@@ -359,6 +375,7 @@ impl FlowManager {
                 eer_exp: est.exp,
                 renewals: 0,
                 failovers: 0,
+                defer_renewal_until: Instant::EPOCH,
             },
         );
         Ok(id)
@@ -417,12 +434,25 @@ impl FlowManager {
         ids.sort_unstable();
         for id in ids {
             let flow = &self.flows[&id];
-            let (kind, dst_as, hosts, demand, eer_exp) =
-                (flow.kind.clone(), flow.dst_as, flow.hosts, flow.demand, flow.eer_exp);
+            let (kind, dst_as, hosts, demand, eer_exp, defer_until) = (
+                flow.kind.clone(),
+                flow.dst_as,
+                flow.hosts,
+                flow.demand,
+                flow.eer_exp,
+                flow.defer_renewal_until,
+            );
             match kind {
                 FlowKind::BestEffort => {}
                 FlowKind::Reserved(key) => {
-                    if clock.now() + self.cfg.eer_renew_ahead < eer_exp {
+                    let hedge_window = self.cfg.eer_renew_ahead + self.cfg.eer_renew_hedge;
+                    if clock.now() + hedge_window < eer_exp {
+                        continue;
+                    }
+                    // An overloaded CServ told us when to come back; honor
+                    // it unless the reservation is about to lapse anyway.
+                    if clock.now() < defer_until && clock.now() < eer_exp {
+                        report.busy_deferred += 1;
                         continue;
                     }
                     match renew_eer_reliable(env.reg, key, demand, clock, ch, policy) {
@@ -431,7 +461,21 @@ impl FlowManager {
                             let f = self.flows.get_mut(&id).unwrap();
                             f.eer_exp = grant.exp;
                             f.renewals += 1;
+                            f.defer_renewal_until = Instant::EPOCH;
                             report.renewals += 1;
+                        }
+                        Err(e) if busy_retry_after(&e).is_some() && clock.now() < eer_exp => {
+                            // Back off exactly as asked, but never past the
+                            // point where the ordinary renew-ahead window
+                            // would be our last chance before expiry.
+                            let retry_after = busy_retry_after(&e).expect("guard checked");
+                            let last_chance = Instant::from_nanos(
+                                eer_exp.as_nanos().saturating_sub(self.cfg.eer_renew_ahead.as_nanos()),
+                            );
+                            let f = self.flows.get_mut(&id).unwrap();
+                            f.defer_renewal_until =
+                                clock.now().saturating_add(retry_after).min(last_chance);
+                            report.busy_deferred += 1;
                         }
                         Err(_) if clock.now() >= eer_exp => {
                             // The reservation lapsed. The gateway must stop
@@ -521,6 +565,15 @@ impl std::fmt::Debug for FlowManager {
             .field("src_as", &self.src_as)
             .field("flows", &self.flows.len())
             .finish()
+    }
+}
+
+/// The `retry_after` hint when a setup error is an overload shed
+/// (`Busy`) verdict from some on-path CServ.
+fn busy_retry_after(err: &SetupError) -> Option<Duration> {
+    match err {
+        SetupError::Refused { reason: CservError::Busy { retry_after }, .. } => Some(*retry_after),
+        _ => None,
     }
 }
 

@@ -127,6 +127,89 @@ pub struct CrashEvent {
     pub restart_at: Instant,
 }
 
+/// A correlated regional outage: during `[start, end)` every link
+/// touching a member AS is [`Delivery::Down`] and the members' CServs
+/// are unreachable (`node_up` false). Unlike a [`CrashEvent`] the
+/// services themselves never die — when the region comes back no
+/// recovery pass runs, because their in-memory state was never lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionalOutage {
+    /// The ASes inside the failed region.
+    pub members: Vec<IsdAsId>,
+    /// When the outage starts.
+    pub start: Instant,
+    /// When connectivity is restored (half-open: up again at `end`).
+    pub end: Instant,
+}
+
+impl RegionalOutage {
+    /// Whether the outage is active at `now`.
+    pub fn active(&self, now: Instant) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    /// Whether `as_id` is inside the failed region.
+    pub fn contains(&self, as_id: IsdAsId) -> bool {
+        self.members.contains(&as_id)
+    }
+}
+
+/// A gray failure on one directed link: extra loss and latency ramp up
+/// linearly from zero at `start` to the peak at `end`, while the
+/// destination keeps answering liveness checks (`node_up` stays true).
+/// This is the failure mode circuit breakers exist for — the link is
+/// "up" by every health signal yet increasingly useless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrayFailure {
+    /// Sending AS of the degraded directed link.
+    pub from: IsdAsId,
+    /// Receiving AS of the degraded directed link.
+    pub to: IsdAsId,
+    /// When the degradation starts (zero extra loss/delay).
+    pub start: Instant,
+    /// When the ramp tops out; the failure is resolved at `end`.
+    pub end: Instant,
+    /// Extra drop probability at the top of the ramp, parts-per-million.
+    pub peak_drop_ppm: u32,
+    /// Extra one-way delay at the top of the ramp.
+    pub peak_delay: Duration,
+}
+
+impl GrayFailure {
+    /// The extra (drop_ppm, delay) this failure contributes at `now`:
+    /// zero outside `[start, end)`, linear in elapsed time inside it.
+    pub fn extra_at(&self, now: Instant) -> (u32, Duration) {
+        if now < self.start || now >= self.end {
+            return (0, Duration::ZERO);
+        }
+        let span = self.end.saturating_since(self.start).as_nanos();
+        if span == 0 {
+            return (0, Duration::ZERO);
+        }
+        let elapsed = now.saturating_since(self.start).as_nanos();
+        let ppm = (u128::from(self.peak_drop_ppm) * u128::from(elapsed) / u128::from(span)) as u32;
+        let delay_ns =
+            (u128::from(self.peak_delay.as_nanos()) * u128::from(elapsed) / u128::from(span)) as u64;
+        (ppm, Duration::from_nanos(delay_ns))
+    }
+}
+
+/// A scheduled CServ overload: during `[from, until)` the AS's admission
+/// service times are inflated by `factor_milli / 1000` (so 4000 = 4×
+/// slower). Applied to live services by [`apply_overloads`]; a no-op for
+/// CServs without load shedding enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadEvent {
+    /// The overloaded AS.
+    pub as_id: IsdAsId,
+    /// When the overload starts.
+    pub from: Instant,
+    /// When service times return to nominal (half-open interval).
+    pub until: Instant,
+    /// Service-time multiplier in milli-units (1000 = nominal).
+    pub factor_milli: u32,
+}
+
 /// A complete, declarative fault schedule for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -138,6 +221,12 @@ pub struct FaultPlan {
     pub per_link: HashMap<(IsdAsId, IsdAsId), LinkFaults>,
     /// Scheduled CServ crashes.
     pub crashes: Vec<CrashEvent>,
+    /// Correlated regional outages.
+    pub regional_outages: Vec<RegionalOutage>,
+    /// Gray failures: loss/latency ramps on individual links.
+    pub gray_failures: Vec<GrayFailure>,
+    /// Scheduled CServ service-time inflations.
+    pub overloads: Vec<OverloadEvent>,
     /// Per-AS clock skew in signed nanoseconds (positive = fast clock),
     /// mirroring the paper's ±0.1 s synchronization assumption (§2.3).
     pub clock_skews: HashMap<IsdAsId, i64>,
@@ -173,6 +262,35 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a correlated regional outage over `members`.
+    pub fn with_regional_outage(
+        mut self,
+        members: Vec<IsdAsId>,
+        start: Instant,
+        end: Instant,
+    ) -> Self {
+        self.regional_outages.push(RegionalOutage { members, start, end });
+        self
+    }
+
+    /// Schedules a gray failure on the directed link `from → to`.
+    pub fn with_gray_failure(mut self, gray: GrayFailure) -> Self {
+        self.gray_failures.push(gray);
+        self
+    }
+
+    /// Schedules a CServ overload window.
+    pub fn with_overload(
+        mut self,
+        as_id: IsdAsId,
+        from: Instant,
+        until: Instant,
+        factor_milli: u32,
+    ) -> Self {
+        self.overloads.push(OverloadEvent { as_id, from, until, factor_milli });
+        self
+    }
+
     /// The faults of the directed link `from → to`.
     pub fn link_faults(&self, from: IsdAsId, to: IsdAsId) -> &LinkFaults {
         self.per_link.get(&(from, to)).unwrap_or(&self.default_link)
@@ -181,6 +299,47 @@ impl FaultPlan {
     /// Whether `as_id`'s CServ is inside a crash window at `now`.
     pub fn is_crashed(&self, as_id: IsdAsId, now: Instant) -> bool {
         self.crashes.iter().any(|c| c.as_id == as_id && c.at <= now && now < c.restart_at)
+    }
+
+    /// Whether the directed link `from → to` is severed by an active
+    /// regional outage at `now`.
+    pub fn regionally_down(&self, from: IsdAsId, to: IsdAsId, now: Instant) -> bool {
+        self.regional_outages
+            .iter()
+            .any(|o| o.active(now) && (o.contains(from) || o.contains(to)))
+    }
+
+    /// Whether `as_id` is inside an active regional outage at `now`.
+    pub fn in_regional_outage(&self, as_id: IsdAsId, now: Instant) -> bool {
+        self.regional_outages.iter().any(|o| o.active(now) && o.contains(as_id))
+    }
+
+    /// The total extra (drop_ppm, delay) from gray failures active on
+    /// the directed link `from → to` at `now`. Drop probability is
+    /// capped at 1_000_000 ppm.
+    pub fn gray_extra(&self, from: IsdAsId, to: IsdAsId, now: Instant) -> (u32, Duration) {
+        let mut ppm: u32 = 0;
+        let mut delay = Duration::ZERO;
+        for g in &self.gray_failures {
+            if g.from == from && g.to == to {
+                let (p, d) = g.extra_at(now);
+                ppm = ppm.saturating_add(p).min(1_000_000);
+                delay = delay.saturating_add(d);
+            }
+        }
+        (ppm, delay)
+    }
+
+    /// The admission service-time inflation for `as_id` at `now`: the
+    /// maximum `factor_milli` over active overload windows, or 1000
+    /// (nominal) when none is active.
+    pub fn service_factor_milli(&self, as_id: IsdAsId, now: Instant) -> u32 {
+        self.overloads
+            .iter()
+            .filter(|o| o.as_id == as_id && o.from <= now && now < o.until)
+            .map(|o| o.factor_milli)
+            .max()
+            .unwrap_or(1000)
     }
 
     /// A control-plane channel realizing this plan.
@@ -219,6 +378,14 @@ pub struct FaultyChannel {
     plan: FaultPlan,
     rng: FaultRng,
     trace: Vec<TraceEvent>,
+    /// Ring capacity: `None` keeps the full unbounded trace (the
+    /// default, so replay comparison sees every event); `Some(n)` keeps
+    /// only the most recent `n` events and counts the evicted ones.
+    trace_capacity: Option<usize>,
+    /// Next overwrite position when the ring is full.
+    trace_head: usize,
+    /// Events evicted from (or refused by) a bounded trace ring.
+    pub trace_dropped: u64,
     /// Legs delivered.
     pub delivered: u64,
     /// Legs dropped in transit.
@@ -231,12 +398,57 @@ impl FaultyChannel {
     /// A channel realizing `plan`, with its RNG seeded from the plan.
     pub fn new(plan: FaultPlan) -> Self {
         let rng = FaultRng::new(plan.seed);
-        Self { plan, rng, trace: Vec::new(), delivered: 0, lost: 0, down: 0 }
+        Self {
+            plan,
+            rng,
+            trace: Vec::new(),
+            trace_capacity: None,
+            trace_head: 0,
+            trace_dropped: 0,
+            delivered: 0,
+            lost: 0,
+            down: 0,
+        }
     }
 
-    /// The ordered trace of every delivery attempt so far.
-    pub fn trace(&self) -> &[TraceEvent] {
-        &self.trace
+    /// Bounds the trace log to the most recent `capacity` events (a
+    /// ring buffer). Long chaos runs use this to keep memory flat;
+    /// evicted events are counted in `trace_dropped`. A capacity of 0
+    /// disables tracing entirely.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// The ordered trace of delivery attempts still retained, oldest
+    /// first. With a bounded ring this is the most recent
+    /// `trace_capacity` events; by default it is every event.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        match self.trace_capacity {
+            Some(cap) if self.trace.len() == cap && cap > 0 => {
+                let mut out = Vec::with_capacity(cap);
+                out.extend_from_slice(&self.trace[self.trace_head..]);
+                out.extend_from_slice(&self.trace[..self.trace_head]);
+                out
+            }
+            _ => self.trace.clone(),
+        }
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        match self.trace_capacity {
+            None => self.trace.push(ev),
+            Some(0) => self.trace_dropped += 1,
+            Some(cap) => {
+                if self.trace.len() < cap {
+                    self.trace.push(ev);
+                } else {
+                    self.trace[self.trace_head] = ev;
+                    self.trace_head = (self.trace_head + 1) % cap;
+                    self.trace_dropped += 1;
+                }
+            }
+        }
     }
 
     /// Total delivery attempts observed.
@@ -253,24 +465,33 @@ impl FaultyChannel {
 impl ControlChannel for FaultyChannel {
     fn deliver(&mut self, from: IsdAsId, to: IsdAsId, now: Instant) -> Delivery {
         let faults = self.plan.per_link.get(&(from, to)).unwrap_or(&self.plan.default_link);
-        let outcome = if faults.is_down(now) {
+        let (gray_ppm, gray_delay) = self.plan.gray_extra(from, to, now);
+        let drop_ppm = faults.drop_ppm.saturating_add(gray_ppm).min(1_000_000);
+        let outcome = if faults.is_down(now) || self.plan.regionally_down(from, to, now) {
             Delivery::Down
-        } else if self.rng.chance_ppm(faults.drop_ppm) {
+        } else if self.rng.chance_ppm(drop_ppm) {
             Delivery::Lost
         } else {
-            Delivery::Delivered(faults.delay.saturating_add(self.rng.jitter(faults.jitter)))
+            Delivery::Delivered(
+                faults
+                    .delay
+                    .saturating_add(gray_delay)
+                    .saturating_add(self.rng.jitter(faults.jitter)),
+            )
         };
         match outcome {
             Delivery::Delivered(_) => self.delivered += 1,
             Delivery::Lost => self.lost += 1,
             Delivery::Down => self.down += 1,
         }
-        self.trace.push(TraceEvent { from, to, at: now, outcome });
+        self.record(TraceEvent { from, to, at: now, outcome });
         outcome
     }
 
     fn node_up(&self, as_id: IsdAsId, now: Instant) -> bool {
-        !self.plan.is_crashed(as_id, now)
+        // Gray failures deliberately leave `node_up` true — the service
+        // answers health checks while its link rots underneath it.
+        !self.plan.is_crashed(as_id, now) && !self.plan.in_regional_outage(as_id, now)
     }
 }
 
@@ -297,6 +518,23 @@ pub fn apply_restarts(
     }
     recovered.sort_unstable();
     recovered
+}
+
+/// Applies the plan's scheduled overloads to the live CServs: every AS
+/// named by an [`OverloadEvent`] gets its admission service factor set
+/// to the plan's value at `now` (1000 = nominal once the window ends).
+/// Call on each simulation tick, like [`apply_restarts`].
+pub fn apply_overloads(plan: &FaultPlan, reg: &mut CservRegistry, now: Instant) {
+    let mut seen = Vec::new();
+    for o in &plan.overloads {
+        if seen.contains(&o.as_id) {
+            continue;
+        }
+        seen.push(o.as_id);
+        if let Some(cserv) = reg.get_mut(o.as_id) {
+            cserv.set_service_factor_milli(plan.service_factor_milli(o.as_id, now));
+        }
+    }
 }
 
 /// Packet-level fault state attached to a [`crate::net::SimNet`]: drops
@@ -326,11 +564,19 @@ impl PacketFaults {
     /// additional propagation delay.
     pub fn packet_fate(&mut self, from: IsdAsId, to: IsdAsId, now: Instant) -> Option<Duration> {
         let faults = self.plan.per_link.get(&(from, to)).unwrap_or(&self.plan.default_link);
-        if faults.is_down(now) || self.rng.chance_ppm(faults.drop_ppm) {
+        let (gray_ppm, gray_delay) = self.plan.gray_extra(from, to, now);
+        let drop_ppm = faults.drop_ppm.saturating_add(gray_ppm).min(1_000_000);
+        if faults.is_down(now)
+            || self.plan.regionally_down(from, to, now)
+            || self.rng.chance_ppm(drop_ppm)
+        {
             self.injected_drops += 1;
             return None;
         }
-        let extra = faults.delay.saturating_add(self.rng.jitter(faults.jitter));
+        let extra = faults
+            .delay
+            .saturating_add(gray_delay)
+            .saturating_add(self.rng.jitter(faults.jitter));
         if extra > Duration::ZERO {
             self.delayed += 1;
         }
@@ -411,6 +657,127 @@ mod tests {
         }
         let rate = ch.lost as f64 / ch.attempts() as f64;
         assert!((0.07..0.13).contains(&rate), "10% nominal, saw {rate}");
+    }
+
+    #[test]
+    fn regional_outage_downs_member_links_while_state_survives() {
+        let t0 = Instant::from_secs(100);
+        let t1 = Instant::from_secs(130);
+        let c = IsdAsId::new(3, 30);
+        let plan = FaultPlan::new(11).with_regional_outage(vec![a(), c], t0, t1);
+        let mut ch = plan.channel();
+        // Every link touching a member is down during the window, in
+        // both directions; outsider↔outsider traffic is unaffected.
+        let mid = Instant::from_secs(115);
+        assert_eq!(ch.deliver(b(), a(), mid), Delivery::Down);
+        assert_eq!(ch.deliver(a(), b(), mid), Delivery::Down);
+        assert_eq!(ch.deliver(c, b(), mid), Delivery::Down);
+        assert!(matches!(ch.deliver(b(), b(), mid), Delivery::Delivered(_)));
+        // Members are unreachable during the window but were never
+        // crashed: they come back at `end` without any restart event
+        // (apply_restarts has nothing scheduled for them).
+        assert!(!ch.node_up(a(), mid));
+        assert!(!ch.node_up(c, mid));
+        assert!(ch.node_up(b(), mid));
+        assert!(ch.node_up(a(), t1));
+        assert!(matches!(ch.deliver(b(), a(), t1), Delivery::Delivered(_)));
+        assert!(plan.crashes.is_empty());
+    }
+
+    #[test]
+    fn gray_failure_ramps_loss_and_delay_while_node_stays_up() {
+        let gray = GrayFailure {
+            from: a(),
+            to: b(),
+            start: Instant::from_secs(0),
+            end: Instant::from_secs(100),
+            peak_drop_ppm: 800_000,
+            peak_delay: Duration::from_millis(40),
+        };
+        let plan = FaultPlan::new(21).with_gray_failure(gray);
+        // The ramp is linear: halfway through, half the peak.
+        assert_eq!(plan.gray_extra(a(), b(), Instant::from_secs(50)), (
+            400_000,
+            Duration::from_millis(20)
+        ));
+        assert_eq!(plan.gray_extra(a(), b(), Instant::from_secs(0)), (0, Duration::ZERO));
+        assert_eq!(plan.gray_extra(a(), b(), Instant::from_secs(100)), (0, Duration::ZERO));
+        assert_eq!(plan.gray_extra(b(), a(), Instant::from_secs(50)), (0, Duration::ZERO));
+        // Empirically: losses concentrate late in the ramp, and the
+        // destination keeps answering liveness checks throughout.
+        let mut ch = plan.channel();
+        let mut early_lost = 0u64;
+        let mut late_lost = 0u64;
+        for i in 0..1_000u64 {
+            let t_early = Instant::from_nanos(i * 10_000_000); // first 10 s
+            let t_late = Instant::from_nanos(90_000_000_000 + i * 10_000_000); // last 10 s
+            if ch.deliver(a(), b(), t_early) == Delivery::Lost {
+                early_lost += 1;
+            }
+            if ch.deliver(a(), b(), t_late) == Delivery::Lost {
+                late_lost += 1;
+            }
+            assert!(ch.node_up(b(), t_late), "gray failure must not look like a crash");
+        }
+        assert!(early_lost < 120, "≈4% nominal early, saw {early_lost}/1000");
+        assert!(late_lost > 650, "≈76% nominal late, saw {late_lost}/1000");
+        // Packet-level injection sees the same ramp.
+        let mut pf = PacketFaults::new(plan);
+        let fate = pf.packet_fate(a(), b(), Instant::from_secs(50));
+        if let Some(extra) = fate {
+            assert!(extra >= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn overload_schedule_inflates_service_factor() {
+        use colibri_ctrl::{CServ, CservConfig, ShedConfig};
+        let t0 = Instant::from_secs(10);
+        let t1 = Instant::from_secs(20);
+        let plan = FaultPlan::new(3)
+            .with_overload(a(), t0, t1, 4000)
+            .with_overload(a(), Instant::from_secs(12), Instant::from_secs(14), 2000);
+        // Max over active windows; nominal outside them.
+        assert_eq!(plan.service_factor_milli(a(), Instant::from_secs(9)), 1000);
+        assert_eq!(plan.service_factor_milli(a(), Instant::from_secs(13)), 4000);
+        assert_eq!(plan.service_factor_milli(a(), t1), 1000);
+        assert_eq!(plan.service_factor_milli(b(), Instant::from_secs(13)), 1000);
+        // apply_overloads pushes the factor into live CServs and resets
+        // it to nominal once the window passes.
+        let mut reg = CservRegistry::new();
+        let mut cserv = CServ::new(
+            a(),
+            &[7u8; 16],
+            CservConfig::default(),
+            Box::new(colibri_ctrl::policy::AllowAll),
+        );
+        cserv.enable_shedding(ShedConfig::default(), Instant::EPOCH);
+        reg.insert(cserv);
+        apply_overloads(&plan, &mut reg, Instant::from_secs(13));
+        assert_eq!(reg.get(a()).unwrap().service_factor_milli(), 4000);
+        apply_overloads(&plan, &mut reg, Instant::from_secs(25));
+        assert_eq!(reg.get(a()).unwrap().service_factor_milli(), 1000);
+    }
+
+    #[test]
+    fn bounded_trace_ring_keeps_newest_and_counts_drops() {
+        let plan = FaultPlan::new(42).with_default_faults(LinkFaults::lossy(300_000));
+        let mut full = plan.channel();
+        let mut ring = plan.channel().with_trace_capacity(8);
+        for i in 0..20u64 {
+            let t = Instant::from_nanos(i);
+            full.deliver(a(), b(), t);
+            ring.deliver(a(), b(), t);
+        }
+        assert_eq!(ring.trace_dropped, 12);
+        assert_eq!(ring.trace(), full.trace()[12..].to_vec());
+        // Fault decisions are untouched by the trace bound.
+        assert_eq!((ring.delivered, ring.lost, ring.down), (full.delivered, full.lost, full.down));
+        // Capacity 0 disables tracing but still counts.
+        let mut off = plan.channel().with_trace_capacity(0);
+        off.deliver(a(), b(), Instant::EPOCH);
+        assert!(off.trace().is_empty());
+        assert_eq!(off.trace_dropped, 1);
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod traffic;
 
 pub use events::{Event, EventQueue};
 pub use fault::{
-    apply_restarts, CrashEvent, FaultPlan, FaultRng, FaultyChannel, LinkFaults, PacketFaults,
-    TraceEvent,
+    apply_overloads, apply_restarts, CrashEvent, FaultPlan, FaultRng, FaultyChannel, GrayFailure,
+    LinkFaults, OverloadEvent, PacketFaults, RegionalOutage, TraceEvent,
 };
 pub use net::{FlowTag, Meter, Node, PacketKind, SimNet, SimPacket};
 pub use scenario::{

@@ -58,6 +58,7 @@ fn main() {
         let cserv = reg.get_mut(src).unwrap();
         let req = colibri::ctrl::SegSetupReq {
             request_id: cserv.alloc_request_id(),
+            deadline: Instant::MAX,
             res_info: colibri::wire::ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: cserv.alloc_res_id(),

@@ -17,8 +17,18 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo clippy -p colibri-telemetry -- -D warnings"
 cargo clippy -p colibri-telemetry --all-targets -- -D warnings
 
+echo "==> cargo clippy -p colibri-ctrl -p colibri-sim -p colibri-host -- -D warnings (overload-resilience modules)"
+cargo clippy -p colibri-ctrl -p colibri-sim -p colibri-host --all-targets -- -D warnings
+
+echo "==> chaos suite, release (renewal storm, shedding priority, regional outage — must replay bit-identically)"
+cargo test --release -q -p colibri --test chaos
+
+echo "==> breaker/budget property suite"
+cargo test --release -q -p colibri-ctrl --test breaker_props
+
 echo "==> repro_pipeline --quick --gate (data plane must not regress; telemetry ≤2%," \
-     "scrape verified: no unregistered/duplicate metric names)"
+     "scrape verified: no unregistered/duplicate metric names; storm amplification ≤3," \
+     "renewals admitted ahead of new setups under overload)"
 cargo run --release -q -p colibri-bench --bin repro_pipeline -- \
   --quick --gate --out target/BENCH_dataplane.quick.json
 

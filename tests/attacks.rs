@@ -136,6 +136,7 @@ fn tampered_control_message_fails_verification() {
 
     let req = SegSetupReq {
         request_id: 0,
+        deadline: Instant::MAX,
         res_info: ResInfo {
             src_as: sample.leaf_a,
             res_id: colibri::base::ResId(0),

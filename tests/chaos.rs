@@ -1,0 +1,594 @@
+//! Chaos suite for the overload-resilience layer: renewal storms into a
+//! crashed-then-recovering CServ, scheduled overload with deadline-aware
+//! shedding, and correlated regional outages with gray-failure ramps.
+//!
+//! The headline property (ISSUE acceptance): when a full population of
+//! clients storms renewals at an AS whose CServ is down, the circuit
+//! breaker + retry budget keep the total number of delivery attempts
+//! *at that AS* linear in the number of distinct clients (and in
+//! practice O(threshold + probes), not O(clients × retries)); once the
+//! service recovers, renewals are admitted ahead of new setups; no
+//! bandwidth leaks; and the whole run is bit-identical across two
+//! executions of the same (plan, seed).
+
+use colibri::base::Clock;
+use colibri::ctrl::{
+    AggregateSnapshot, CservError, DestStats, GuardedChannel, OverloadConfig, OverloadControl,
+    RequestClass, RetryPolicy, SetupError, ShedConfig,
+};
+use colibri::host::Env;
+use colibri::prelude::*;
+use colibri::sim::{apply_overloads, apply_restarts, FaultPlan, GrayFailure, LinkFaults};
+use colibri::topology::gen::{internet_like, InternetConfig};
+use std::collections::HashMap;
+
+fn policy() -> RetryPolicy {
+    // Tight backoffs keep simulated time moving in small steps.
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        jitter_pct: 20,
+        per_hop_timeout: Duration::from_millis(200),
+        deadline: Duration::MAX,
+    }
+}
+
+/// A flow's externally observable end state, for replay comparison.
+fn kind_tag(kind: &FlowKind) -> u8 {
+    match kind {
+        FlowKind::Reserved(_) => 0,
+        FlowKind::BestEffort => 1,
+        FlowKind::Degraded => 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test A — renewal storm into a crashed core.
+// ---------------------------------------------------------------------------
+
+/// Everything a storm run produces that a replay must reproduce bit for
+/// bit.
+#[derive(Debug, PartialEq)]
+struct StormOutcome {
+    /// Delivery attempts at the crashed AS during the crash window.
+    window_attempts: u64,
+    /// Distinct client flows whose path crosses the crashed AS.
+    clients: u64,
+    /// Full counters towards the crashed AS.
+    crashed: DestStats,
+    /// Counters over every destination.
+    totals: DestStats,
+    /// Per-flow (renewals, failovers, kind) at the end of the run.
+    flow_sig: Vec<(u64, u64, u8)>,
+    /// Channel meters (delivered, lost, down).
+    channel: (u64, u64, u64),
+}
+
+/// Runs the storm scenario: 24 cross-ISD flows, all through a pair of
+/// single-homed cores; the destination-side core's CServ crashes for
+/// 30 s right as every EER comes up for renewal. All clients share one
+/// breaker/budget guard (they sit behind the same resolver), so the
+/// crashed AS sees O(threshold + probes) attempts, not a retry flood.
+fn run_renewal_storm() -> StormOutcome {
+    let gen = internet_like(
+        &InternetConfig {
+            isds: 2,
+            cores_per_isd: 1,
+            leaves_per_isd: 6,
+            providers_per_leaf: 1,
+            ..Default::default()
+        },
+        0xC0FFEE,
+    );
+    let mut reg = CservRegistry::provision(&gen.topo, CservConfig::default());
+    let leaves: Vec<IsdAsId> = gen.topo.as_ids().filter(|&a| !gen.topo.is_core(a)).collect();
+    let (isd1, isd2): (Vec<IsdAsId>, Vec<IsdAsId>) =
+        leaves.iter().copied().partition(|l| l.isd == leaves[0].isd);
+    assert_eq!((isd1.len(), isd2.len()), (6, 6));
+
+    let mut managers: HashMap<IsdAsId, (FlowManager, Gateway)> = leaves
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                (
+                    FlowManager::new(
+                        l,
+                        FlowConfig {
+                            segr_demand: Bandwidth::from_mbps(200),
+                            ..FlowConfig::default()
+                        },
+                    ),
+                    Gateway::new(GatewayConfig::default()),
+                ),
+            )
+        })
+        .collect();
+
+    macro_rules! env {
+        ($gw:expr) => {
+            Env { reg: &mut reg, topo: &gen.topo, segments: &gen.segments, gateway: $gw }
+        };
+    }
+
+    let clock = Clock::starting_at(Instant::from_secs(1));
+    let policy = policy();
+    let crashed = IsdAsId::new(2, 1); // the only core of ISD 2
+    let crash_at = Instant::from_secs(10);
+    let restart_at = Instant::from_secs(40);
+    let plan = FaultPlan::new(0xBADC0DE)
+        .with_default_faults(LinkFaults::lossy(10_000).with_delay(Duration::from_millis(1)))
+        .with_crash(crashed, crash_at, restart_at);
+    let mut ch = plan.channel();
+    let mut guard = OverloadControl::new(OverloadConfig::default());
+
+    // 24 cross-ISD flows, two per leaf — every path crosses both cores.
+    let mut flows: Vec<(IsdAsId, FlowId)> = Vec::new();
+    for i in 0..6usize {
+        let pairs = [
+            (isd1[i], isd2[i]),
+            (isd2[i], isd1[(i + 1) % 6]),
+            (isd1[i], isd2[(i + 2) % 6]),
+            (isd2[i], isd1[(i + 3) % 6]),
+        ];
+        for (j, (src, dst)) in pairs.into_iter().enumerate() {
+            let (fm, gw) = managers.get_mut(&src).unwrap();
+            let id = fm
+                .open_with(
+                    &mut env!(gw),
+                    dst,
+                    HostAddr(100 + (4 * i + j) as u32),
+                    HostAddr(200 + (4 * i + j) as u32),
+                    Bandwidth::from_mbps(5),
+                    10_000_000,
+                    &clock,
+                    &mut GuardedChannel::new(&mut ch, &mut guard),
+                    &policy,
+                )
+                .unwrap_or_else(|e| panic!("open {src} → {dst}: {e}"));
+            flows.push((src, id));
+        }
+    }
+    assert_eq!(flows.len(), 24);
+
+    // Drive the deployment through the crash and well past recovery.
+    let t_end = restart_at + Duration::from_secs(60);
+    let mut prev = clock.now();
+    let mut window_start = None;
+    let mut window_end = None;
+    while clock.now() < t_end {
+        if window_start.is_none() && clock.now() >= crash_at {
+            window_start = Some(guard.dest_stats(crashed).attempts);
+        }
+        if window_end.is_none() && clock.now() >= restart_at {
+            window_end = Some(guard.dest_stats(crashed).attempts);
+        }
+        for &l in &leaves {
+            let (fm, gw) = managers.get_mut(&l).unwrap();
+            fm.tick_with(
+                &mut env!(gw),
+                &clock,
+                &mut GuardedChannel::new(&mut ch, &mut guard),
+                &policy,
+            );
+        }
+        apply_restarts(&plan, &mut reg, prev, clock.now());
+        prev = clock.now();
+        clock.advance(Duration::from_secs(2));
+    }
+    let window_attempts =
+        window_end.expect("run passed restart") - window_start.expect("run passed crash");
+
+    // Every flow holds a working reservation again.
+    for &(src, id) in &flows {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        let flow = fm.flow(id).unwrap();
+        assert!(
+            matches!(flow.kind, FlowKind::Reserved(_)),
+            "flow {src}/{id:?} ended as {:?}",
+            flow.kind
+        );
+        fm.send(gw, id, b"post-storm payload", clock.now())
+            .unwrap_or_else(|e| panic!("send on {src}/{id:?}: {e}"));
+    }
+
+    let outcome = StormOutcome {
+        window_attempts,
+        clients: flows.len() as u64,
+        crashed: guard.dest_stats(crashed),
+        totals: guard.totals(),
+        flow_sig: flows
+            .iter()
+            .map(|&(src, id)| {
+                let f = managers[&src].0.flow(id).unwrap();
+                (f.renewals, f.failovers, kind_tag(&f.kind))
+            })
+            .collect(),
+        channel: (ch.delivered, ch.lost, ch.down),
+    };
+
+    // Zero leaked bandwidth: close everything, pass every expiry
+    // horizon, GC — every CServ must equal an empty service.
+    for &(src, id) in &flows {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        fm.close(gw, id);
+    }
+    let horizon = clock.now() + Duration::from_secs(400);
+    for id in reg.ids() {
+        reg.get_mut(id).unwrap().gc(horizon);
+    }
+    for id in reg.ids() {
+        let agg = reg.get(id).unwrap().admission().aggregates();
+        assert_eq!(agg, AggregateSnapshot::default(), "bandwidth leaked at {id}");
+    }
+
+    outcome
+}
+
+#[test]
+fn renewal_storm_attempts_stay_linear_in_clients() {
+    let out = run_renewal_storm();
+
+    // The acceptance bound: attempts at the downed AS during the crash
+    // are at most 3× the distinct clients whose renewals stormed it.
+    assert!(
+        out.window_attempts <= 3 * out.clients,
+        "{} attempts at the crashed AS for {} clients",
+        out.window_attempts,
+        out.clients
+    );
+    // And in fact far tighter — O(threshold + probes), independent of
+    // the client count: the breaker opened on the first failed exchange
+    // and everything after was probes.
+    assert!(
+        out.window_attempts <= 16,
+        "expected O(threshold + probes) attempts, saw {}",
+        out.window_attempts
+    );
+    assert!(out.crashed.opens >= 1, "the breaker never opened: {:?}", out.crashed);
+    assert!(out.crashed.probes >= 1, "recovery was never probed: {:?}", out.crashed);
+    assert!(
+        out.crashed.breaker_fast_fails > out.window_attempts,
+        "the breaker must have absorbed the storm: {:?}",
+        out.crashed
+    );
+    // Every flow survived the crash with at least one renewal.
+    assert!(out.flow_sig.iter().all(|&(r, _, k)| r >= 1 && k == 0), "{:?}", out.flow_sig);
+}
+
+#[test]
+fn renewal_storm_replays_bit_identically() {
+    let a = run_renewal_storm();
+    let b = run_renewal_storm();
+    assert_eq!(a, b, "same (plan, seed) must reproduce the storm bit for bit");
+}
+
+// ---------------------------------------------------------------------------
+// Test B — overloaded CServ: renewals before new setups, retry_after
+// honored by the flow manager's hedged renewals.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overloaded_cserv_admits_renewals_ahead_of_new_setups() {
+    let gen = internet_like(
+        &InternetConfig {
+            isds: 2,
+            cores_per_isd: 1,
+            leaves_per_isd: 1,
+            providers_per_leaf: 1,
+            ..Default::default()
+        },
+        0x0B0E,
+    );
+    let mut reg = CservRegistry::provision(&gen.topo, CservConfig::default());
+    let leaves: Vec<IsdAsId> = gen.topo.as_ids().filter(|&a| !gen.topo.is_core(a)).collect();
+    let (src, dst) = (leaves[0], leaves[1]);
+    assert_ne!(src.isd, dst.isd);
+    let shedding_core = IsdAsId::new(dst.isd.0, 1);
+
+    // A non-zero hedge starts renewing 6 s earlier than strictly
+    // needed, leaving room to honor Busy retry_after hints.
+    let mut fm = FlowManager::new(
+        src,
+        FlowConfig {
+            eer_renew_hedge: Duration::from_secs(6),
+            segr_demand: Bandwidth::from_mbps(200),
+            ..FlowConfig::default()
+        },
+    );
+    let mut gw = Gateway::new(GatewayConfig::default());
+    macro_rules! env {
+        () => {
+            Env { reg: &mut reg, topo: &gen.topo, segments: &gen.segments, gateway: &mut gw }
+        };
+    }
+
+    let clock = Clock::starting_at(Instant::from_secs(1));
+    let policy = policy();
+    // Overload the destination-side core ×4 for most of the run.
+    let plan = FaultPlan::new(0xFEED)
+        .with_default_faults(LinkFaults::lossy(0).with_delay(Duration::from_millis(1)))
+        .with_overload(shedding_core, Instant::from_secs(2), Instant::from_secs(60), 4000);
+    let mut ch = plan.channel();
+
+    // Two reserved flows while the core is still unloaded.
+    let open = |fm: &mut FlowManager, env: &mut Env<'_>, ch: &mut dyn colibri::ctrl::ControlChannel, tag: u32| {
+        fm.open_with(
+            env,
+            dst,
+            HostAddr(tag),
+            HostAddr(tag + 100),
+            Bandwidth::from_mbps(5),
+            10_000_000,
+            &clock,
+            ch,
+            &policy,
+        )
+    };
+    let flow_a = open(&mut fm, &mut env!(), &mut ch, 1).expect("open A");
+    let flow_b = open(&mut fm, &mut env!(), &mut ch, 2).expect("open B");
+
+    // Turn on a service model at the core: 200 ms per admission, 800 ms
+    // of backlog, and a 2 s retry_after floor — deliberately slow
+    // relative to the ~1 ms link delays so message latency does not
+    // drain the queue between back-to-back offers. Under the ×4
+    // overload one admission costs 800 ms — new setups (capped at half
+    // the backlog) can never fit, while renewals (full backlog) still
+    // do, one per drain interval.
+    reg.get_mut(shedding_core).unwrap().enable_shedding(
+        ShedConfig {
+            base_service: Duration::from_millis(200),
+            max_backlog: Duration::from_millis(800),
+            min_retry_after: Duration::from_secs(2),
+        },
+        clock.now(),
+    );
+
+    // Tick until the hedged renewals fire (EERs expire at t=17, hedge
+    // window = 8 + 6 s → due from t=3). The first renewal fills the
+    // whole backlog; the second gets Busy and is deferred.
+    let mut deferred_ticks = 0usize;
+    let mut busy_skip_had_no_attempts = false;
+    while clock.now() < Instant::from_secs(8) {
+        apply_overloads(&plan, &mut reg, clock.now());
+        let before = ch.attempts();
+        let r = fm.tick_with(&mut env!(), &clock, &mut ch, &policy);
+        if r.busy_deferred > 0 {
+            deferred_ticks += 1;
+            if r.renewals == 0 {
+                // A pure deferral tick must not touch the network.
+                busy_skip_had_no_attempts |= ch.attempts() == before;
+            }
+        }
+        clock.advance(Duration::from_millis(500));
+    }
+    assert!(deferred_ticks >= 1, "no renewal was ever deferred by Busy");
+    assert!(busy_skip_had_no_attempts, "deferral must suppress delivery attempts");
+    let fa = fm.flow(flow_a).unwrap();
+    let fb = fm.flow(flow_b).unwrap();
+    assert!(
+        fa.renewals + fb.renewals >= 2,
+        "both flows must renew through the overloaded core: A={} B={}",
+        fa.renewals,
+        fb.renewals
+    );
+
+    // A brand-new flow cannot get in while the overload lasts: its
+    // setup class is capped at half the backlog, below one inflated
+    // admission. The refusal carries the shed verdict with a
+    // retry_after hint.
+    apply_overloads(&plan, &mut reg, clock.now());
+    match open(&mut fm, &mut env!(), &mut ch, 3) {
+        Err(colibri::host::OpenError::AllPathsRefused(SetupError::Refused {
+            reason: CservError::Busy { retry_after },
+            ..
+        })) => assert!(retry_after >= Duration::from_secs(1)),
+        other => panic!("expected a Busy refusal, got {other:?}"),
+    }
+    let shed = *reg.get(shedding_core).unwrap().shed_stats().unwrap();
+    assert!(shed.admitted[RequestClass::Renewal as usize] >= 2, "{shed:?}");
+    assert!(shed.shed_busy[RequestClass::NewSetup as usize] >= 1, "{shed:?}");
+
+    // Once the overload window passes, the same setup admits.
+    clock.advance(Duration::from_secs(55)); // past t=60
+    apply_overloads(&plan, &mut reg, clock.now());
+    assert_eq!(reg.get(shedding_core).unwrap().service_factor_milli(), 1000);
+    let flow_c = open(&mut fm, &mut env!(), &mut ch, 4).expect("open after overload ends");
+    assert!(matches!(fm.flow(flow_c).unwrap().kind, FlowKind::Reserved(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Test C — regional outage + gray failure.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+struct OutageOutcome {
+    degradations: usize,
+    reestablished: usize,
+    failovers: usize,
+    totals: DestStats,
+    flow_sig: Vec<(u64, u64, u8)>,
+    channel: (u64, u64, u64),
+}
+
+/// Cross-ISD flows ride through a gray-failure ramp on the links into
+/// the remote core, then a correlated outage of the whole remote
+/// region. The region's CServs never crash — when connectivity returns
+/// their state is intact and no recovery pass runs.
+fn run_regional_outage() -> OutageOutcome {
+    let gen = internet_like(
+        &InternetConfig {
+            isds: 2,
+            cores_per_isd: 1,
+            leaves_per_isd: 3,
+            providers_per_leaf: 1,
+            ..Default::default()
+        },
+        0x5EA,
+    );
+    let mut reg = CservRegistry::provision(&gen.topo, CservConfig::default());
+    let leaves: Vec<IsdAsId> = gen.topo.as_ids().filter(|&a| !gen.topo.is_core(a)).collect();
+    let (isd1, isd2): (Vec<IsdAsId>, Vec<IsdAsId>) =
+        leaves.iter().copied().partition(|l| l.isd == leaves[0].isd);
+    let remote_core = IsdAsId::new(isd2[0].isd.0, 1);
+    let region: Vec<IsdAsId> = std::iter::once(remote_core).chain(isd2.iter().copied()).collect();
+
+    let outage_start = Instant::from_secs(30);
+    let outage_end = Instant::from_secs(50);
+    let mut plan = FaultPlan::new(0x6A7)
+        .with_default_faults(LinkFaults::lossy(10_000).with_delay(Duration::from_millis(1)))
+        .with_regional_outage(region, outage_start, outage_end);
+    // Gray failure: the exchanges from every ISD-1 leaf towards the
+    // remote core rot from 0 to 70% extra loss over 5 s → 25 s.
+    for &l in &isd1 {
+        for (from, to) in [(l, remote_core), (remote_core, l)] {
+            plan = plan.with_gray_failure(GrayFailure {
+                from,
+                to,
+                start: Instant::from_secs(5),
+                end: Instant::from_secs(25),
+                peak_drop_ppm: 700_000,
+                peak_delay: Duration::from_millis(10),
+            });
+        }
+    }
+    let mut ch = plan.channel();
+    let mut guard = OverloadControl::new(OverloadConfig::default());
+
+    let mut managers: HashMap<IsdAsId, (FlowManager, Gateway)> = leaves
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                (
+                    FlowManager::new(
+                        l,
+                        FlowConfig {
+                            segr_demand: Bandwidth::from_mbps(200),
+                            ..FlowConfig::default()
+                        },
+                    ),
+                    Gateway::new(GatewayConfig::default()),
+                ),
+            )
+        })
+        .collect();
+    macro_rules! env {
+        ($gw:expr) => {
+            Env { reg: &mut reg, topo: &gen.topo, segments: &gen.segments, gateway: $gw }
+        };
+    }
+
+    let clock = Clock::starting_at(Instant::from_secs(1));
+    let policy = policy();
+    let mut flows: Vec<(IsdAsId, FlowId)> = Vec::new();
+    for i in 0..3usize {
+        for (src, dst) in [(isd1[i], isd2[i]), (isd2[i], isd1[(i + 1) % 3])] {
+            let (fm, gw) = managers.get_mut(&src).unwrap();
+            let id = fm
+                .open_with(
+                    &mut env!(gw),
+                    dst,
+                    HostAddr(100 + i as u32),
+                    HostAddr(200 + i as u32),
+                    Bandwidth::from_mbps(5),
+                    10_000_000,
+                    &clock,
+                    &mut GuardedChannel::new(&mut ch, &mut guard),
+                    &policy,
+                )
+                .unwrap_or_else(|e| panic!("open {src} → {dst}: {e}"));
+            flows.push((src, id));
+        }
+    }
+
+    let mut degradations = 0;
+    let mut reestablished = 0;
+    let mut failovers = 0;
+    let mut prev = clock.now();
+    while clock.now() < Instant::from_secs(110) {
+        for &l in &leaves {
+            let (fm, gw) = managers.get_mut(&l).unwrap();
+            let r = fm.tick_with(
+                &mut env!(gw),
+                &clock,
+                &mut GuardedChannel::new(&mut ch, &mut guard),
+                &policy,
+            );
+            degradations += r.degradations;
+            reestablished += r.reestablished;
+            failovers += r.failovers;
+        }
+        // No crashes are scheduled: the outage must clear without any
+        // recovery pass running.
+        let recovered = apply_restarts(&plan, &mut reg, prev, clock.now());
+        assert!(recovered.is_empty(), "regional outage must not trigger recovery");
+        prev = clock.now();
+        clock.advance(Duration::from_secs(2));
+    }
+
+    for &(src, id) in &flows {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        let flow = fm.flow(id).unwrap();
+        assert!(
+            matches!(flow.kind, FlowKind::Reserved(_)),
+            "flow {src}/{id:?} ended as {:?}",
+            flow.kind
+        );
+        fm.send(gw, id, b"post-outage payload", clock.now())
+            .unwrap_or_else(|e| panic!("send on {src}/{id:?}: {e}"));
+    }
+
+    let outcome = OutageOutcome {
+        degradations,
+        reestablished,
+        failovers,
+        totals: guard.totals(),
+        flow_sig: flows
+            .iter()
+            .map(|&(src, id)| {
+                let f = managers[&src].0.flow(id).unwrap();
+                (f.renewals, f.failovers, kind_tag(&f.kind))
+            })
+            .collect(),
+        channel: (ch.delivered, ch.lost, ch.down),
+    };
+
+    for &(src, id) in &flows {
+        let (fm, gw) = managers.get_mut(&src).unwrap();
+        fm.close(gw, id);
+    }
+    let horizon = clock.now() + Duration::from_secs(400);
+    for id in reg.ids() {
+        reg.get_mut(id).unwrap().gc(horizon);
+    }
+    for id in reg.ids() {
+        let agg = reg.get(id).unwrap().admission().aggregates();
+        assert_eq!(agg, AggregateSnapshot::default(), "bandwidth leaked at {id}");
+    }
+    outcome
+}
+
+#[test]
+fn regional_outage_with_gray_ramp_degrades_and_recovers() {
+    let out = run_regional_outage();
+    assert!(
+        out.degradations + out.failovers > 0,
+        "the outage must have lapsed at least one flow: {out:?}"
+    );
+    assert!(
+        out.reestablished + out.failovers > 0,
+        "service must have come back after the outage: {out:?}"
+    );
+    assert!(out.channel.2 > 0, "the outage window must have rejected some legs");
+    assert!(out.channel.1 > 0, "the gray ramp must have dropped some legs");
+    assert!(out.flow_sig.iter().all(|&(_, _, k)| k == 0), "{:?}", out.flow_sig);
+}
+
+#[test]
+fn regional_outage_replays_bit_identically() {
+    let a = run_regional_outage();
+    let b = run_regional_outage();
+    assert_eq!(a, b, "same (plan, seed) must reproduce the outage run bit for bit");
+}

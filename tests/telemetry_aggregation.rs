@@ -41,6 +41,7 @@ fn policy() -> RetryPolicy {
         max_backoff: Duration::from_millis(200),
         jitter_pct: 20,
         per_hop_timeout: Duration::from_millis(200),
+        deadline: Duration::MAX,
     }
 }
 
