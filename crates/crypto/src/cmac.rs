@@ -78,6 +78,24 @@ impl Cmac {
         })
     }
 
+    /// Creates eight CMAC instances for eight independent keys — the
+    /// 8-wide analog of [`Self::new4`]: key expansions run in lockstep
+    /// ([`Aes128::new8`]) and the subkey derivations `L = AES_K(0)` run
+    /// as one 8-wide batch. This is how the batched router pre-expands a
+    /// full miss burst of σ authenticators before caching them.
+    pub fn new8(keys: [&[u8; 16]; 8]) -> [Cmac; 8] {
+        let ciphers = Aes128::new8(keys);
+        let mut l_blocks = [[0u8; 16]; 8];
+        Aes128::encrypt8_each(core::array::from_fn(|l| &ciphers[l]), &mut l_blocks);
+        let mut iter = ciphers.into_iter().zip(l_blocks);
+        core::array::from_fn(|_| {
+            let (cipher, l) = iter.next().expect("exactly eight lanes");
+            let k1 = dbl(&l);
+            let k2 = dbl(&k1);
+            Self { cipher, k1, k2 }
+        })
+    }
+
     /// Builds the final CMAC block for a message that fits in one block:
     /// XOR with K1 when it is exactly one complete block, 10*-padded and
     /// XORed with K2 otherwise (RFC 4493 §2.4). Since X₀ = 0, this block
@@ -217,6 +235,32 @@ impl Cmac {
             [&cmacs[0].cipher, &cmacs[1].cipher, &cmacs[2].cipher, &cmacs[3].cipher],
             &mut last,
         );
+        last
+    }
+
+    /// Computes eight single-block CMAC tags under eight *independent*
+    /// keys in one interleaved pass — the 8-wide analog of
+    /// [`Self::tag4_short_multikey`]. Every message must fit in one block
+    /// (≤ 16 bytes); panics otherwise.
+    pub fn tag8_short_multikey(keys: [&[u8; 16]; 8], msgs: [&[u8]; 8]) -> [[u8; 16]; 8] {
+        let cmacs = Cmac::new8(keys);
+        Self::tag8_short_each(core::array::from_fn(|l| &cmacs[l]), msgs)
+    }
+
+    /// Computes eight single-block CMAC tags under eight *pre-expanded*
+    /// instances in exactly one 8-wide AES batch — the fully amortized
+    /// Eq. 6 kernel at double the interleave width of
+    /// [`Self::tag4_short_each`]. Every message must fit in one block
+    /// (≤ 16 bytes); panics otherwise.
+    pub fn tag8_short_each(cmacs: [&Cmac; 8], msgs: [&[u8]; 8]) -> [[u8; 16]; 8] {
+        for m in msgs {
+            assert!(m.len() <= BLOCK, "tag8_short_each requires single-block messages");
+        }
+        let mut last = [[0u8; 16]; 8];
+        for l in 0..8 {
+            last[l] = cmacs[l].last_block_short(msgs[l]);
+        }
+        Aes128::encrypt8_each(core::array::from_fn(|l| &cmacs[l].cipher), &mut last);
         last
     }
 
@@ -443,6 +487,62 @@ mod tests {
         assert_eq!(crate::ops::key_expansions() - x0, 0);
         assert_eq!(crate::ops::aes_block_ops() - b0, 4);
         for l in 0..4 {
+            assert_eq!(batched[l], Cmac::new(&keys[l]).tag(msgs[l]), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn new8_matches_scalar_instances() {
+        let keys: [[u8; 16]; 8] = core::array::from_fn(|l| [(l as u8) * 23 + 7; 16]);
+        let batched = Cmac::new8(core::array::from_fn(|l| &keys[l]));
+        for l in 0..8 {
+            let scalar = Cmac::new(&keys[l]);
+            for msg in [&MSG[..0], &MSG[..12], &MSG[..16], &MSG[..40]] {
+                assert_eq!(batched[l].tag(msg), scalar.tag(msg), "lane {l} len {}", msg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tag8_short_multikey_matches_scalar() {
+        let keys: [[u8; 16]; 8] = core::array::from_fn(|l| [(l as u8) * 11 + 3; 16]);
+        let msgs: [&[u8]; 8] = [
+            &MSG[..12],
+            &MSG[..16],
+            &[],
+            &MSG[..5],
+            &MSG[..12],
+            &MSG[..1],
+            &MSG[..15],
+            &MSG[..8],
+        ];
+        let batched = Cmac::tag8_short_multikey(core::array::from_fn(|l| &keys[l]), msgs);
+        for l in 0..8 {
+            assert_eq!(batched[l], Cmac::new(&keys[l]).tag(msgs[l]), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn tag8_short_each_matches_scalar_and_skips_expansion() {
+        let keys: [[u8; 16]; 8] = core::array::from_fn(|l| [(l as u8).wrapping_mul(37).wrapping_add(9); 16]);
+        let cmacs = Cmac::new8(core::array::from_fn(|l| &keys[l]));
+        let msgs: [&[u8]; 8] = [
+            &MSG[..12],
+            &MSG[..16],
+            &[],
+            &MSG[..7],
+            &MSG[..3],
+            &MSG[..12],
+            &MSG[..16],
+            &MSG[..10],
+        ];
+        let x0 = crate::ops::key_expansions();
+        let b0 = crate::ops::aes_block_ops();
+        let batched = Cmac::tag8_short_each(core::array::from_fn(|l| &cmacs[l]), msgs);
+        // Pre-expanded path: zero expansions, one 8-wide block batch.
+        assert_eq!(crate::ops::key_expansions() - x0, 0);
+        assert_eq!(crate::ops::aes_block_ops() - b0, 8);
+        for l in 0..8 {
             assert_eq!(batched[l], Cmac::new(&keys[l]).tag(msgs[l]), "lane {l}");
         }
     }

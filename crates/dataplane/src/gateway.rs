@@ -20,7 +20,7 @@ use colibri_crypto::Cmac;
 use colibri_ctrl::OwnedEer;
 use colibri_telemetry::Registry;
 use colibri_monitor::TokenBucket;
-use colibri_wire::mac::{eer_hvf4_with, eer_hvf_with};
+use colibri_wire::mac::{eer_hvf4_with, eer_hvf8_with, eer_hvf_with};
 use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
 use std::collections::HashMap;
 
@@ -68,15 +68,21 @@ struct InstalledVersion {
     exp: Instant,
 }
 
-/// Expands raw σ keys into ready-to-MAC CMAC instances, four at a time
-/// so the serial AES key-expansion chains of up to four hops interleave.
+/// Expands raw σ keys into ready-to-MAC CMAC instances, eight at a time
+/// so the serial AES key-expansion chains of up to eight hops interleave
+/// ([`Cmac::new8`]); a remainder of at least four hops takes the 4-wide
+/// kernel, the rest expand scalar.
 fn expand_hop_auths(hop_auths: &[colibri_crypto::Key]) -> Vec<Cmac> {
     let mut out = Vec::with_capacity(hop_auths.len());
-    let mut chunks = hop_auths.chunks_exact(4);
-    for quad in &mut chunks {
+    let mut chunks = hop_auths.chunks_exact(8);
+    for oct in &mut chunks {
+        out.extend(Cmac::new8(core::array::from_fn(|j| &oct[j].0)));
+    }
+    let mut rest = chunks.remainder().chunks_exact(4);
+    for quad in &mut rest {
         out.extend(Cmac::new4([&quad[0].0, &quad[1].0, &quad[2].0, &quad[3].0]));
     }
-    for k in chunks.remainder() {
+    for k in rest.remainder() {
         out.push(k.cmac());
     }
     out
@@ -259,13 +265,13 @@ impl Gateway {
     /// buffers — after warm-up the gateway performs zero heap allocations
     /// per packet, matching the paper's preallocated-mbuf DPDK pipeline.
     ///
-    /// Hop validation fields are computed four hops at a time over the
+    /// Hop validation fields are computed eight hops at a time over the
     /// version's pre-expanded σ CMAC instances (Eq. 6 via
-    /// [`eer_hvf4_with`]), so the per-hop AES blocks of up to four
+    /// [`eer_hvf8_with`]), so the per-hop AES blocks of up to eight
     /// on-path ASes are in flight concurrently and *no* AES key expansion
     /// runs per packet — the schedules were expanded at install time.
-    /// Remainder hops (path length mod 4) likewise reuse their cached
-    /// instance through [`eer_hvf_with`].
+    /// Remainder hops take the 4-wide kernel when at least four remain,
+    /// and otherwise reuse their cached instance through [`eer_hvf_with`].
     pub fn process_into(
         &mut self,
         src_host: HostAddr,
@@ -315,12 +321,20 @@ impl Gateway {
         // per version so every packet is unique.
         let ver = version.res_info.ver;
         let mut ts = version.exp.as_nanos().saturating_sub(now.as_nanos());
-        if let Some(&last) = entry.last_ts.get(&ver) {
-            if ts >= last {
-                ts = last.saturating_sub(1);
+        // Single hash probe: the entry API reads and writes the per-version
+        // slot in one lookup (this runs once per packet).
+        match entry.last_ts.entry(ver) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let last = *slot.get();
+                if ts >= last {
+                    ts = last.saturating_sub(1);
+                }
+                slot.insert(ts);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(ts);
             }
         }
-        entry.last_ts.insert(ver, ts);
 
         PacketBuilder::eer(version.res_info, entry.eer_info)
             .path(entry.hops.iter().copied())
@@ -330,9 +344,20 @@ impl Gateway {
         debug_assert_eq!(buf.len(), pkt_size);
         {
             let mut view = PacketViewMut::parse(buf).expect("self-built packet");
-            let mut chunks = version.sigma_cmacs.chunks_exact(4);
+            let mut chunks = version.sigma_cmacs.chunks_exact(8);
             let mut i = 0;
-            for quad in &mut chunks {
+            for oct in &mut chunks {
+                let hvfs = eer_hvf8_with(
+                    core::array::from_fn(|j| &oct[j]),
+                    [(ts, pkt_size); 8],
+                );
+                for hvf in hvfs {
+                    view.set_hvf(i, hvf);
+                    i += 1;
+                }
+            }
+            let mut rest = chunks.remainder().chunks_exact(4);
+            for quad in &mut rest {
                 let hvfs = eer_hvf4_with(
                     [&quad[0], &quad[1], &quad[2], &quad[3]],
                     [(ts, pkt_size); 4],
@@ -342,7 +367,7 @@ impl Gateway {
                     i += 1;
                 }
             }
-            for sigma_cmac in chunks.remainder() {
+            for sigma_cmac in rest.remainder() {
                 view.set_hvf(i, eer_hvf_with(sigma_cmac, ts, pkt_size));
                 i += 1;
             }

@@ -37,8 +37,8 @@ pub use control::stamp_segr_packet;
 pub use crypto_cache::{ClockCache, CryptoCacheConfig, CryptoCacheStats, RouterCryptoCaches};
 pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
 pub use parallel::{
-    GatewayPoolSnapshot, ParallelGateway, RoutedOutput, RouterPoolSnapshot, ShardRouterPool,
-    StampedOutput,
+    GatewayPoolSnapshot, ParallelGateway, RoutedOutput, RouterPoolSnapshot, RouterShardSnapshot,
+    ShardRouterPool, StampedOutput,
 };
 pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, RouterVerdict};
 pub use sharded::{shard_index, ShardedGateway};

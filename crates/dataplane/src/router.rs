@@ -22,8 +22,9 @@ use colibri_base::{Bandwidth, Duration, HostAddr, Instant, InterfaceId, IsdAsId}
 use colibri_crypto::{ct_eq, Cmac, Epoch, SecretValueGen};
 use colibri_monitor::{MonitorAction, OveruseReport, TransitMonitor, TransitMonitorConfig};
 use colibri_wire::mac::{
-    eer_hvf4_with, eer_hvf_with, hop_auth4_from_inputs, hop_auth_from_input, hop_auth_input,
-    segr_input, segr_token4_from_inputs, segr_token_from_input,
+    eer_hvf4_with, eer_hvf8_with, eer_hvf_with, hop_auth4_from_inputs, hop_auth8_from_inputs,
+    hop_auth_from_input, hop_auth_input, segr_input, segr_token4_from_inputs,
+    segr_token8_from_inputs, segr_token_from_input,
 };
 use colibri_wire::{EerInfo, HopField, PacketViewMut, ResInfo, HVF_LEN};
 
@@ -363,15 +364,17 @@ impl BorderRouter {
     ///   the per-packet loop;
     /// * lanes that hit the reservation-scoped crypto caches skip the
     ///   heavy derivations entirely: SegR hits validate with a
-    ///   constant-time compare (zero AES), EER σ-hits with a four-wide
-    ///   single-block CMAC ([`eer_hvf4_with`], one AES block per packet,
+    ///   constant-time compare (zero AES), EER σ-hits with an eight-wide
+    ///   single-block CMAC ([`eer_hvf8_with`], one AES block per packet,
     ///   no key expansion);
-    /// * miss lanes run the MAC verification four packets wide — σ
-    ///   derivation through [`hop_auth4_from_inputs`] /
-    ///   [`segr_token4_from_inputs`] under the shared `K_i`, σ expansion
-    ///   through the interleaved [`Cmac::new4`] — so the AES T-table
-    ///   latency of one packet hides behind the other three; the results
-    ///   populate the caches for subsequent packets.
+    /// * miss lanes run the MAC verification eight packets wide — σ
+    ///   derivation through [`hop_auth8_from_inputs`] /
+    ///   [`segr_token8_from_inputs`] under the shared `K_i`, σ expansion
+    ///   through the interleaved [`Cmac::new8`] — so the AES T-table
+    ///   latency of one packet hides behind the other seven; the results
+    ///   populate the caches for subsequent packets. Remainders of at
+    ///   least four lanes take the 4-wide kernels; shorter tails run
+    ///   scalar — all three widths are bit-identical.
     ///
     /// Monitoring (stateful: replay filter, OFD sketch, token buckets)
     /// still runs packet-by-packet in submission order, which is what
@@ -462,10 +465,25 @@ impl BorderRouter {
                 }
             }
         }
-        // EER hits: Eq. 6 over pre-expanded σ instances — four packets
-        // for four AES blocks, no key expansion.
-        for chunk in eer_hits.chunks(4) {
-            if let [a, b, c, d] = *chunk {
+        // EER hits: Eq. 6 over pre-expanded σ instances — eight packets
+        // for eight AES blocks, no key expansion. Remainders of four run
+        // the 4-wide kernel; anything shorter falls back to scalar.
+        for chunk in eer_hits.chunks(8) {
+            if chunk.len() == 8 {
+                let oct: [(usize, usize); 8] = chunk.try_into().expect("len checked");
+                let expected = eer_hvf8_with(
+                    oct.map(|(_, slot)| caches.sigma_at(slot)),
+                    oct.map(|(li, _)| (lanes[li].ts, lanes[li].pkt_size)),
+                );
+                for (j, (li, _)) in oct.into_iter().enumerate() {
+                    let hvf = lanes[li].hvf;
+                    lanes[li].valid = ct_eq(&expected[j], &hvf);
+                }
+                continue;
+            }
+            let (head, tail) =
+                if chunk.len() >= 4 { chunk.split_at(4) } else { (&[][..], chunk) };
+            if let [a, b, c, d] = *head {
                 let quad = [a, b, c, d];
                 let expected = eer_hvf4_with(
                     quad.map(|(_, slot)| caches.sigma_at(slot)),
@@ -475,21 +493,44 @@ impl BorderRouter {
                     let hvf = lanes[li].hvf;
                     lanes[li].valid = ct_eq(&expected[j], &hvf);
                 }
-            } else {
-                for &(li, slot) in chunk {
-                    let l = &lanes[li];
-                    let expected = eer_hvf_with(caches.sigma_at(slot), l.ts, l.pkt_size);
-                    let valid = ct_eq(&expected, &l.hvf);
-                    lanes[li].valid = valid;
-                }
+            }
+            for &(li, slot) in tail {
+                let l = &lanes[li];
+                let expected = eer_hvf_with(caches.sigma_at(slot), l.ts, l.pkt_size);
+                let valid = ct_eq(&expected, &l.hvf);
+                lanes[li].valid = valid;
             }
         }
-        // EER misses: batched Eq. 4 under K_i, then expand the four σ
-        // into CMAC instances (interleaved) for Eq. 6 — bit-identical to
-        // `eer_hvf4`, which performs exactly this expansion internally —
-        // and keep the instances for the next packet of each reservation.
-        for chunk in eer_misses.chunks(4) {
-            if let [a, b, c, d] = chunk {
+        // EER misses: batched Eq. 4 under K_i, then expand the eight σ
+        // into CMAC instances (interleaved, [`Cmac::new8`]) for Eq. 6 —
+        // bit-identical to the scalar path, which performs exactly this
+        // expansion internally — and keep the instances for the next
+        // packet of each reservation. Remainders of four take the 4-wide
+        // kernel; shorter tails run scalar.
+        for chunk in eer_misses.chunks(8) {
+            if chunk.len() == 8 {
+                let sigmas = hop_auth8_from_inputs(
+                    k_i,
+                    core::array::from_fn(|j| &chunk[j].1),
+                );
+                let sigma_cmacs = Cmac::new8(core::array::from_fn(|j| &sigmas[j].0));
+                let oct: [usize; 8] = core::array::from_fn(|j| chunk[j].0);
+                let expected = eer_hvf8_with(
+                    core::array::from_fn(|j| &sigma_cmacs[j]),
+                    oct.map(|li| (lanes[li].ts, lanes[li].pkt_size)),
+                );
+                for (j, li) in oct.into_iter().enumerate() {
+                    let hvf = lanes[li].hvf;
+                    lanes[li].valid = ct_eq(&expected[j], &hvf);
+                }
+                for ((_, key), sigma_cmac) in chunk.iter().zip(sigma_cmacs) {
+                    caches.insert_sigma(*key, sigma_cmac);
+                }
+                continue;
+            }
+            let (head, tail) =
+                if chunk.len() >= 4 { chunk.split_at(4) } else { (&[][..], chunk) };
+            if let [a, b, c, d] = head {
                 let sigmas =
                     hop_auth4_from_inputs(k_i, [&a.1, &b.1, &c.1, &d.1]);
                 let sigma_cmacs =
@@ -503,38 +544,49 @@ impl BorderRouter {
                     let hvf = lanes[li].hvf;
                     lanes[li].valid = ct_eq(&expected[j], &hvf);
                 }
-                for ((_, key), sigma_cmac) in chunk.iter().zip(sigma_cmacs) {
-                    caches.insert_sigma(*key, sigma_cmac);
-                }
-            } else {
-                for (li, key) in chunk {
-                    let sigma = hop_auth_from_input(k_i, key);
-                    let sigma_cmac = sigma.cmac();
-                    let l = &lanes[*li];
-                    let expected = eer_hvf_with(&sigma_cmac, l.ts, l.pkt_size);
-                    let valid = ct_eq(&expected, &l.hvf);
-                    lanes[*li].valid = valid;
+                for ((_, key), sigma_cmac) in head.iter().zip(sigma_cmacs) {
                     caches.insert_sigma(*key, sigma_cmac);
                 }
             }
+            for (li, key) in tail {
+                let sigma = hop_auth_from_input(k_i, key);
+                let sigma_cmac = sigma.cmac();
+                let l = &lanes[*li];
+                let expected = eer_hvf_with(&sigma_cmac, l.ts, l.pkt_size);
+                let valid = ct_eq(&expected, &l.hvf);
+                lanes[*li].valid = valid;
+                caches.insert_sigma(*key, sigma_cmac);
+            }
         }
-        // SegR misses: batched Eq. 3, populating the token cache.
-        for chunk in segr_misses.chunks(4) {
-            if let [a, b, c, d] = chunk {
-                let expected = segr_token4_from_inputs(k_i, [&a.1, &b.1, &c.1, &d.1]);
+        // SegR misses: batched Eq. 3 (eight wide), populating the token
+        // cache; 4-wide / scalar remainder handling as above.
+        for chunk in segr_misses.chunks(8) {
+            if chunk.len() == 8 {
+                let expected =
+                    segr_token8_from_inputs(k_i, core::array::from_fn(|j| &chunk[j].1));
                 for (j, (li, key)) in chunk.iter().enumerate() {
                     let hvf = lanes[*li].hvf;
                     lanes[*li].valid = ct_eq(&expected[j], &hvf);
                     caches.insert_segr(*key, expected[j]);
                 }
-            } else {
-                for (li, key) in chunk {
-                    let token = segr_token_from_input(k_i, key);
-                    let l = &lanes[*li];
-                    let valid = ct_eq(&token, &l.hvf);
-                    lanes[*li].valid = valid;
-                    caches.insert_segr(*key, token);
+                continue;
+            }
+            let (head, tail) =
+                if chunk.len() >= 4 { chunk.split_at(4) } else { (&[][..], chunk) };
+            if let [a, b, c, d] = head {
+                let expected = segr_token4_from_inputs(k_i, [&a.1, &b.1, &c.1, &d.1]);
+                for (j, (li, key)) in head.iter().enumerate() {
+                    let hvf = lanes[*li].hvf;
+                    lanes[*li].valid = ct_eq(&expected[j], &hvf);
+                    caches.insert_segr(*key, expected[j]);
                 }
+            }
+            for (li, key) in tail {
+                let token = segr_token_from_input(k_i, key);
+                let l = &lanes[*li];
+                let valid = ct_eq(&token, &l.hvf);
+                lanes[*li].valid = valid;
+                caches.insert_segr(*key, token);
             }
         }
         // Phase 3 — stateful monitoring and forwarding, in submission

@@ -1,0 +1,206 @@
+//! Aggressive multi-thread stress suite for the SPSC ring (ISSUE 7).
+//!
+//! Real producer/consumer threads, randomized capacities, batch sizes,
+//! yield points, and close points (producer-side mid-stream close,
+//! consumer-side abort-then-drain, close-while-full). The invariant
+//! checked everywhere: the consumer receives exactly the items whose
+//! `send` succeeded, in FIFO order — no loss, no duplication — and
+//! `send` backpressure engages exactly at the logical capacity.
+//!
+//! Randomness is a deterministic xorshift so failures replay exactly.
+
+use colibri_ring::{ring, TrySendError};
+
+/// Deterministic xorshift64* RNG (same generator the bench crate uses).
+struct Xor64(u64);
+
+impl Xor64 {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One randomized two-thread run. Returns (accepted, received) counts.
+///
+/// `producer_closes`: the producer closes after a random number of
+/// sends; otherwise it sends everything and closes by dropping.
+/// `consumer_aborts`: the consumer calls `close()` at a random point
+/// (unblocking a producer stuck on a full ring) but keeps draining to
+/// end-of-stream, so every accepted item is still accounted for.
+fn run_once(seed: u64, producer_closes: bool, consumer_aborts: bool) -> (u64, u64) {
+    let mut rng = Xor64::new(seed);
+    let cap = 1 + rng.below(17) as usize;
+    let total: u64 = 1_000 + rng.below(4_000);
+    let close_after = rng.below(total + 1);
+    let abort_after = rng.below(total + 1);
+    let producer_seed = rng.next();
+    let consumer_seed = rng.next();
+
+    let (mut tx, mut rx) = ring::<u64>(cap);
+
+    let producer = std::thread::spawn(move || {
+        let mut rng = Xor64::new(producer_seed);
+        let mut accepted = 0u64;
+        for i in 0..total {
+            if producer_closes && i == close_after {
+                tx.close();
+            }
+            match tx.send(i) {
+                Ok(()) => accepted += 1,
+                Err(_) => break, // closed (by us or by the consumer)
+            }
+            if rng.below(64) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        accepted
+    });
+
+    let consumer = std::thread::spawn(move || {
+        let mut rng = Xor64::new(consumer_seed);
+        let mut batch = Vec::new();
+        let mut expected = 0u64;
+        loop {
+            if consumer_aborts && expected >= abort_after {
+                rx.close(); // abort, but keep draining below
+            }
+            let max = 1 + rng.below(2 * cap as u64 + 1) as usize;
+            if !rx.recv_many(&mut batch, max) {
+                break;
+            }
+            assert!(batch.len() <= max, "recv_many returned more than max");
+            for v in batch.drain(..) {
+                assert_eq!(v, expected, "FIFO violated or item lost/duplicated");
+                expected += 1;
+            }
+            if rng.below(64) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        expected
+    });
+
+    let accepted = producer.join().expect("producer panicked");
+    let received = consumer.join().expect("consumer panicked");
+    (accepted, received)
+}
+
+#[test]
+fn clean_stream_no_loss_no_duplication() {
+    for seed in 1..=40 {
+        let (accepted, received) = run_once(seed, false, false);
+        assert_eq!(accepted, received, "seed {seed}: accepted != received");
+    }
+}
+
+#[test]
+fn producer_closes_mid_stream() {
+    for seed in 100..=140 {
+        let (accepted, received) = run_once(seed, true, false);
+        // `close` before `send(i)` makes that send fail, so accepted is
+        // a strict prefix; everything accepted must still arrive.
+        assert_eq!(accepted, received, "seed {seed}: accepted != received");
+    }
+}
+
+#[test]
+fn consumer_aborts_while_producer_may_be_blocked_on_full() {
+    for seed in 200..=240 {
+        let (accepted, received) = run_once(seed, false, true);
+        // The consumer's close unblocks a producer stuck in `send` (ring
+        // full); the failed send's item is returned, not enqueued, and
+        // the consumer drains to end-of-stream — so the accounting still
+        // balances exactly.
+        assert_eq!(accepted, received, "seed {seed}: accepted != received");
+    }
+}
+
+#[test]
+fn both_sides_close_randomly() {
+    for seed in 300..=340 {
+        let (accepted, received) = run_once(seed, true, true);
+        assert_eq!(accepted, received, "seed {seed}: accepted != received");
+    }
+}
+
+/// Backpressure exactness under randomized fill/drain cycles: `try_send`
+/// must accept exactly `cap - occupancy` items and then report Full.
+#[test]
+fn backpressure_exact_at_capacity_randomized() {
+    let mut rng = Xor64::new(0xB0A7);
+    for _ in 0..200 {
+        let cap = 1 + rng.below(33) as usize;
+        let (mut tx, mut rx) = ring::<u64>(cap);
+        let mut occupancy = 0usize;
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..50 {
+            // Fill some; must succeed while occupancy < cap.
+            let want = rng.below(cap as u64 + 4) as usize;
+            for _ in 0..want {
+                match tx.try_send(next_in) {
+                    Ok(()) => {
+                        assert!(occupancy < cap, "accepted item beyond capacity");
+                        occupancy += 1;
+                        next_in += 1;
+                    }
+                    Err(TrySendError::Full(v)) => {
+                        assert_eq!(v, next_in);
+                        assert_eq!(occupancy, cap, "backpressure before capacity");
+                    }
+                    Err(TrySendError::Closed(_)) => unreachable!(),
+                }
+            }
+            if occupancy == cap {
+                assert!(matches!(tx.try_send(next_in), Err(TrySendError::Full(_))));
+            }
+            // Drain some.
+            let drain = rng.below(cap as u64 + 1) as usize;
+            for _ in 0..drain.min(occupancy) {
+                assert_eq!(rx.try_recv(), Some(next_out));
+                next_out += 1;
+                occupancy -= 1;
+            }
+            if occupancy == 0 {
+                assert_eq!(rx.try_recv(), None);
+            }
+        }
+    }
+}
+
+/// Long-haul lap test: a small ring crossed hundreds of thousands of
+/// times by real threads with tiny capacities, maximizing wrap-around
+/// and slot-reuse races.
+#[test]
+fn long_haul_tiny_capacity() {
+    for cap in [1usize, 2, 3] {
+        const N: u64 = 300_000;
+        let (mut tx, mut rx) = ring::<u64>(cap);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut expected = 0u64;
+        let mut batch = Vec::new();
+        while rx.recv_many(&mut batch, 7) {
+            for v in batch.drain(..) {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, N, "cap {cap}: items lost or duplicated");
+        producer.join().unwrap();
+    }
+}

@@ -190,6 +190,59 @@ pub fn eer_hvf4_with(sigma_cmacs: [&Cmac; 4], inputs: [(u64, usize); 4]) -> [[u8
     tags.map(|t| t[..HVF_LEN].try_into().unwrap())
 }
 
+/// Batched Eq. 3 over eight pre-encoded inputs: two 4-wide interleaved
+/// CMAC batches under one AS secret. Bit-identical to eight
+/// [`segr_token_from_input`] calls.
+pub fn segr_token8_from_inputs(
+    k_i: &Cmac,
+    inputs: [&[u8; SEGR_INPUT_LEN]; 8],
+) -> [[u8; HVF_LEN]; 8] {
+    let lo = segr_token4_from_inputs(k_i, [inputs[0], inputs[1], inputs[2], inputs[3]]);
+    let hi = segr_token4_from_inputs(k_i, [inputs[4], inputs[5], inputs[6], inputs[7]]);
+    core::array::from_fn(|l| if l < 4 { lo[l] } else { hi[l - 4] })
+}
+
+/// Batched Eq. 4 over eight pre-encoded inputs — the σ-cache miss path at
+/// double width. Bit-identical to eight [`hop_auth_from_input`] calls.
+pub fn hop_auth8_from_inputs(k_i: &Cmac, inputs: [&[u8; HOP_AUTH_INPUT_LEN]; 8]) -> [Key; 8] {
+    let lo = hop_auth4_from_inputs(k_i, [inputs[0], inputs[1], inputs[2], inputs[3]]);
+    let hi = hop_auth4_from_inputs(k_i, [inputs[4], inputs[5], inputs[6], inputs[7]]);
+    core::array::from_fn(|l| if l < 4 { lo[l] } else { hi[l - 4] })
+}
+
+/// Batched Eq. 6: eight per-packet HVFs under eight *different* hop
+/// authenticators, with the key expansions, subkey derivations, and final
+/// block encryptions all running 8-wide ([`Cmac::tag8_short_multikey`]).
+/// Bit-identical to eight [`eer_hvf`] calls.
+pub fn eer_hvf8(sigmas: [&Key; 8], inputs: [(u64, usize); 8]) -> [[u8; HVF_LEN]; 8] {
+    let mut msgs = [[0u8; 12]; 8];
+    for l in 0..8 {
+        let (ts, pkt_size) = inputs[l];
+        msgs[l][..8].copy_from_slice(&ts.to_be_bytes());
+        msgs[l][8..].copy_from_slice(&(pkt_size as u32).to_be_bytes());
+    }
+    let tags = Cmac::tag8_short_multikey(
+        core::array::from_fn(|l| &sigmas[l].0),
+        core::array::from_fn(|l| msgs[l].as_slice()),
+    );
+    tags.map(|t| t[..HVF_LEN].try_into().unwrap())
+}
+
+/// Batched Eq. 6 over eight *pre-expanded* σ CMAC instances
+/// ([`Cmac::tag8_short_each`]): the cache-hit path at double width —
+/// exactly one 8-wide AES batch for eight packets. Bit-identical to eight
+/// [`eer_hvf_with`] calls.
+pub fn eer_hvf8_with(sigma_cmacs: [&Cmac; 8], inputs: [(u64, usize); 8]) -> [[u8; HVF_LEN]; 8] {
+    let mut msgs = [[0u8; 12]; 8];
+    for l in 0..8 {
+        let (ts, pkt_size) = inputs[l];
+        msgs[l][..8].copy_from_slice(&ts.to_be_bytes());
+        msgs[l][8..].copy_from_slice(&(pkt_size as u32).to_be_bytes());
+    }
+    let tags = Cmac::tag8_short_each(sigma_cmacs, core::array::from_fn(|l| msgs[l].as_slice()));
+    tags.map(|t| t[..HVF_LEN].try_into().unwrap())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +381,42 @@ mod tests {
             eer_hvf4_with(core::array::from_fn(|l| &cmacs[l]), ts_size),
             eer_hvf4(core::array::from_fn(|l| &sigmas[l]), ts_size),
         );
+    }
+
+    #[test]
+    fn eight_wide_variants_match_scalar() {
+        let k_i = k();
+        let e = eer();
+        let mut infos = Vec::new();
+        for i in 0..8u32 {
+            let mut ri = res();
+            ri.res_id = ResId(300 + i);
+            infos.push(ri);
+        }
+        let hops: [HopField; 8] =
+            core::array::from_fn(|l| HopField::new(l as u16, (l as u16 + 3) % 8));
+
+        let seg_ins: [[u8; SEGR_INPUT_LEN]; 8] =
+            core::array::from_fn(|l| segr_input(&infos[l], hops[l]));
+        let seg8 = segr_token8_from_inputs(&k_i, core::array::from_fn(|l| &seg_ins[l]));
+        let auth_ins: [[u8; HOP_AUTH_INPUT_LEN]; 8] =
+            core::array::from_fn(|l| hop_auth_input(&infos[l], &e, hops[l]));
+        let sigmas = hop_auth8_from_inputs(&k_i, core::array::from_fn(|l| &auth_ins[l]));
+        for l in 0..8 {
+            assert_eq!(seg8[l], segr_token(&k_i, &infos[l], hops[l]), "segr lane {l}");
+            assert_eq!(sigmas[l], hop_auth(&k_i, &infos[l], &e, hops[l]), "auth lane {l}");
+        }
+
+        let ts_size: [(u64, usize); 8] =
+            core::array::from_fn(|l| (40 + l as u64, 64 + 13 * l));
+        let hvf8 = eer_hvf8(core::array::from_fn(|l| &sigmas[l]), ts_size);
+        let cmacs: Vec<Cmac> = sigmas.iter().map(|s| s.cmac()).collect();
+        let hvf8_with = eer_hvf8_with(core::array::from_fn(|l| &cmacs[l]), ts_size);
+        for l in 0..8 {
+            let scalar = eer_hvf(&sigmas[l], ts_size[l].0, ts_size[l].1);
+            assert_eq!(hvf8[l], scalar, "hvf lane {l}");
+            assert_eq!(hvf8_with[l], scalar, "hvf-with lane {l}");
+        }
     }
 
     #[test]

@@ -118,6 +118,20 @@ pub struct PacketView<'a> {
     eer: bool,
 }
 
+/// Reads the reservation ID at its fixed header offset without a full
+/// parse. This is the RSS-style steering key for the shard dispatcher:
+/// hashing on `res_id` pins every packet of a reservation to one shard,
+/// which is what makes that shard's crypto caches private to its working
+/// set. Returns `None` when the buffer is too short or carries a foreign
+/// wire version — such packets cannot be steered meaningfully and the
+/// dispatcher spreads them round-robin (they fail validation anyway).
+pub fn peek_res_id(buf: &[u8]) -> Option<ResId> {
+    if buf.len() < FIXED_HEADER_LEN || buf[0] != WIRE_VERSION {
+        return None;
+    }
+    Some(ResId(u32::from_be_bytes(buf[12..16].try_into().unwrap())))
+}
+
 impl<'a> PacketView<'a> {
     /// Parses and validates the packet framing.
     pub fn parse(buf: &'a [u8]) -> Result<Self, WireError> {
@@ -498,6 +512,19 @@ mod tests {
 
     fn sample_path() -> Vec<HopField> {
         vec![HopField::new(0, 2), HopField::new(5, 9), HopField::new(1, 0)]
+    }
+
+    #[test]
+    fn peek_res_id_matches_parse_and_rejects_garbage() {
+        let res = sample_res();
+        let info = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+        let pkt =
+            PacketBuilder::eer(res, info).path(sample_path()).ts(9).build(b"x").unwrap();
+        assert_eq!(peek_res_id(&pkt), Some(res.res_id));
+        assert_eq!(peek_res_id(&pkt[..FIXED_HEADER_LEN - 1]), None);
+        let mut bad = pkt.clone();
+        bad[0] = 0xFF;
+        assert_eq!(peek_res_id(&bad), None);
     }
 
     #[test]
