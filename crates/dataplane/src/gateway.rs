@@ -171,7 +171,19 @@ impl Gateway {
 
     /// Installs (or refreshes) a reservation from the CServ's owned-EER
     /// state (Fig. 1b ➎). Call after every successful setup or renewal.
+    ///
+    /// Structurally invalid EERs — an empty path or one longer than the
+    /// wire format can carry — are rejected outright (the reservation is
+    /// removed if present), so the per-packet stamping path can rely on
+    /// `1..=MAX_HOPS` hops and never fail on path shape. Superseded
+    /// version entries are pruned from the replay-ordering (`last_ts`) map
+    /// here, so a long-lived gateway's memory is bounded by its *live*
+    /// versions, not by every version a reservation ever had.
     pub fn install(&mut self, eer: &OwnedEer, now: Instant) {
+        if eer.hop_fields.is_empty() || eer.hop_fields.len() > colibri_wire::MAX_HOPS {
+            self.table.remove(&eer.key.res_id);
+            return;
+        }
         let versions: Vec<InstalledVersion> = eer
             .versions
             .iter()
@@ -200,6 +212,13 @@ impl Gateway {
             Some(entry) => {
                 entry.versions = versions;
                 entry.monitor.set_rate(rate);
+                // Evict replay-ordering state of versions that no longer
+                // exist (expired or superseded): their `Ts` values can
+                // never be stamped again, so keeping them only grows the
+                // map — one stale u64 per version, forever, on a gateway
+                // that renews every few seconds.
+                let live = &entry.versions;
+                entry.last_ts.retain(|ver, _| live.iter().any(|v| v.res_info.ver == *ver));
             }
             None => {
                 self.table.insert(
@@ -455,6 +474,49 @@ mod tests {
         assert_eq!(g.len(), 1);
         g.install(&o, Instant::from_secs(60));
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn invalid_path_shape_rejected_at_install() {
+        let mut g = gw();
+        let t0 = Instant::from_secs(0);
+        let exp = Instant::from_secs(100);
+        // Baseline: a valid install exists.
+        g.install(&owned(1, vec![(0, Bandwidth::from_mbps(5), exp)]), t0);
+        assert_eq!(g.len(), 1);
+        // An empty path can never be stamped: the install is rejected and
+        // the existing entry removed rather than left half-updated.
+        let mut bad = owned(1, vec![(0, Bandwidth::from_mbps(5), exp)]);
+        bad.hop_fields.clear();
+        g.install(&bad, t0);
+        assert!(g.is_empty());
+        // A path longer than the wire format carries is equally rejected.
+        let mut long = owned(2, vec![(0, Bandwidth::from_mbps(5), exp)]);
+        long.hop_fields = vec![HopField::new(0, 1); colibri_wire::MAX_HOPS + 1];
+        g.install(&long, t0);
+        assert!(g.is_empty());
+        assert_eq!(
+            g.process(HOST, colibri_base::ResId(2), b"x", t0),
+            Err(GatewayError::UnknownReservation(colibri_base::ResId(2)))
+        );
+    }
+
+    #[test]
+    fn renewals_prune_replay_state_of_dead_versions() {
+        let mut g = gw();
+        let bw = Bandwidth::from_mbps(5);
+        // A long-lived reservation renewed across many version numbers:
+        // stamp a packet on each version (populating its last_ts slot),
+        // then renew to the next. The replay map must track only live
+        // versions, not every version ever seen.
+        for ver in 0u8..50 {
+            let exp = Instant::from_secs(100 + ver as u64);
+            let now = Instant::from_secs(ver as u64);
+            g.install(&owned(1, vec![(ver, bw, exp)]), now);
+            g.process(HOST, colibri_base::ResId(1), b"x", now).unwrap();
+            let slots = g.table[&colibri_base::ResId(1)].last_ts.len();
+            assert!(slots <= 1, "replay map grew to {slots} slots at ver {ver}");
+        }
     }
 
     #[test]

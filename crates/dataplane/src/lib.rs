@@ -30,6 +30,7 @@ pub mod gateway;
 pub mod parallel;
 pub mod router;
 pub mod sharded;
+pub mod supervisor;
 pub mod telemetry;
 
 pub use classes::{CbwfqScheduler, Served, TrafficClass, TrafficSplit};
@@ -42,4 +43,8 @@ pub use parallel::{
 };
 pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, RouterVerdict};
 pub use sharded::{shard_index, ShardedGateway};
+pub use supervisor::{
+    ShardHealthReport, ShardOutcome, SubmitError, SubmitVerdict, SupervisedOutput,
+    SupervisedRouterPool, SupervisedShardSnapshot, SupervisorSnapshot,
+};
 pub use telemetry::{GatewayTelemetry, RouterTelemetry};

@@ -41,9 +41,18 @@ use crate::router::{BorderRouter, RouterStats, RouterVerdict};
 use crate::sharded::shard_index;
 use colibri_base::{HostAddr, Instant, InterfaceId, ResId};
 use colibri_ctrl::OwnedEer;
-use colibri_ring::{ring, Consumer, Producer};
+use colibri_ring::{ring, Consumer, Producer, TrySendError};
 use colibri_telemetry::{Counter, Registry, Stability};
 use std::thread::JoinHandle;
+
+/// Why a non-blocking submit could not enqueue. The packet buffer rides
+/// back in the error so the caller decides its fate: shed it (best-effort
+/// under attack), drain outputs and retry (reserved traffic), or hold it.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The owning shard's ring is at capacity (backpressure).
+    WouldBlock(Vec<u8>),
+}
 
 /// The aggregated result of a [`ParallelGateway`] run: the cross-shard
 /// merge of every worker's [`GatewayStats`], computed once at shutdown
@@ -217,6 +226,37 @@ impl ParallelGateway {
             .send(GatewayJob::Stamp { src_host, res_id, payload, now, buf })
             .unwrap_or_else(|_| panic!("gateway shard {s} shut down"));
         self.in_flight += 1;
+    }
+
+    /// Non-blocking [`submit`](Self::submit): enqueues the payload for
+    /// stamping or returns [`SubmitError::WouldBlock`] with it when the
+    /// owning shard's ring is at capacity. Never spins or yields — the
+    /// shed/drain/hold decision belongs to the caller (DESIGN.md §14).
+    pub fn try_submit(
+        &mut self,
+        src_host: HostAddr,
+        res_id: ResId,
+        payload: Vec<u8>,
+        now: Instant,
+    ) -> Result<(), SubmitError> {
+        let s = shard_index(res_id, self.workers.len());
+        let buf = self.free_bufs.pop().unwrap_or_default();
+        match self.workers[s].jobs.try_send(GatewayJob::Stamp { src_host, res_id, payload, now, buf })
+        {
+            Ok(()) => {
+                self.in_flight += 1;
+                Ok(())
+            }
+            Err(TrySendError::Full(GatewayJob::Stamp { payload, buf, .. })) => {
+                self.free_bufs.push(buf);
+                Err(SubmitError::WouldBlock(payload))
+            }
+            Err(TrySendError::Full(GatewayJob::Install(..)))
+            | Err(TrySendError::Closed(GatewayJob::Install(..))) => {
+                unreachable!("try_submit only enqueues Stamp jobs")
+            }
+            Err(TrySendError::Closed(_)) => panic!("gateway shard {s} shut down"),
+        }
     }
 
     /// Collects at most `max` finished packets across all shards without
@@ -478,6 +518,43 @@ impl ShardRouterPool {
                 self.submit_cursor = self.submit_cursor.wrapping_add(1);
                 self.send_to(s, pkt, now);
             }
+        }
+    }
+
+    /// Non-blocking [`submit`](Self::submit): enqueues on the owning
+    /// shard or returns [`SubmitError::WouldBlock`] with the buffer when
+    /// that shard's ring is at capacity. Never spins or yields — shed,
+    /// drain-and-retry, or hold is the *caller's* decision (DESIGN.md
+    /// §14). Steering counters are only bumped when the packet is
+    /// actually accepted.
+    pub fn try_submit(&mut self, pkt: Vec<u8>, now: Instant) -> Result<(), SubmitError> {
+        match colibri_wire::peek_res_id(&pkt) {
+            Some(res_id) => {
+                let s = shard_index(res_id, self.workers.len());
+                self.try_send_to(s, pkt, now).map(|()| self.steered += 1)
+            }
+            None => {
+                let s = self.submit_cursor % self.workers.len();
+                match self.try_send_to(s, pkt, now) {
+                    Ok(()) => {
+                        self.submit_cursor = self.submit_cursor.wrapping_add(1);
+                        self.unsteered += 1;
+                        Ok(())
+                    }
+                    err => err,
+                }
+            }
+        }
+    }
+
+    fn try_send_to(&mut self, s: usize, pkt: Vec<u8>, now: Instant) -> Result<(), SubmitError> {
+        match self.workers[s].jobs.try_send(RouterJob { pkt, now }) {
+            Ok(()) => {
+                self.workers[s].submitted += 1;
+                Ok(())
+            }
+            Err(TrySendError::Full(RouterJob { pkt, .. })) => Err(SubmitError::WouldBlock(pkt)),
+            Err(TrySendError::Closed(_)) => panic!("router shard {s} shut down"),
         }
     }
 

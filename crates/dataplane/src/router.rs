@@ -294,7 +294,13 @@ impl BorderRouter {
             let Self { k_i_cache, caches, .. } = &mut *self;
             let k_i = &k_i_cache.as_ref().expect("ensure_epoch ran").1;
             if is_eer {
-                let info = eer_info.expect("EER flag implies EERInfo");
+                // The parser only reports EER when the EerInfo block was
+                // present, but these bytes are attacker-controlled: a
+                // structural contradiction is a malformed drop, never a
+                // panic (DESIGN.md §14 attack model).
+                let Some(info) = eer_info else {
+                    return self.drop(DropReason::ParseError);
+                };
                 let key: SigmaKey = hop_auth_input(&res_info, &info, hop);
                 let expected = match caches.probe_sigma(&key) {
                     // Hit: one single-block CMAC (1 AES block, 0 expansions).
@@ -344,10 +350,11 @@ impl BorderRouter {
         }
         self.stats.forwarded += 1;
         if hop.egress.is_local() {
-            if is_eer {
-                RouterVerdict::DeliverHost(eer_info.unwrap().dst_host)
-            } else {
-                RouterVerdict::DeliverCserv
+            // `is_eer` implies `eer_info` (guarded above): plain match,
+            // no panic path on untrusted bytes.
+            match eer_info {
+                Some(info) if is_eer => RouterVerdict::DeliverHost(info.dst_host),
+                _ => RouterVerdict::DeliverCserv,
             }
         } else {
             view.advance_hop();
@@ -618,14 +625,22 @@ impl BorderRouter {
                 }
             }
             self.stats.forwarded += 1;
+            // Both arms avoid unwrap/expect on lane state derived from
+            // untrusted bytes: `eer_info` is matched directly (it *is*
+            // the is_eer witness), and a missing view — impossible for a
+            // lane that passed phase 1 — degrades to not advancing the
+            // hop rather than panicking mid-batch.
             verdicts[lane.idx] = if lane.hop.egress.is_local() {
-                if is_eer {
-                    RouterVerdict::DeliverHost(lane.eer_info.unwrap().dst_host)
-                } else {
-                    RouterVerdict::DeliverCserv
+                match lane.eer_info {
+                    Some(info) => RouterVerdict::DeliverHost(info.dst_host),
+                    None => RouterVerdict::DeliverCserv,
                 }
             } else {
-                views[lane.idx].as_mut().expect("lane implies view").advance_hop();
+                let view = views[lane.idx].as_mut();
+                debug_assert!(view.is_some(), "valid lane without a parsed view");
+                if let Some(view) = view {
+                    view.advance_hop();
+                }
                 RouterVerdict::Forward(lane.hop.egress)
             };
         }

@@ -473,6 +473,102 @@ mod tests {
     }
 
     #[test]
+    fn close_on_drop_mid_batch_loses_nothing() {
+        // The supervisor's kill path (DESIGN.md §14): the consumer side
+        // vanishes mid-stream while the producer is still pushing a
+        // batch. The producer must observe Closed with its item handed
+        // back, everything enqueued before the close must remain
+        // drainable, and in-flight items must be either drained or
+        // destructed — never leaked, never double-dropped.
+        use std::sync::atomic::AtomicU32;
+        static LIVE: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Tracked(#[allow(dead_code)] u32);
+        impl Tracked {
+            fn new(v: u32) -> Self {
+                LIVE.fetch_add(1, Ordering::Relaxed);
+                Tracked(v)
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = ring::<Tracked>(8);
+        // Mid-batch: 5 of a planned 8 delivered, then the consumer dies.
+        for i in 0..5 {
+            tx.try_send(Tracked::new(i)).unwrap();
+        }
+        rx.close();
+        // The producer observes Closed on both send flavors, item intact.
+        match tx.try_send(Tracked::new(100)) {
+            Err(TrySendError::Closed(item)) => drop(item),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert!(tx.send(Tracked::new(101)).is_err());
+        // Everything enqueued before the close is still drainable in
+        // order — close never discards accepted items.
+        let mut got = 0;
+        while rx.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 5, "accepted items must survive the close");
+        assert_eq!(tx.len(), 0);
+        drop(tx);
+        drop(rx);
+        assert_eq!(LIVE.load(Ordering::Relaxed), 0, "every item destructed exactly once");
+    }
+
+    #[test]
+    fn consumer_drop_mid_batch_counts_stranded_items() {
+        // Same scenario, but the driver does NOT drain: the stranded
+        // items' destructors run in Inner::drop, and the producer can
+        // still count what it had queued (the supervisor's lost_to_kill
+        // ledger) before tearing down.
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = ring::<D>(8);
+        for _ in 0..6 {
+            tx.try_send(D).unwrap();
+        }
+        drop(rx); // consumer handle dies mid-batch, 6 items in flight
+        assert_eq!(tx.len(), 6, "producer can still account stranded items");
+        assert!(matches!(tx.try_send(D), Err(TrySendError::Closed(_))));
+        drop(tx);
+        // 6 stranded + 1 handed back on Closed (dropped by the match) = 7.
+        assert_eq!(DROPS.load(Ordering::Relaxed), 7, "nothing silently lost");
+    }
+
+    #[test]
+    fn producer_drop_mid_batch_drains_then_reports_closed() {
+        // Mirror case: the producer dies mid-batch. The consumer must
+        // first drain every accepted item, and only then see the ring
+        // as closed (recv_many returning false).
+        let (mut tx, mut rx) = ring::<u32>(8);
+        for i in 0..5 {
+            tx.try_send(i).unwrap();
+        }
+        drop(tx);
+        let mut out = Vec::new();
+        assert!(rx.recv_many(&mut out, 3), "accepted items come before the close signal");
+        assert_eq!(out, vec![0, 1, 2]);
+        out.clear();
+        assert!(rx.recv_many(&mut out, 10));
+        assert_eq!(out, vec![3, 4]);
+        out.clear();
+        assert!(!rx.recv_many(&mut out, 10), "only then is the close observed");
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn wraps_many_laps() {
         let (mut tx, mut rx) = ring::<usize>(3);
         let mut next_out = 0;

@@ -9,6 +9,9 @@
 //! the actual cryptographic checks, monitoring pipeline, and queueing
 //! discipline.
 //!
+//! * [`attack`] — seeded adversarial frame generation: forged-HVF and
+//!   reservation-ID collision floods, replays, expired reservations,
+//!   bit-flipped/truncated/oversized frames (DESIGN.md §14);
 //! * [`events`] — deterministic discrete-event queue;
 //! * [`fault`] — seeded fault injection: link loss/delay/down schedules,
 //!   CServ crash + recovery, per-AS clock skew — all bit-reproducible;
@@ -20,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod events;
 pub mod fault;
 pub mod net;
 pub mod scenario;
 pub mod traffic;
 
+pub use attack::{res_id_for_shard, AttackGen, AttackKind, ALL_ATTACK_KINDS};
 pub use events::{Event, EventQueue};
 pub use fault::{
     apply_overloads, apply_restarts, CrashEvent, FaultPlan, FaultRng, FaultyChannel, GrayFailure,

@@ -192,14 +192,25 @@ impl Registry {
 
     /// The named shard, created on first use.
     pub fn shard(&self, label: &str) -> Shard {
-        let sid = self.inner.state.lock().expect("telemetry registry poisoned").shard_id(label);
+        let sid = self.inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).shard_id(label);
         Shard { registry: self.clone(), shard: sid }
     }
 
     fn register(&self, shard: usize, name: &str, kind: MetricKind, stability: Stability, help: &str) -> Cell {
-        let mut st = self.inner.state.lock().expect("telemetry registry poisoned");
+        let mut st = self.inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mid = st.metric_id(name, kind, stability, help);
         st.cell(mid, shard, kind)
+    }
+
+    /// Poisons the registry lock as a panicking lock-holder would — the
+    /// failure mode the recovering locks exist for. Test hook only.
+    #[doc(hidden)]
+    pub fn poison_lock_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard =
+                self.inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::panic::resume_unwind(Box::new("deliberate registry poison"));
+        }));
     }
 
     /// Takes an epoch-stamped snapshot of every cell.
@@ -210,7 +221,7 @@ impl Registry {
     /// each cell is individually atomic and the epoch orders scrapes.
     pub fn snapshot(&self) -> Snapshot {
         let epoch = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        let st = self.inner.state.lock().expect("telemetry registry poisoned");
+        let st = self.inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut entries = Vec::with_capacity(st.metrics.len());
         for (mid, meta) in st.metrics.iter().enumerate() {
             let mut shards = Vec::new();
@@ -655,6 +666,20 @@ mod tests {
         assert_eq!(hh.sum, 2010);
         assert_eq!(snap.total("colibri_never_registered"), 0);
         assert_eq!(reg.snapshot().epoch, 2);
+    }
+
+    #[test]
+    fn scrapes_survive_a_poisoned_lock() {
+        let reg = Registry::new();
+        let c = reg.shard("s").counter("colibri_test_poison_total", Stability::Invariant, "p");
+        c.inc();
+        reg.poison_lock_for_test();
+        // Registration, cell lookup, and snapshotting must all keep
+        // working after a lock-holder panicked mid-incident.
+        let c2 = reg.shard("s2").counter("colibri_test_poison_total", Stability::Invariant, "p");
+        c2.add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.total("colibri_test_poison_total"), 3);
     }
 
     #[test]

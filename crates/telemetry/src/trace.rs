@@ -102,6 +102,12 @@ struct Ring {
 /// (admissions, retries — thousands per second, not millions), where a
 /// short uncontended lock is cheaper than the complexity of a lock-free
 /// MPMC ring, and the data plane never touches it.
+///
+/// The lock is *poison-recovering*: a thread that panics while holding it
+/// (a supervised shard dying mid-incident, DESIGN.md §14) leaves at worst
+/// one event ring in a torn-but-valid state — every field remains a
+/// plain value — and observability keeps working exactly when it is
+/// needed most, instead of cascading the panic into every later scrape.
 #[derive(Debug)]
 pub struct Tracer {
     ring: Mutex<Ring>,
@@ -125,7 +131,7 @@ impl Tracer {
 
     /// Records one event, overwriting the oldest if the ring is full.
     pub fn record(&self, ev: TraceEvent) {
-        let mut ring = self.ring.lock().expect("tracer lock poisoned");
+        let mut ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.total += 1;
         if ring.events.len() < self.capacity {
             ring.events.push(ev);
@@ -143,7 +149,7 @@ impl Tracer {
 
     /// All retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let ring = self.ring.lock().expect("tracer lock poisoned");
+        let ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = Vec::with_capacity(ring.events.len());
         out.extend_from_slice(&ring.events[ring.head..]);
         out.extend_from_slice(&ring.events[..ring.head]);
@@ -152,18 +158,28 @@ impl Tracer {
 
     /// Total events ever recorded (including overwritten ones).
     pub fn total(&self) -> u64 {
-        self.ring.lock().expect("tracer lock poisoned").total
+        self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner).total
     }
 
     /// Events lost to ring overwrites.
     pub fn dropped(&self) -> u64 {
-        let ring = self.ring.lock().expect("tracer lock poisoned");
+        let ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.total - ring.events.len() as u64
     }
 
     /// Retained events matching `op`, oldest first.
     pub fn events_for(&self, op: TraceOp) -> Vec<TraceEvent> {
         self.events().into_iter().filter(|e| e.op == op).collect()
+    }
+
+    /// Poisons the internal lock as a panicking lock-holder would —
+    /// the failure mode the recovering locks exist for. Test hook only.
+    #[doc(hidden)]
+    pub fn poison_lock_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::panic::resume_unwind(Box::new("deliberate tracer poison"));
+        }));
     }
 
     /// Renders the retained events as one line per event, oldest first —
@@ -219,6 +235,19 @@ mod tests {
         assert_eq!(t.dropped(), 0);
         assert_eq!(t.events_for(TraceOp::Rollback).len(), 1);
         assert!(t.render_text().contains("rollback"));
+    }
+
+    #[test]
+    fn scrapes_survive_a_poisoned_lock() {
+        let t = Tracer::new(4);
+        t.record(ev(1, 1));
+        t.poison_lock_for_test();
+        // Every read and write path must keep working mid-incident.
+        t.record(ev(2, 2));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events_for(TraceOp::Retry).len(), 2);
     }
 
     #[test]

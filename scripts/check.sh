@@ -5,6 +5,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# `check.sh --attack` runs only the adversarial battery: the seeded
+# mutation/flood/kill gates plus the attack-focused unit suites. Fast
+# enough to run on every data-plane change; the full gate below also
+# covers all of it via `cargo test -q` and the quick bench gates.
+if [[ "${1:-}" == "--attack" ]]; then
+  echo "==> adversarial test battery (mutation taxonomy, 4x flood goodput, shard-kill recovery)"
+  cargo test --release -q -p colibri-dataplane --test adversarial
+  echo "==> attack-generator + supervisor unit suites"
+  cargo test --release -q -p colibri-sim --lib attack
+  cargo test --release -q -p colibri-dataplane --lib supervisor
+  cargo test --release -q -p colibri-ring --lib
+  echo "==> repro_pipeline --quick --gate (survivability rows: taxonomy exact, goodput ≥95%, ledger balanced)"
+  cargo run --release -q -p colibri-bench --bin repro_pipeline -- \
+    --quick --gate --out target/BENCH_dataplane.attack.json
+  echo "==> attack checks passed"
+  exit 0
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
