@@ -14,5 +14,5 @@ pub mod time;
 pub mod units;
 
 pub use id::{AsId, HostAddr, InterfaceId, IsdAsId, IsdId, ResId, ReservationKey};
-pub use time::{Clock, Duration, Instant};
+pub use time::{Clock, Duration, Instant, SlotGrid, SlotWindow};
 pub use units::{Bandwidth, BwClass};

@@ -209,6 +209,112 @@ impl std::fmt::Display for Instant {
     }
 }
 
+/// Quantization of the virtual timeline into fixed-width slots ("ticks").
+///
+/// All time-indexed reservation state (admission timelines, the expiry
+/// wheel) is keyed by *slot indices* rather than raw instants: a slot is
+/// `tick` wide, slot `k` covers `[k·tick, (k+1)·tick)`. Two conventions
+/// keep reservation windows conservative:
+///
+/// * window *starts* round **down** ([`SlotGrid::slot_of`]) so a
+///   reservation is considered live from the slot containing its start;
+/// * window *ends* round **up** ([`SlotGrid::slot_ceil`]) so a
+///   reservation keeps consuming bandwidth until the slot containing its
+///   expiry has fully passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotGrid {
+    tick: Duration,
+}
+
+impl SlotGrid {
+    /// A grid with the given slot width. Panics if `tick` is zero.
+    pub const fn new(tick: Duration) -> Self {
+        assert!(tick.0 > 0, "slot tick must be positive");
+        Self { tick }
+    }
+
+    /// The slot width.
+    pub const fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// The slot containing `t` (floor).
+    pub const fn slot_of(&self, t: Instant) -> u64 {
+        t.0 / self.tick.0
+    }
+
+    /// The first slot boundary at or after `t` (ceiling) — the exclusive
+    /// end slot for a window expiring at `t`.
+    pub const fn slot_ceil(&self, t: Instant) -> u64 {
+        // Saturating add so `Instant::MAX` maps to the last slot instead
+        // of wrapping.
+        t.0.saturating_add(self.tick.0 - 1) / self.tick.0
+    }
+
+    /// The instant at which `slot` begins (saturating at the far future).
+    pub const fn slot_start(&self, slot: u64) -> Instant {
+        Instant(slot.saturating_mul(self.tick.0))
+    }
+
+    /// The half-open slot window covering `[from, until)`.
+    pub const fn window(&self, from: Instant, until: Instant) -> SlotWindow {
+        SlotWindow::new(self.slot_of(from), self.slot_ceil(until))
+    }
+}
+
+/// A half-open range of slot indices `[start, end)` on a [`SlotGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotWindow {
+    /// First slot of the window (inclusive).
+    pub start: u64,
+    /// One past the last slot of the window (exclusive).
+    pub end: u64,
+}
+
+impl SlotWindow {
+    /// A window from `start` (inclusive) to `end` (exclusive).
+    pub const fn new(start: u64, end: u64) -> Self {
+        Self { start, end }
+    }
+
+    /// The degenerate single-slot window containing only `slot`.
+    pub const fn at(slot: u64) -> Self {
+        Self { start: slot, end: slot.saturating_add(1) }
+    }
+
+    /// Whether the window covers no slot.
+    pub const fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Number of slots covered.
+    pub const fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.end - self.start
+        }
+    }
+
+    /// Whether `slot` lies inside the window.
+    pub const fn contains(&self, slot: u64) -> bool {
+        self.start <= slot && slot < self.end
+    }
+
+    /// The window with its start raised to at least `min_start` (the end
+    /// is unchanged; the result may be empty).
+    pub const fn clamp_start(&self, min_start: u64) -> SlotWindow {
+        let start = if self.start < min_start { min_start } else { self.start };
+        SlotWindow { start, end: self.end }
+    }
+}
+
+impl std::fmt::Display for SlotWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
 /// A monotone virtual clock that can be shared and advanced explicitly.
 ///
 /// The simulator owns one clock per run; components (gateways, routers,
@@ -315,5 +421,37 @@ mod tests {
         assert_eq!(Duration::from_micros(12).to_string(), "12.000µs");
         assert_eq!(Duration::from_millis(12).to_string(), "12.000ms");
         assert_eq!(Duration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn slot_grid_floor_and_ceiling() {
+        let g = SlotGrid::new(Duration::from_secs(1));
+        assert_eq!(g.slot_of(Instant::EPOCH), 0);
+        assert_eq!(g.slot_of(Instant::from_millis(999)), 0);
+        assert_eq!(g.slot_of(Instant::from_secs(1)), 1);
+        assert_eq!(g.slot_ceil(Instant::EPOCH), 0);
+        assert_eq!(g.slot_ceil(Instant::from_millis(1)), 1);
+        assert_eq!(g.slot_ceil(Instant::from_secs(1)), 1);
+        assert_eq!(g.slot_ceil(Instant::from_millis(1001)), 2);
+        assert_eq!(g.slot_start(3), Instant::from_secs(3));
+        // A reservation live on [0.5s, 2.5s) occupies slots 0, 1, 2.
+        let w = g.window(Instant::from_millis(500), Instant::from_millis(2500));
+        assert_eq!(w, SlotWindow::new(0, 3));
+        // MAX never wraps.
+        assert!(g.slot_ceil(Instant::MAX) >= g.slot_of(Instant::MAX));
+    }
+
+    #[test]
+    fn slot_window_operations() {
+        let w = SlotWindow::new(2, 5);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert!(w.contains(2) && w.contains(4) && !w.contains(5) && !w.contains(1));
+        assert_eq!(w.clamp_start(4), SlotWindow::new(4, 5));
+        assert_eq!(w.clamp_start(1), w);
+        assert!(w.clamp_start(7).is_empty());
+        assert_eq!(SlotWindow::at(9), SlotWindow::new(9, 10));
+        assert_eq!(SlotWindow::new(3, 3).len(), 0);
+        assert_eq!(w.to_string(), "[2, 5)");
     }
 }

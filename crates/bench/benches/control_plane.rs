@@ -86,7 +86,10 @@ fn bench_distributed(c: &mut Criterion) {
     let now = Instant::from_secs(0);
     const BATCH: u32 = 4_096;
     for &shards in &[1usize, 4, 16] {
-        let svc = DistributedCServ::new(shards, SegrAdmissionConfig { colibri_share: 1.0 });
+        let svc = DistributedCServ::new(
+            shards,
+            SegrAdmissionConfig { colibri_share: 1.0, ..SegrAdmissionConfig::default() },
+        );
         svc.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(100_000));
         svc.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(100_000));
         for i in 0..64u32 {
@@ -96,6 +99,7 @@ fn bench_distributed(c: &mut Criterion) {
                 egress: InterfaceId(2),
                 demand: Bandwidth::from_gbps(1000),
                 min_bw: Bandwidth::ZERO,
+                window: colibri::base::SlotWindow::at(0),
             })
             .unwrap();
         }

@@ -131,7 +131,10 @@ pub fn bench_gateway(n_hops: usize, r: usize, now: Instant) -> (Gateway, Vec<Res
 pub fn segr_admission_fixture(n: u32, ratio: f64) -> colibri::ctrl::SegrAdmission {
     use colibri::ctrl::{SegrAdmission, SegrAdmissionConfig, SegrRequest};
     use colibri::base::InterfaceId;
-    let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 1.0 });
+    let mut a = SegrAdmission::new(SegrAdmissionConfig {
+        colibri_share: 1.0,
+        ..SegrAdmissionConfig::default()
+    });
     a.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(100_000));
     a.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(100_000));
     for i in 0..n {
@@ -142,6 +145,7 @@ pub fn segr_admission_fixture(n: u32, ratio: f64) -> colibri::ctrl::SegrAdmissio
             egress: InterfaceId(2),
             demand: Bandwidth::from_mbps(10),
             min_bw: Bandwidth::ZERO,
+            window: colibri::base::SlotWindow::at(0),
         });
     }
     a
@@ -160,6 +164,7 @@ pub fn fig3_request(res_id: u32) -> colibri::ctrl::SegrRequest {
         egress: InterfaceId(2),
         demand: Bandwidth::from_mbps(10),
         min_bw: Bandwidth::ZERO,
+        window: colibri::base::SlotWindow::at(0),
     }
 }
 

@@ -1,4 +1,5 @@
-//! Segment-reservation admission: bounded tube fairness (paper §4.7).
+//! Segment-reservation admission: bounded tube fairness (paper §4.7)
+//! evaluated over the reservation's *validity window*.
 //!
 //! The admission algorithm distributes the Colibri share of an egress
 //! interface's capacity among competing SegRs proportionally to their
@@ -16,31 +17,55 @@
 //! every path its demand can take is capped by physical interface
 //! capacities before the proportional split.
 //!
-//! ## Why admission is O(1) in the number of existing SegRs (Fig. 3)
+//! ## Time-indexed aggregates (advance reservations)
+//!
+//! Each aggregate is a *bandwidth profile over discrete time slots*
+//! ([`crate::timeline`]) rather than a scalar running sum: a reservation
+//! contributes its demand over its validity window `[start, expiry)`, and
+//! admission compares the **peak** of each profile over the *requested*
+//! window against the caps. Two consequences:
+//!
+//! * a reservation for a future window (advance reservation) competes
+//!   only with reservations overlapping that window — bandwidth today is
+//!   untouched until the start tick arrives; and
+//! * the seed's instantaneous behavior is recovered exactly when every
+//!   request uses the degenerate single-slot "now" window, in which case
+//!   every peak equals the old running sum.
+//!
+//! [`SegrAdmission::advance`] slides the admission frame forward with the
+//! virtual clock, recycling slots the clock has passed. Windows reaching
+//! beyond the sliding horizon are rejected ([`AdmissionError::BeyondHorizon`]),
+//! bounding both memory and how far ahead an initiator may book.
+//!
+//! ## Why admission is O(log n) in the number of existing SegRs (Fig. 3)
 //!
 //! A naive implementation recomputes the three caps by scanning all SegRs
 //! sharing an interface. Instead, [`SegrAdmission`] maintains *memoized
-//! aggregates* — running sums of demand per ingress, per interface pair,
-//! per (source, egress), and of adjusted demand per egress — updated by
-//! deltas on every admission, renewal, and removal. One admission then
-//! costs a constant number of hash-map operations regardless of how many
-//! reservations exist, which is exactly the flat line the paper's Fig. 3
-//! demonstrates. The scan-based variant is retained as
-//! [`SegrAdmission::admit_naive`] for the ablation benchmark.
+//! profiles* — per-ingress, per-interface-pair, per-(source, egress)
+//! timelines — updated by deltas on every admission, renewal, and removal.
+//! One admission then costs a constant number of profile operations, each
+//! O(log horizon), regardless of how many reservations exist — the flat
+//! line of the paper's Fig. 3. The scan-based variant is retained as
+//! [`SegrAdmission::admit_naive`] for the ablation benchmark and as the
+//! differential-testing oracle.
 //!
 //! ## Convergence under contention
 //!
 //! Admission never over-allocates: a new grant is clamped to the free
-//! capacity of the egress interface. When demand later grows, earlier
-//! reservations keep their grants until *renewal*, at which point they are
-//! re-evaluated against the current aggregates and shrink towards their
-//! fair share — this is the paper's "during a renewal request all on-path
-//! ASes can specify the amount of bandwidth they are willing to grant,
-//! enabling ASes to quickly adapt to changes in demand" (§4.2). Repeated
-//! renewal rounds converge to the proportional-fair allocation.
+//! capacity of the egress interface over the requested window. When demand
+//! later grows, earlier reservations keep their grants until *renewal*, at
+//! which point they are re-evaluated against the current aggregates and
+//! shrink towards their fair share — this is the paper's "during a renewal
+//! request all on-path ASes can specify the amount of bandwidth they are
+//! willing to grant, enabling ASes to quickly adapt to changes in demand"
+//! (§4.2). Repeated renewal rounds converge to the proportional-fair
+//! allocation.
 
-use colibri_base::{Bandwidth, InterfaceId, IsdAsId, ReservationKey};
-use std::collections::HashMap;
+use crate::timeline::{Frame, ProfileMap};
+use colibri_base::{
+    Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ReservationKey, SlotGrid, SlotWindow,
+};
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of the SegR admission module of one AS.
 #[derive(Debug, Clone, Copy)]
@@ -49,11 +74,19 @@ pub struct SegrAdmissionConfig {
     /// reservations (the paper's traffic split reserves 75% for EER data
     /// plus 5% for control; best-effort keeps the rest).
     pub colibri_share: f64,
+    /// Width of one reservation tick — the quantum of the time-indexed
+    /// aggregates. Validity windows are quantized to this granularity.
+    pub tick: Duration,
+    /// Length of the sliding admission horizon in ticks (rounded up to a
+    /// power of two). Requests whose validity window ends beyond
+    /// `now + horizon` are rejected; memory is ~`6 × 32 × horizon` bytes
+    /// per hot aggregate bucket.
+    pub horizon_slots: u64,
 }
 
 impl Default for SegrAdmissionConfig {
     fn default() -> Self {
-        Self { colibri_share: 0.80 }
+        Self { colibri_share: 0.80, tick: Duration::from_secs(1), horizon_slots: 1024 }
     }
 }
 
@@ -70,6 +103,10 @@ pub struct SegrRequest {
     pub demand: Bandwidth,
     /// Minimum acceptable bandwidth; admission fails below this.
     pub min_bw: Bandwidth,
+    /// Validity window in admission-frame slots (see
+    /// [`SegrAdmission::window_for`]). The degenerate single-slot window
+    /// at the current slot reproduces instantaneous admission.
+    pub window: SlotWindow,
 }
 
 /// Why an admission was refused.
@@ -84,6 +121,17 @@ pub enum AdmissionError {
         /// Bandwidth this AS could have granted.
         available: Bandwidth,
     },
+    /// The validity window lies entirely before the current slot — the
+    /// reservation would expire before it could carry a packet.
+    WindowInPast,
+    /// The validity window ends beyond the sliding admission horizon;
+    /// the initiator is booking further ahead than this AS tracks.
+    BeyondHorizon {
+        /// Exclusive end slot of the requested window.
+        end: u64,
+        /// Exclusive end slot of this AS's admission horizon.
+        horizon_end: u64,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -92,6 +140,10 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::UnknownInterface(i) => write!(f, "unknown interface {i}"),
             AdmissionError::BelowMinimum { available } => {
                 write!(f, "grant below requested minimum (available: {available})")
+            }
+            AdmissionError::WindowInPast => write!(f, "validity window entirely in the past"),
+            AdmissionError::BeyondHorizon { end, horizon_end } => {
+                write!(f, "window end slot {end} beyond admission horizon (max {horizon_end})")
             }
         }
     }
@@ -120,29 +172,36 @@ struct Entry {
     demand: u128,
     adjusted: u128,
     granted: u128,
+    /// Validity window, clamped into the frame at admit time. Every
+    /// profile operation re-clamps to the *current* base, so passed slots
+    /// decay consistently between the entry table and the profiles.
+    window: SlotWindow,
 }
 
 /// Memoized SegR admission state of one AS.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct SegrAdmission {
     cfg_share: f64,
+    /// Sliding slot frame shared by all profiles (grid, horizon, base).
+    frame: Frame,
     /// Colibri capacity per interface, bps.
     cap: HashMap<InterfaceId, u128>,
-    /// Σ demand entering each ingress.
-    dem_in: HashMap<InterfaceId, u128>,
-    /// Σ demand per (ingress, egress) pair.
-    dem_pair: HashMap<(InterfaceId, InterfaceId), u128>,
-    /// Σ demand per (source AS, egress).
-    dem_src: HashMap<(IsdAsId, InterfaceId), u128>,
-    /// Σ adjusted demand per egress. Kept in exact integer bps (like every
-    /// other aggregate) so that admit → undo and crash-recovery rebuilds
-    /// reproduce the aggregates *bit-identically* — floating-point deltas
-    /// would accumulate residue and break that invariant.
-    adj_total: HashMap<InterfaceId, u128>,
-    /// Σ granted bandwidth per egress.
-    alloc: HashMap<InterfaceId, u128>,
-    /// Σ granted bandwidth per (ingress, egress) pair.
-    alloc_pair: HashMap<(InterfaceId, InterfaceId), u128>,
+    /// Demand profile entering each ingress.
+    dem_in: ProfileMap<InterfaceId>,
+    /// Demand profile per (ingress, egress) pair.
+    dem_pair: ProfileMap<(InterfaceId, InterfaceId)>,
+    /// Demand profile per (source AS, egress).
+    dem_src: ProfileMap<(IsdAsId, InterfaceId)>,
+    /// Adjusted-demand profile per egress. Kept in exact integer bps
+    /// (like every other aggregate) so that admit → undo and
+    /// crash-recovery rebuilds reproduce the aggregates *bit-identically*
+    /// — floating-point deltas would accumulate residue and break that
+    /// invariant.
+    adj_total: ProfileMap<InterfaceId>,
+    /// Granted-bandwidth profile per egress.
+    alloc: ProfileMap<InterfaceId>,
+    /// Granted-bandwidth profile per (ingress, egress) pair.
+    alloc_pair: ProfileMap<(InterfaceId, InterfaceId)>,
     /// Optional traffic-matrix caps per (ingress, egress) pair (§4.7:
     /// "each AS can define a local traffic matrix that describes the
     /// allocation of Colibri traffic between interface pairs").
@@ -151,10 +210,29 @@ pub struct SegrAdmission {
     entries: HashMap<ReservationKey, Entry>,
 }
 
+impl Default for SegrAdmission {
+    fn default() -> Self {
+        Self::new(SegrAdmissionConfig::default())
+    }
+}
+
 impl SegrAdmission {
     /// Creates an admission module.
     pub fn new(cfg: SegrAdmissionConfig) -> Self {
-        Self { cfg_share: cfg.colibri_share, ..Self::default() }
+        let horizon = cfg.horizon_slots.max(1).next_power_of_two();
+        Self {
+            cfg_share: cfg.colibri_share,
+            frame: Frame { grid: SlotGrid::new(cfg.tick), horizon, base: 0 },
+            cap: HashMap::new(),
+            dem_in: ProfileMap::new(),
+            dem_pair: ProfileMap::new(),
+            dem_src: ProfileMap::new(),
+            adj_total: ProfileMap::new(),
+            alloc: ProfileMap::new(),
+            alloc_pair: ProfileMap::new(),
+            pair_cap: HashMap::new(),
+            entries: HashMap::new(),
+        }
     }
 
     /// Declares an interface and its physical capacity. The Colibri share
@@ -170,6 +248,52 @@ impl SegrAdmission {
     /// entry default to the egress capacity.
     pub fn set_pair_capacity(&mut self, ingress: InterfaceId, egress: InterfaceId, cap: Bandwidth) {
         self.pair_cap.insert((ingress, egress), cap.as_bps() as u128);
+    }
+
+    /// The slot grid of the admission frame.
+    pub fn grid(&self) -> SlotGrid {
+        self.frame.grid
+    }
+
+    /// The current base slot (the "present" of the sliding frame).
+    pub fn current_slot(&self) -> u64 {
+        self.frame.base
+    }
+
+    /// Length of the sliding horizon in slots (power of two).
+    pub fn horizon_slots(&self) -> u64 {
+        self.frame.horizon
+    }
+
+    /// The admission window for a reservation valid on
+    /// `[max(now, starts_at), expiry)`: start slot rounds down, expiry
+    /// slot rounds up (conservative on both edges).
+    pub fn window_for(&self, now: Instant, starts_at: Instant, expiry: Instant) -> SlotWindow {
+        let from = if starts_at > now { starts_at } else { now };
+        self.frame.grid.window(from, expiry)
+    }
+
+    /// Slides the admission frame to the slot containing `now`,
+    /// recycling every slot the virtual clock has passed. Monotone;
+    /// cheap when the slot is unchanged. Contributions on passed slots
+    /// decay — they no longer constrain any admission.
+    pub fn advance(&mut self, now: Instant) {
+        self.advance_to_slot(self.frame.grid.slot_of(now));
+    }
+
+    /// Slot-level form of [`SegrAdmission::advance`].
+    pub fn advance_to_slot(&mut self, slot: u64) {
+        if slot <= self.frame.base {
+            return;
+        }
+        self.frame.base = slot;
+        let frame = self.frame;
+        self.dem_in.advance(&frame);
+        self.dem_pair.advance(&frame);
+        self.dem_src.advance(&frame);
+        self.adj_total.advance(&frame);
+        self.alloc.advance(&frame);
+        self.alloc_pair.advance(&frame);
     }
 
     /// `d` scaled down by `cap / dem` when demand exceeds the cap
@@ -192,57 +316,60 @@ impl SegrAdmission {
         self.cap.get(&iface).copied()
     }
 
+    /// Clamps a requested window into the live frame, rejecting windows
+    /// beyond the horizon or entirely in the past.
+    fn clamp_window(&self, w: SlotWindow) -> Result<SlotWindow, AdmissionError> {
+        let horizon_end = self.frame.horizon_end();
+        if w.end > horizon_end {
+            return Err(AdmissionError::BeyondHorizon { end: w.end, horizon_end });
+        }
+        let c = w.clamp_start(self.frame.base);
+        if c.is_empty() {
+            return Err(AdmissionError::WindowInPast);
+        }
+        Ok(c)
+    }
+
     fn remove_contribution(&mut self, key: ReservationKey, e: &Entry) {
-        // Remove emptied keys so the aggregates stay a *normalized* map:
-        // admit → undo and a from-store rebuild then produce bit-identical
-        // state (a lingering zero-valued key would break `==`).
-        Self::sub_agg(&mut self.dem_in, e.ingress, e.demand);
-        Self::sub_agg(&mut self.dem_pair, (e.ingress, e.egress), e.demand);
-        Self::sub_agg(&mut self.dem_src, (key.src_as, e.egress), e.demand);
-        Self::sub_agg(&mut self.adj_total, e.egress, e.adjusted);
-        Self::sub_agg(&mut self.alloc, e.egress, e.granted);
-        Self::sub_agg(&mut self.alloc_pair, (e.ingress, e.egress), e.granted);
-    }
-
-    /// Subtracts `v` from one aggregate bucket, dropping the key at zero.
-    fn sub_agg<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u128>, k: K, v: u128) {
-        if v == 0 {
-            return;
-        }
-        let slot = map.get_mut(&k).expect("aggregate bucket exists for live entry");
-        *slot -= v;
-        if *slot == 0 {
-            map.remove(&k);
-        }
-    }
-
-    /// Adds `v` to one aggregate bucket without minting zero-valued keys.
-    fn add_agg<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u128>, k: K, v: u128) {
-        if v != 0 {
-            *map.entry(k).or_insert(0) += v;
-        }
+        let frame = self.frame;
+        // Re-clamp to the current base: slots the clock has passed were
+        // already recycled out of the profiles, so only the live part of
+        // the entry's window is (and must be) removed. Emptied buckets
+        // are dropped so the aggregates stay *normalized*: admit → undo
+        // and a from-store rebuild produce bit-identical state.
+        let w = frame.live(e.window);
+        self.dem_in.remove(&frame, e.ingress, w, e.demand);
+        self.dem_pair.remove(&frame, (e.ingress, e.egress), w, e.demand);
+        self.dem_src.remove(&frame, (key.src_as, e.egress), w, e.demand);
+        self.adj_total.remove(&frame, e.egress, w, e.adjusted);
+        self.alloc.remove(&frame, e.egress, w, e.granted);
+        self.alloc_pair.remove(&frame, (e.ingress, e.egress), w, e.granted);
     }
 
     fn add_contribution(&mut self, key: ReservationKey, e: &Entry) {
-        Self::add_agg(&mut self.dem_in, e.ingress, e.demand);
-        Self::add_agg(&mut self.dem_pair, (e.ingress, e.egress), e.demand);
-        Self::add_agg(&mut self.dem_src, (key.src_as, e.egress), e.demand);
-        Self::add_agg(&mut self.adj_total, e.egress, e.adjusted);
-        Self::add_agg(&mut self.alloc, e.egress, e.granted);
-        Self::add_agg(&mut self.alloc_pair, (e.ingress, e.egress), e.granted);
+        let frame = self.frame;
+        let w = frame.live(e.window);
+        self.dem_in.add(&frame, e.ingress, w, e.demand);
+        self.dem_pair.add(&frame, (e.ingress, e.egress), w, e.demand);
+        self.dem_src.add(&frame, (key.src_as, e.egress), w, e.demand);
+        self.adj_total.add(&frame, e.egress, w, e.adjusted);
+        self.alloc.add(&frame, e.egress, w, e.granted);
+        self.alloc_pair.add(&frame, (e.ingress, e.egress), w, e.granted);
     }
 
-    /// Admits (or renews) a SegR. On success the reservation is recorded
-    /// and its granted bandwidth returned; on failure all state is left as
-    /// if the request had never arrived (the paper's "clean up their
-    /// temporary reservations").
+    /// Admits (or renews) a SegR over its validity window. On success the
+    /// reservation is recorded and its granted bandwidth returned; on
+    /// failure all state is left as if the request had never arrived (the
+    /// paper's "clean up their temporary reservations").
     ///
-    /// Cost: O(1) hash-map operations — independent of `self.entries.len()`.
+    /// Cost: O(log horizon) profile operations — independent of
+    /// `self.entries.len()`.
     pub fn admit(&mut self, req: SegrRequest) -> Result<Bandwidth, AdmissionError> {
         let cap_in =
             self.capacity(req.ingress).ok_or(AdmissionError::UnknownInterface(req.ingress))?;
         let cap_eg =
             self.capacity(req.egress).ok_or(AdmissionError::UnknownInterface(req.egress))?;
+        let w = self.clamp_window(req.window)?;
 
         // A renewal first returns its previous contribution to the pool.
         let previous = self.entries.remove(&req.key);
@@ -250,35 +377,30 @@ impl SegrAdmission {
             self.remove_contribution(req.key, e);
         }
 
+        // Peak aggregates over the requested window, with this demand
+        // added. On degenerate single-slot windows these equal the seed's
+        // scalar running sums after its in-place adds.
         let d = req.demand.as_bps() as u128;
-        let dem_in = self.dem_in.entry(req.ingress).or_insert(0);
-        *dem_in += d;
-        let dem_in = *dem_in;
-        let dem_pair = self.dem_pair.entry((req.ingress, req.egress)).or_insert(0);
-        *dem_pair += d;
-        let dem_pair = *dem_pair;
-        let dem_src = self.dem_src.entry((req.key.src_as, req.egress)).or_insert(0);
-        *dem_src += d;
-        let dem_src = *dem_src;
+        let dem_in = self.dem_in.peak(&req.ingress, w).saturating_add(d);
+        let dem_pair = self.dem_pair.peak(&(req.ingress, req.egress), w).saturating_add(d);
+        let dem_src = self.dem_src.peak(&(req.key.src_as, req.egress), w).saturating_add(d);
 
         // The traffic-matrix cap for this pair, defaulting to the egress
         // capacity.
-        let cap_pair =
-            self.pair_cap.get(&(req.ingress, req.egress)).copied().unwrap_or(cap_eg);
+        let cap_pair = self.pair_cap.get(&(req.ingress, req.egress)).copied().unwrap_or(cap_eg);
 
         // Adjusted demand: the three caps of §4.7, in exact integer
         // arithmetic (`d × cap / dem`, applied only when `dem > cap`).
-        // Integer delta-maintenance makes admit → undo restore `adj_total`
-        // bit-identically — the float implementation this replaces needed
-        // an epsilon hack to paper over accumulated residue.
+        // Integer delta-maintenance makes admit → undo restore the
+        // profiles bit-identically — the float implementation this
+        // replaces needed an epsilon hack to paper over accumulated
+        // residue.
         let mut adjusted = d;
         adjusted = adjusted.min(Self::scale_by_cap(d, cap_in, dem_in));
         adjusted = adjusted.min(Self::scale_by_cap(d, cap_pair, dem_pair));
         adjusted = adjusted.min(Self::scale_by_cap(d, cap_eg, dem_src));
 
-        let adj_total = self.adj_total.entry(req.egress).or_insert(0);
-        *adj_total += adjusted;
-        let adj_total = *adj_total;
+        let adj_total = self.adj_total.peak(&req.egress, w).saturating_add(adjusted);
 
         // Proportional share of the egress capacity.
         let ideal = if cap_eg == u128::MAX || adj_total <= cap_eg {
@@ -286,34 +408,31 @@ impl SegrAdmission {
         } else {
             cap_eg.saturating_mul(adjusted) / adj_total.max(1)
         };
-        let alloc = self.alloc.entry(req.egress).or_insert(0);
-        let free = cap_eg.saturating_sub(*alloc);
-        let alloc_pair = self.alloc_pair.entry((req.ingress, req.egress)).or_insert(0);
-        let free_pair = cap_pair.saturating_sub(*alloc_pair);
+        let free = cap_eg.saturating_sub(self.alloc.peak(&req.egress, w));
+        let free_pair =
+            cap_pair.saturating_sub(self.alloc_pair.peak(&(req.ingress, req.egress), w));
         let granted = ideal.min(d).min(free).min(free_pair);
 
         if granted < req.min_bw.as_bps() as u128 {
-            // Roll back: erase this request's traces; restore a renewal's
-            // previous state untouched.
-            Self::sub_agg(&mut self.dem_in, req.ingress, d);
-            Self::sub_agg(&mut self.dem_pair, (req.ingress, req.egress), d);
-            Self::sub_agg(&mut self.dem_src, (req.key.src_as, req.egress), d);
-            Self::sub_agg(&mut self.adj_total, req.egress, adjusted);
             let available = Bandwidth::from_bps(granted as u64);
             if let Some(e) = previous {
-                // Restore the pre-renewal reservation.
+                // Restore the pre-renewal reservation untouched.
                 self.add_contribution(req.key, &e);
                 self.entries.insert(req.key, e);
             }
             return Err(AdmissionError::BelowMinimum { available });
         }
 
-        *self.alloc.get_mut(&req.egress).unwrap() += granted;
-        *self.alloc_pair.get_mut(&(req.ingress, req.egress)).unwrap() += granted;
-        self.entries.insert(
-            req.key,
-            Entry { ingress: req.ingress, egress: req.egress, demand: d, adjusted, granted },
-        );
+        let e = Entry {
+            ingress: req.ingress,
+            egress: req.egress,
+            demand: d,
+            adjusted,
+            granted,
+            window: w,
+        };
+        self.add_contribution(req.key, &e);
+        self.entries.insert(req.key, e);
         Ok(Bandwidth::from_bps(granted as u64))
     }
 
@@ -344,16 +463,23 @@ impl SegrAdmission {
 
     /// Clamps an existing reservation to the final bandwidth agreed in the
     /// backward pass of a setup (`final_bw` ≤ the grant this AS gave in the
-    /// forward pass). Keeps all aggregates consistent; O(1).
+    /// forward pass). Keeps all aggregates consistent; O(log horizon).
     pub fn finalize(&mut self, key: ReservationKey, final_bw: Bandwidth) -> bool {
         let Some(e) = self.entries.get(&key).copied() else {
             return false;
         };
         let f = (final_bw.as_bps() as u128).min(e.granted);
-        // Replace the old contribution with the clamped one.
+        // Replace the old contribution with the clamped one over the same
+        // window.
         self.remove_contribution(key, &e);
-        let finalized =
-            Entry { ingress: e.ingress, egress: e.egress, demand: f, adjusted: f, granted: f };
+        let finalized = Entry {
+            ingress: e.ingress,
+            egress: e.egress,
+            demand: f,
+            adjusted: f,
+            granted: f,
+            window: e.window,
+        };
         self.add_contribution(key, &finalized);
         self.entries.insert(key, finalized);
         true
@@ -376,9 +502,16 @@ impl SegrAdmission {
         self.entries.get(&key).map(|e| Bandwidth::from_bps(e.granted as u64))
     }
 
-    /// Total bandwidth granted at an egress interface.
+    /// Bandwidth granted at an egress interface *in the current slot* —
+    /// advance reservations whose window has not started yet do not
+    /// count.
     pub fn total_granted(&self, egress: InterfaceId) -> Bandwidth {
-        Bandwidth::from_bps(self.alloc.get(&egress).copied().unwrap_or(0) as u64)
+        Bandwidth::from_bps(self.alloc.value_at(&egress, self.frame.base) as u64)
+    }
+
+    /// Peak bandwidth granted at an egress interface over a slot window.
+    pub fn peak_granted(&self, egress: InterfaceId, window: SlotWindow) -> Bandwidth {
+        Bandwidth::from_bps(self.alloc.peak(&egress, window) as u64)
     }
 
     /// The Colibri capacity of an egress interface.
@@ -397,54 +530,107 @@ impl SegrAdmission {
     }
 
     /// Reference implementation that *rescans every reservation* sharing
-    /// the interfaces instead of using the memoized aggregates. Produces
-    /// identical grants; costs O(n). Exists for the ablation benchmark and
-    /// as an executable specification for differential testing.
+    /// the interfaces instead of using the memoized profiles: it rebuilds
+    /// all six aggregate peaks over the requested window from the entry
+    /// table, verifies them against the memoized state (debug builds),
+    /// and delegates the actual decision to [`SegrAdmission::admit`].
+    /// Produces identical grants; costs O(n · window). Exists for the
+    /// ablation benchmark and as an executable specification for
+    /// differential testing.
     pub fn admit_naive(&mut self, req: SegrRequest) -> Result<Bandwidth, AdmissionError> {
-        // Recompute the aggregates from scratch…
-        let mut dem_in = 0u128;
-        let mut dem_pair = 0u128;
-        let mut dem_src = 0u128;
-        let mut adj_total = 0u128;
-        let mut alloc = 0u128;
-        for (k, e) in &self.entries {
-            if *k == req.key {
-                continue; // a renewal replaces the old version
-            }
-            if e.ingress == req.ingress {
-                dem_in += e.demand;
-            }
-            if e.ingress == req.ingress && e.egress == req.egress {
-                dem_pair += e.demand;
-            }
-            if e.egress == req.egress {
-                if k.src_as == req.key.src_as {
-                    dem_src += e.demand;
+        let frame = self.frame;
+        if let Ok(w) = self.clamp_window(req.window) {
+            // Per-slot recomputation over the requested window.
+            let len = w.len() as usize;
+            let mut v_dem_in = vec![0u128; len];
+            let mut v_dem_pair = vec![0u128; len];
+            let mut v_dem_src = vec![0u128; len];
+            let mut v_adj_total = vec![0u128; len];
+            let mut v_alloc = vec![0u128; len];
+            let mut v_alloc_pair = vec![0u128; len];
+            for (k, e) in &self.entries {
+                let ew = frame.live(e.window);
+                let (lo, hi) = (ew.start.max(w.start), ew.end.min(w.end));
+                for s in lo..hi {
+                    let i = (s - w.start) as usize;
+                    if e.ingress == req.ingress {
+                        v_dem_in[i] += e.demand;
+                    }
+                    if e.ingress == req.ingress && e.egress == req.egress {
+                        v_dem_pair[i] += e.demand;
+                        v_alloc_pair[i] += e.granted;
+                    }
+                    if e.egress == req.egress {
+                        if k.src_as == req.key.src_as {
+                            v_dem_src[i] += e.demand;
+                        }
+                        v_adj_total[i] += e.adjusted;
+                        v_alloc[i] += e.granted;
+                    }
                 }
-                adj_total += e.adjusted;
-                alloc += e.granted;
             }
+            let peak = |v: &[u128]| v.iter().copied().max().unwrap_or(0);
+            // Differential check against the memoized profiles (debug
+            // builds only; release keeps the scan as the benched work).
+            debug_assert_eq!(
+                peak(&v_dem_in),
+                self.dem_in.peak(&req.ingress, w),
+                "memoized dem_in diverged"
+            );
+            debug_assert_eq!(
+                peak(&v_dem_pair),
+                self.dem_pair.peak(&(req.ingress, req.egress), w),
+                "memoized dem_pair diverged"
+            );
+            debug_assert_eq!(
+                peak(&v_dem_src),
+                self.dem_src.peak(&(req.key.src_as, req.egress), w),
+                "memoized dem_src diverged"
+            );
+            debug_assert_eq!(
+                peak(&v_adj_total),
+                self.adj_total.peak(&req.egress, w),
+                "memoized adj_total diverged"
+            );
+            debug_assert_eq!(
+                peak(&v_alloc),
+                self.alloc.peak(&req.egress, w),
+                "memoized alloc diverged"
+            );
+            debug_assert_eq!(
+                peak(&v_alloc_pair),
+                self.alloc_pair.peak(&(req.ingress, req.egress), w),
+                "memoized alloc_pair diverged"
+            );
+            std::hint::black_box((
+                peak(&v_dem_in),
+                peak(&v_dem_pair),
+                peak(&v_dem_src),
+                peak(&v_adj_total),
+                peak(&v_alloc),
+                peak(&v_alloc_pair),
+            ));
         }
-        // …then verify them against the memoized state (differential check,
-        // debug builds only) and delegate.
-        debug_assert_eq!(
-            dem_in + self.entries.get(&req.key).map_or(0, |e| if e.ingress == req.ingress { e.demand } else { 0 }),
-            self.dem_in.get(&req.ingress).copied().unwrap_or(0),
-            "memoized dem_in diverged"
-        );
-        std::hint::black_box((dem_pair, dem_src, adj_total, alloc));
         self.admit(req)
     }
 
     /// An empty admission module with the same configuration (share,
-    /// interface capacities, traffic-matrix caps) but no reservations.
-    /// Crash recovery starts from this and replays the reservation store.
+    /// interface capacities, traffic-matrix caps, slot frame *including
+    /// the current base slot*) but no reservations. Crash recovery starts
+    /// from this and replays the reservation store.
     pub fn fresh_like(&self) -> SegrAdmission {
         SegrAdmission {
             cfg_share: self.cfg_share,
+            frame: self.frame,
             cap: self.cap.clone(),
             pair_cap: self.pair_cap.clone(),
-            ..SegrAdmission::default()
+            dem_in: ProfileMap::new(),
+            dem_pair: ProfileMap::new(),
+            dem_src: ProfileMap::new(),
+            adj_total: ProfileMap::new(),
+            alloc: ProfileMap::new(),
+            alloc_pair: ProfileMap::new(),
+            entries: HashMap::new(),
         }
     }
 
@@ -453,43 +639,47 @@ impl SegrAdmission {
     /// store after a crash. The restored entry is fully finalized
     /// (`demand = adjusted = granted = bw`), exactly the shape
     /// [`SegrAdmission::finalize`] leaves live entries in, so a rebuild of
-    /// a quiescent service reproduces its aggregates bit-identically.
+    /// a quiescent service reproduces its aggregates bit-identically. The
+    /// window is clamped into the live frame; a fully-passed window
+    /// contributes nothing (matching the decay of the live profiles).
     pub fn restore_entry(
         &mut self,
         key: ReservationKey,
         ingress: InterfaceId,
         egress: InterfaceId,
         bw: Bandwidth,
+        window: SlotWindow,
     ) {
         debug_assert!(!self.entries.contains_key(&key), "restore of live reservation");
         let b = bw.as_bps() as u128;
-        let e = Entry { ingress, egress, demand: b, adjusted: b, granted: b };
+        let w = self.frame.live(window);
+        let e = Entry { ingress, egress, demand: b, adjusted: b, granted: b, window: w };
         self.add_contribution(key, &e);
         self.entries.insert(key, e);
     }
 
-    /// Normalized snapshot of all memoized aggregates (zero-valued buckets
-    /// dropped, deterministic order). Two admission states that grant
-    /// identically compare equal here — the comparison surface for the
-    /// rollback and crash-recovery invariants.
+    /// Normalized snapshot of all memoized aggregates: per bucket, the
+    /// nonzero slots of its profile (zero-valued buckets dropped,
+    /// deterministic order). Two admission states that grant identically
+    /// compare equal here — the comparison surface for the rollback and
+    /// crash-recovery invariants. O(buckets × horizon); off the admission
+    /// path.
     pub fn aggregates(&self) -> AggregateSnapshot {
-        fn norm<K: Ord + Copy>(m: &HashMap<K, u128>) -> std::collections::BTreeMap<K, u128> {
-            m.iter().filter(|(_, v)| **v != 0).map(|(k, v)| (*k, *v)).collect()
-        }
+        let frame = self.frame;
         AggregateSnapshot {
-            dem_in: norm(&self.dem_in),
-            dem_pair: norm(&self.dem_pair),
-            dem_src: norm(&self.dem_src),
-            adj_total: norm(&self.adj_total),
-            alloc: norm(&self.alloc),
-            alloc_pair: norm(&self.alloc_pair),
+            dem_in: self.dem_in.snapshot(&frame),
+            dem_pair: self.dem_pair.snapshot(&frame),
+            dem_src: self.dem_src.snapshot(&frame),
+            adj_total: self.adj_total.snapshot(&frame),
+            alloc: self.alloc.snapshot(&frame),
+            alloc_pair: self.alloc_pair.snapshot(&frame),
         }
     }
 
-    /// Consistency self-check: recomputes every aggregate from the entry
-    /// table and compares against the memoized values. `Err` carries a
-    /// human-readable description of the first divergence. Run after crash
-    /// recovery (and from tests) — O(n), so off the admission path.
+    /// Consistency self-check: recomputes every aggregate profile from the
+    /// entry table and compares against the memoized values. `Err` carries
+    /// a human-readable description of the first divergence. Run after
+    /// crash recovery (and from tests) — O(n), so off the admission path.
     pub fn audit(&self) -> Result<(), String> {
         let mut rebuilt = self.fresh_like();
         for (k, e) in &self.entries {
@@ -521,22 +711,26 @@ impl SegrAdmission {
     }
 }
 
+/// Per-slot profile of one aggregate bucket: absolute slot → bps sum
+/// (nonzero slots only).
+pub type SlotProfile = BTreeMap<u64, u128>;
+
 /// Normalized, order-independent view of the memoized admission aggregates
 /// (see [`SegrAdmission::aggregates`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AggregateSnapshot {
-    /// Σ demand entering each ingress.
-    pub dem_in: std::collections::BTreeMap<InterfaceId, u128>,
-    /// Σ demand per (ingress, egress) pair.
-    pub dem_pair: std::collections::BTreeMap<(InterfaceId, InterfaceId), u128>,
-    /// Σ demand per (source AS, egress).
-    pub dem_src: std::collections::BTreeMap<(IsdAsId, InterfaceId), u128>,
-    /// Σ adjusted demand per egress.
-    pub adj_total: std::collections::BTreeMap<InterfaceId, u128>,
-    /// Σ granted bandwidth per egress.
-    pub alloc: std::collections::BTreeMap<InterfaceId, u128>,
-    /// Σ granted bandwidth per (ingress, egress) pair.
-    pub alloc_pair: std::collections::BTreeMap<(InterfaceId, InterfaceId), u128>,
+    /// Demand profile entering each ingress.
+    pub dem_in: BTreeMap<InterfaceId, SlotProfile>,
+    /// Demand profile per (ingress, egress) pair.
+    pub dem_pair: BTreeMap<(InterfaceId, InterfaceId), SlotProfile>,
+    /// Demand profile per (source AS, egress).
+    pub dem_src: BTreeMap<(IsdAsId, InterfaceId), SlotProfile>,
+    /// Adjusted-demand profile per egress.
+    pub adj_total: BTreeMap<InterfaceId, SlotProfile>,
+    /// Granted-bandwidth profile per egress.
+    pub alloc: BTreeMap<InterfaceId, SlotProfile>,
+    /// Granted-bandwidth profile per (ingress, egress) pair.
+    pub alloc_pair: BTreeMap<(InterfaceId, InterfaceId), SlotProfile>,
 }
 
 impl AggregateSnapshot {
@@ -561,7 +755,10 @@ mod tests {
     const EG: InterfaceId = InterfaceId(3);
 
     fn adm(cap_gbps: u64) -> SegrAdmission {
-        let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 1.0 });
+        let mut a = SegrAdmission::new(SegrAdmissionConfig {
+            colibri_share: 1.0,
+            ..SegrAdmissionConfig::default()
+        });
         a.set_interface_capacity(IN1, Bandwidth::from_gbps(cap_gbps));
         a.set_interface_capacity(IN2, Bandwidth::from_gbps(cap_gbps));
         a.set_interface_capacity(EG, Bandwidth::from_gbps(cap_gbps));
@@ -579,6 +776,7 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_mbps(d),
             min_bw: Bandwidth::ZERO,
+            window: SlotWindow::at(0),
         }
     }
 
@@ -621,6 +819,7 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_mbps(500),
             min_bw: Bandwidth::from_mbps(100),
+            window: SlotWindow::at(0),
         });
         assert!(matches!(r, Err(AdmissionError::BelowMinimum { .. })));
         assert_eq!(a.len(), before_len, "failed request must leave no trace");
@@ -639,6 +838,7 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_mbps(1),
             min_bw: Bandwidth::ZERO,
+            window: SlotWindow::at(0),
         });
         assert_eq!(r, Err(AdmissionError::UnknownInterface(InterfaceId(99))));
     }
@@ -666,6 +866,7 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_gbps(9),
             min_bw: Bandwidth::from_gbps(9),
+            window: SlotWindow::at(0),
         });
         assert!(r.is_err());
         // …and the original reservation survives unchanged.
@@ -718,7 +919,10 @@ mod tests {
     fn ingress_capacity_limits_demand() {
         // Ingress has 1 Gbps; total demand through it is scaled down before
         // competing at the egress.
-        let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 1.0 });
+        let mut a = SegrAdmission::new(SegrAdmissionConfig {
+            colibri_share: 1.0,
+            ..SegrAdmissionConfig::default()
+        });
         a.set_interface_capacity(IN1, Bandwidth::from_gbps(1));
         a.set_interface_capacity(IN2, Bandwidth::from_gbps(10));
         a.set_interface_capacity(EG, Bandwidth::from_gbps(10));
@@ -770,13 +974,17 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_gbps(5),
             min_bw: Bandwidth::ZERO,
+            window: SlotWindow::at(0),
         };
         assert_eq!(a.admit(r).unwrap(), Bandwidth::from_gbps(5));
     }
 
     #[test]
     fn colibri_share_applied() {
-        let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 0.8 });
+        let mut a = SegrAdmission::new(SegrAdmissionConfig {
+            colibri_share: 0.8,
+            ..SegrAdmissionConfig::default()
+        });
         a.set_interface_capacity(EG, Bandwidth::from_gbps(10));
         assert_eq!(a.colibri_capacity(EG), Some(Bandwidth::from_gbps(8)));
         let r = SegrRequest {
@@ -785,8 +993,153 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_gbps(10),
             min_bw: Bandwidth::ZERO,
+            window: SlotWindow::at(0),
         };
         assert_eq!(a.admit(r).unwrap(), Bandwidth::from_gbps(8));
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+    use colibri_base::ResId;
+
+    const IN1: InterfaceId = InterfaceId(1);
+    const EG: InterfaceId = InterfaceId(3);
+
+    fn adm(cap_gbps: u64) -> SegrAdmission {
+        let mut a = SegrAdmission::new(SegrAdmissionConfig {
+            colibri_share: 1.0,
+            ..SegrAdmissionConfig::default()
+        });
+        a.set_interface_capacity(IN1, Bandwidth::from_gbps(cap_gbps));
+        a.set_interface_capacity(EG, Bandwidth::from_gbps(cap_gbps));
+        a
+    }
+
+    fn key(asn: u32, rid: u32) -> ReservationKey {
+        ReservationKey::new(IsdAsId::new(1, asn), ResId(rid))
+    }
+
+    fn wreq(k: ReservationKey, d_mbps: u64, w: SlotWindow) -> SegrRequest {
+        SegrRequest {
+            key: k,
+            ingress: IN1,
+            egress: EG,
+            demand: Bandwidth::from_mbps(d_mbps),
+            min_bw: Bandwidth::from_mbps(d_mbps),
+            window: w,
+        }
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_compete() {
+        let mut a = adm(1);
+        // Full capacity on [0, 100) …
+        a.admit(wreq(key(1, 1), 1000, SlotWindow::new(0, 100))).unwrap();
+        // …does not block full capacity on [100, 200).
+        a.admit(wreq(key(2, 1), 1000, SlotWindow::new(100, 200))).unwrap();
+        // But an overlapping full-capacity request fails its minimum.
+        let r = a.admit(wreq(key(3, 1), 1000, SlotWindow::new(50, 150)));
+        assert!(matches!(r, Err(AdmissionError::BelowMinimum { .. })));
+    }
+
+    #[test]
+    fn future_booking_consumes_nothing_now() {
+        let mut a = adm(1);
+        a.admit(wreq(key(1, 1), 800, SlotWindow::new(500, 800))).unwrap();
+        assert_eq!(a.total_granted(EG), Bandwidth::ZERO, "no bandwidth before the start tick");
+        assert_eq!(a.peak_granted(EG, SlotWindow::new(500, 800)), Bandwidth::from_mbps(800));
+        // Once the clock reaches the window, the grant is visible "now".
+        a.advance(Instant::from_secs(500));
+        assert_eq!(a.total_granted(EG), Bandwidth::from_mbps(800));
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn admission_checks_peak_not_average() {
+        let mut a = adm(1);
+        // Two bookings overlapping only on [40, 60).
+        a.admit(wreq(key(1, 1), 600, SlotWindow::new(0, 60))).unwrap();
+        a.admit(wreq(key(2, 1), 300, SlotWindow::new(40, 100))).unwrap();
+        // 200 Mbps would fit anywhere except the overlap peak (900).
+        let r = a.admit(wreq(key(3, 1), 200, SlotWindow::new(30, 70)));
+        assert!(matches!(r, Err(AdmissionError::BelowMinimum { .. })));
+        // The same request outside the overlap succeeds.
+        a.admit(wreq(key(3, 1), 200, SlotWindow::new(60, 100))).unwrap();
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn beyond_horizon_and_past_windows_rejected() {
+        let mut a = adm(1);
+        let h = a.horizon_slots();
+        let r = a.admit(wreq(key(1, 1), 1, SlotWindow::new(0, h + 1)));
+        assert_eq!(r, Err(AdmissionError::BeyondHorizon { end: h + 1, horizon_end: h }));
+        a.advance(Instant::from_secs(50));
+        let r = a.admit(wreq(key(1, 1), 1, SlotWindow::new(10, 40)));
+        assert_eq!(r, Err(AdmissionError::WindowInPast));
+        // The horizon slides with the clock.
+        a.admit(wreq(key(1, 1), 1, SlotWindow::new(50, 50 + h))).unwrap();
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn expiry_decay_frees_capacity_without_removal() {
+        let mut a = adm(1);
+        a.admit(wreq(key(1, 1), 1000, SlotWindow::new(0, 10))).unwrap();
+        // Window passed: profiles decay even before the entry is GC'd.
+        a.advance(Instant::from_secs(10));
+        assert!(a.audit().is_ok());
+        a.admit(wreq(key(2, 1), 1000, SlotWindow::new(10, 20))).unwrap();
+        // Removing the decayed entry afterwards must stay balanced.
+        assert!(a.remove(key(1, 1)));
+        assert!(a.audit().is_ok());
+        assert_eq!(a.total_granted(EG), Bandwidth::from_mbps(1000));
+    }
+
+    #[test]
+    fn undo_restores_windowed_state_bit_identically() {
+        let mut a = adm(10);
+        a.admit(wreq(key(1, 1), 500, SlotWindow::new(5, 50))).unwrap();
+        let before = a.aggregates();
+        let (_, undo) = a.admit_with_undo(wreq(key(2, 2), 700, SlotWindow::new(20, 90))).unwrap();
+        a.undo(undo);
+        assert_eq!(a.aggregates(), before);
+        assert!(a.audit().is_ok());
+    }
+
+    #[test]
+    fn restore_entry_reproduces_windowed_aggregates() {
+        let mut a = adm(10);
+        a.admit(wreq(key(1, 1), 500, SlotWindow::new(5, 50))).unwrap();
+        a.finalize(key(1, 1), Bandwidth::from_mbps(500));
+        a.admit(wreq(key(2, 9), 800, SlotWindow::new(100, 300))).unwrap();
+        a.finalize(key(2, 9), Bandwidth::from_mbps(800));
+        let mut rebuilt = a.fresh_like();
+        rebuilt.restore_entry(key(1, 1), IN1, EG, Bandwidth::from_mbps(500), SlotWindow::new(5, 50));
+        rebuilt.restore_entry(
+            key(2, 9),
+            IN1,
+            EG,
+            Bandwidth::from_mbps(800),
+            SlotWindow::new(100, 300),
+        );
+        assert_eq!(rebuilt.aggregates(), a.aggregates());
+    }
+
+    #[test]
+    fn window_for_rounds_conservatively() {
+        let a = adm(1);
+        let now = Instant::from_millis(1500);
+        let exp = Instant::from_millis(4200);
+        // now in slot 1, expiry covers slot 4 partially → [1, 5).
+        assert_eq!(a.window_for(now, Instant::EPOCH, exp), SlotWindow::new(1, 5));
+        // A future start rounds down.
+        assert_eq!(
+            a.window_for(now, Instant::from_millis(2900), exp),
+            SlotWindow::new(2, 5)
+        );
     }
 }
 
@@ -810,11 +1163,15 @@ mod traffic_matrix_tests {
             egress: EG,
             demand: Bandwidth::from_mbps(mbps),
             min_bw: Bandwidth::ZERO,
+            window: SlotWindow::at(0),
         }
     }
 
     fn adm_with_matrix() -> SegrAdmission {
-        let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 1.0 });
+        let mut a = SegrAdmission::new(SegrAdmissionConfig {
+            colibri_share: 1.0,
+            ..SegrAdmissionConfig::default()
+        });
         a.set_interface_capacity(IN1, Bandwidth::from_gbps(10));
         a.set_interface_capacity(IN2, Bandwidth::from_gbps(10));
         a.set_interface_capacity(EG, Bandwidth::from_gbps(10));

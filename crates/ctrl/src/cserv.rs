@@ -18,7 +18,7 @@ use crate::eer::EerError;
 use crate::messages::{EerSetupReq, SealedHopAuth, SegSetupReq};
 use crate::policy::EerPolicy;
 use crate::shed::{AdmissionQueue, RequestClass, ShedConfig, ShedStats, ShedVerdict};
-use crate::store::{OwnedEer, OwnedSegr, PendingVersion, ReservationStore, SegrRecord};
+use crate::store::{GcStats, OwnedEer, OwnedSegr, PendingVersion, ReservationStore, SegrRecord};
 use crate::telemetry::CservTelemetry;
 use colibri_base::{Bandwidth, Duration, Instant, InterfaceId, IsdAsId, ResId, ReservationKey};
 use colibri_crypto::{Aead, Cmac, Epoch, Key, SecretValueGen};
@@ -86,6 +86,10 @@ pub enum CservError {
     UnknownSegr(ReservationKey),
     /// The referenced SegR has expired.
     SegrExpired(ReservationKey),
+    /// The referenced SegR is an advance reservation whose start instant
+    /// has not been reached yet — it holds future bandwidth but cannot
+    /// carry EERs or packets now.
+    SegrNotActive(ReservationKey),
     /// The request's hop interfaces do not match the SegR's.
     HopMismatch,
     /// The intra-AS policy refused the request.
@@ -130,6 +134,7 @@ impl std::fmt::Display for CservError {
             CservError::Eer(e) => write!(f, "EER admission: {e}"),
             CservError::UnknownSegr(k) => write!(f, "unknown SegR {k}"),
             CservError::SegrExpired(k) => write!(f, "SegR {k} expired"),
+            CservError::SegrNotActive(k) => write!(f, "SegR {k} not yet active"),
             CservError::HopMismatch => write!(f, "hop interfaces do not match the SegR"),
             CservError::PolicyDenied => write!(f, "refused by intra-AS policy"),
             CservError::SourceDenied(a) => write!(f, "source AS {a} is denied (policing)"),
@@ -200,7 +205,10 @@ impl CServ {
     ) -> Self {
         Self {
             isd_as,
-            admission: SegrAdmission::new(SegrAdmissionConfig { colibri_share: cfg.colibri_share }),
+            admission: SegrAdmission::new(SegrAdmissionConfig {
+                colibri_share: cfg.colibri_share,
+                ..SegrAdmissionConfig::default()
+            }),
             cfg,
             svgen: SecretValueGen::new(master_secret),
             k_i_cache: None,
@@ -379,8 +387,15 @@ impl CServ {
         self.renewal_times.len()
     }
 
-    /// Garbage-collects expired reservations.
-    pub fn gc(&mut self, now: Instant) {
+    /// Garbage-collects expired reservations. Driven by the store's
+    /// expiry wheel: cost is proportional to the records *due* this run
+    /// (plus the replay-cache sweeps), not to the live reservation count.
+    /// The returned [`GcStats`] report how much work was actually done.
+    pub fn gc(&mut self, now: Instant) -> GcStats {
+        // The admission frame follows the clock first, so profile slots
+        // the clock has passed decay before (and independently of) record
+        // removal.
+        self.admission.advance(now);
         // Backstop for undelivered aborts: a cached admission verdict
         // whose reservation was never finalized here (no store record)
         // is an orphan — the initiator gave up and its abort never
@@ -396,31 +411,24 @@ impl CServ {
                 _ => None,
             })
             .collect();
-        if let Some(t) = &self.telemetry {
-            t.gc_runs.inc();
-            t.gc_orphans.add(orphaned.len() as u64);
-        }
         self.trace(now, TraceOp::Gc, TraceOutcome::Ok, orphaned.len() as u64);
+        let n_orphans = orphaned.len();
         for undo in orphaned {
             self.admission.undo(undo);
         }
-        // Free admission state of SegRs that expired without a pending
-        // renewal.
-        let expired: Vec<ReservationKey> = {
-            let store = &self.store;
-            let mut v = Vec::new();
-            for key in store_segr_keys(store) {
-                let r = store.segr(key).unwrap();
-                if r.is_expired(now) && r.pending.is_none() {
-                    v.push(key);
-                }
-            }
-            v
-        };
-        for key in expired {
-            self.admission.remove(key);
+        // Expired records pop from the wheel; release their admission
+        // state along with the store record.
+        let mut stats = self.store.gc(now);
+        stats.orphans = n_orphans;
+        for key in &stats.removed {
+            self.admission.remove(*key);
         }
-        self.store.gc(now);
+        if let Some(t) = &self.telemetry {
+            t.gc_runs.inc();
+            t.gc_orphans.add(stats.orphans as u64);
+            t.gc_scanned.add(stats.scanned as u64);
+            t.gc_expired.add(stats.expired as u64);
+        }
         self.seg_replay.retain(|_, (_, exp)| *exp > now);
         self.eer_replay.retain(|_, (_, exp)| *exp > now);
         // Rate-limit bookkeeping: an entry older than the minimum renewal
@@ -429,6 +437,7 @@ impl CServ {
         // by one entry per EER forever.
         let min_interval = self.cfg.eer_renewal_min_interval;
         self.renewal_times.retain(|_, &mut last| now.saturating_since(last) < min_interval);
+        stats
     }
 
     /// Rebuilds all volatile control-plane state from the reservation
@@ -447,12 +456,23 @@ impl CServ {
         for key in keys {
             let rec = self.store.segr(key).expect("key just listed");
             // The admission entry tracks the most recently finalized
-            // version: a pending renewal's bandwidth if one exists,
-            // otherwise the active version's.
-            let bw = rec.pending.as_ref().map(|p| p.bw).unwrap_or(rec.bw);
-            rebuilt.restore_entry(key, rec.ingress, rec.egress, bw);
+            // version: a pending renewal's bandwidth (and expiry) if one
+            // exists, otherwise the active version's.
+            let (bw, exp) = rec
+                .pending
+                .as_ref()
+                .map(|p| (p.bw, p.exp))
+                .unwrap_or((rec.bw, rec.exp));
+            // The entry's validity window: `restore_entry` clamps the
+            // start to the live frame base, reproducing exactly the
+            // decayed window of the pre-crash entry (the base is
+            // preserved by `fresh_like` and only ever grows).
+            let window = rebuilt.window_for(Instant::EPOCH, rec.starts_at, exp);
+            rebuilt.restore_entry(key, rec.ingress, rec.egress, bw, window);
         }
         self.admission = rebuilt;
+        // The expiry wheel is volatile too: re-index the durable records.
+        self.store.rebuild_wheel();
         self.k_i_cache = None;
         self.seg_replay.clear();
         self.eer_replay.clear();
@@ -515,7 +535,7 @@ impl CServ {
             self.trace(now, op, TraceOutcome::Denied, req.request_id);
             return Err(e);
         }
-        let result = self.segr_admit_hop_inner(req, hop_index, running_demand);
+        let result = self.segr_admit_hop_inner(req, hop_index, running_demand, now);
         if let Some(t) = &self.telemetry {
             match &result {
                 Ok(_) => t.segr_admit_ok.inc(),
@@ -537,17 +557,23 @@ impl CServ {
         req: &SegSetupReq,
         hop_index: usize,
         running_demand: Bandwidth,
+        now: Instant,
     ) -> Result<(Bandwidth, UndoToken), CservError> {
         if self.denied_sources.contains(&req.res_info.src_as) {
             return Err(CservError::SourceDenied(req.res_info.src_as));
         }
+        // Keep the admission frame on the clock so the request's validity
+        // window lands on live slots (and passed slots have decayed).
+        self.admission.advance(now);
         let hop = req.path[hop_index].1;
+        let window = self.admission.window_for(now, req.starts_at, req.res_info.exp_t);
         let (granted, undo) = self.admission.admit_with_undo(SegrRequest {
             key: req.res_info.key(),
             ingress: hop.ingress,
             egress: hop.egress,
             demand: running_demand,
             min_bw: req.min_bw,
+            window,
         })?;
         Ok((granted, undo))
     }
@@ -555,6 +581,17 @@ impl CServ {
     /// Cleans up a forward-pass admission after a downstream refusal.
     pub fn segr_abort_hop(&mut self, undo: UndoToken) {
         self.admission.undo(undo);
+    }
+
+    /// Tears down a finalized SegR at this AS: releases its admission
+    /// contribution and removes the stored record. Used by the initiator
+    /// to release an advance reservation before its start tick; exact —
+    /// aggregates return to their pre-booking values. Returns `true` if
+    /// anything was removed.
+    pub fn segr_teardown(&mut self, key: ReservationKey) -> bool {
+        let had_record = self.store.remove_segr(key).is_some();
+        let had_admission = self.admission.remove(key);
+        had_record || had_admission
     }
 
     /// Idempotent abort of a tracked SegR admission: reverts the recorded
@@ -589,6 +626,11 @@ impl CServ {
     /// For a renewal (`ver > 0` with an existing record) the new version is
     /// stored as *pending*; the initiator must activate it explicitly
     /// (§4.2).
+    ///
+    /// `starts_at` is the reservation's activation instant
+    /// (`Instant::EPOCH` = immediately; later = advance reservation,
+    /// stored on the record so the EER handlers refuse it until then).
+    #[allow(clippy::too_many_arguments)]
     pub fn segr_finalize_hop(
         &mut self,
         final_res_info: &ResInfo,
@@ -596,6 +638,7 @@ impl CServ {
         hop_index: usize,
         n_hops: usize,
         final_bw: Bandwidth,
+        starts_at: Instant,
         now: Instant,
     ) -> [u8; HVF_LEN] {
         let key = final_res_info.key();
@@ -616,15 +659,18 @@ impl CServ {
                 }
             }
             None => {
-                self.store.insert_segr(SegrRecord::new(
-                    key,
-                    hop,
-                    hop_index,
-                    n_hops,
-                    final_res_info.ver,
-                    final_bw,
-                    final_res_info.exp_t,
-                ));
+                self.store.insert_segr(
+                    SegrRecord::new(
+                        key,
+                        hop,
+                        hop_index,
+                        n_hops,
+                        final_res_info.ver,
+                        final_bw,
+                        final_res_info.exp_t,
+                    )
+                    .with_starts_at(starts_at),
+                );
             }
         }
         let epoch = Epoch::containing(now);
@@ -681,6 +727,11 @@ impl CServ {
         let rec = store.segr(key).ok_or(CservError::UnknownSegr(key))?;
         if rec.is_expired(now) {
             return Err(CservError::SegrExpired(key));
+        }
+        if now < rec.starts_at {
+            // Advance reservation still waiting for its start tick: it
+            // holds future bandwidth but cannot carry traffic yet.
+            return Err(CservError::SegrNotActive(key));
         }
         Ok(rec)
     }
@@ -780,6 +831,9 @@ impl CServ {
                 }
                 let rec = self.store.segr_mut(in_key).unwrap();
                 rec.usage.admit(key, ver, req.demand, exp, now, None)?;
+                // Index the allocation's expiry so GC can return its
+                // headroom without scanning every record.
+                self.store.schedule_usage_gc(in_key, exp);
             }
             Some(seg_out) => {
                 // Transfer AS: check both SegRs (§4.7 "Transfer AS").
@@ -830,6 +884,8 @@ impl CServ {
                     rec_out.split.release_demand(in_key, req.demand);
                     return Err(e.into());
                 }
+                self.store.schedule_usage_gc(in_key, exp);
+                self.store.schedule_usage_gc(out_key, exp);
             }
         }
         Ok(())
@@ -962,13 +1018,6 @@ impl CServ {
     }
 }
 
-fn store_segr_keys(store: &ReservationStore) -> Vec<ReservationKey> {
-    // Helper kept out of ReservationStore to avoid exposing internal maps.
-    let mut keys = Vec::with_capacity(store.segr_count());
-    store.for_each_segr_key(|k| keys.push(k));
-    keys
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1022,6 +1071,7 @@ mod tests {
         let req = SegSetupReq {
             request_id: 0,
             deadline: Instant::MAX,
+            starts_at: Instant::EPOCH,
             res_info: ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: ResId(0),
@@ -1077,6 +1127,7 @@ mod tests {
         SegSetupReq {
             request_id,
             deadline: Instant::MAX,
+            starts_at: Instant::EPOCH,
             res_info: ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: ResId(1),
@@ -1277,7 +1328,7 @@ mod tests {
         let (granted, _) = c.segr_admit_hop(&req, 0, req.demand, Instant::EPOCH).unwrap();
         let final_info =
             ResInfo { bw: BwClass::from_bandwidth_ceil(granted), ..req.res_info };
-        c.segr_finalize_hop(&final_info, req.path[0].1, 0, 1, granted, now);
+        c.segr_finalize_hop(&final_info, req.path[0].1, 0, 1, granted, Instant::EPOCH, now);
         let live = c.admission().aggregates();
         c.recover(Instant::EPOCH).expect("store is consistent");
         assert_eq!(c.admission().aggregates(), live);

@@ -190,7 +190,10 @@ mod tests {
     const EG: InterfaceId = InterfaceId(2);
 
     fn service(shards: usize) -> DistributedCServ {
-        let svc = DistributedCServ::new(shards, SegrAdmissionConfig { colibri_share: 1.0 });
+        let svc = DistributedCServ::new(
+            shards,
+            SegrAdmissionConfig { colibri_share: 1.0, ..SegrAdmissionConfig::default() },
+        );
         svc.set_interface_capacity(IN, Bandwidth::from_gbps(100));
         svc.set_interface_capacity(EG, Bandwidth::from_gbps(100));
         svc
@@ -211,6 +214,7 @@ mod tests {
             egress: EG,
             demand: Bandwidth::from_mbps(mbps),
             min_bw: Bandwidth::ZERO,
+            window: colibri_base::SlotWindow::at(0),
         }
     }
 

@@ -27,6 +27,7 @@ pub mod setup;
 pub mod shed;
 pub mod store;
 pub mod telemetry;
+pub mod timeline;
 
 pub use admission::{
     AdmissionError, AggregateSnapshot, SegrAdmission, SegrAdmissionConfig, SegrRequest,
@@ -46,11 +47,14 @@ pub use reliable::{
     FastFailReason, PerfectChannel, Preflight, RetryPolicy, RetryStats,
 };
 pub use shed::{AdmissionQueue, RequestClass, ShedConfig, ShedStats, ShedVerdict};
-pub use setup::{master_secret_for, renew_eer_adaptive, 
-    activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, CservRegistry, EerGrant,
-    SegrGrant, SetupError,
+pub use setup::{master_secret_for, renew_eer_adaptive,
+    activate_segr, renew_eer, renew_segr, setup_eer, setup_segr, setup_segr_at, teardown_segr,
+    CservRegistry, EerGrant, SegrGrant, SetupError,
 };
-pub use store::{OwnedEer, OwnedEerVersion, OwnedSegr, PendingOwned, ReservationStore, SegrRecord};
+pub use store::{
+    GcStats, OwnedEer, OwnedEerVersion, OwnedSegr, PendingOwned, ReservationStore, SegrRecord,
+};
 pub use telemetry::CservTelemetry;
+pub use timeline::{ExpiryWheel, Timeline, TimelineError};
 pub use dissemination::{RegisteredSegr, SegrCache, SegrRegistry};
 pub use distributed::{DistributedCServ, DistributedError, EerAdmitRequest};

@@ -37,6 +37,11 @@ pub struct SegSetupReq {
     /// overloaded on-path CServ can shed the request at the *first* hop
     /// when it cannot possibly finish in time (`Instant::MAX` = none).
     pub deadline: Instant,
+    /// Earliest instant the reservation becomes usable. `Instant::EPOCH`
+    /// means "immediately" (the common case); a future value books an
+    /// *advance reservation*: admitted now against the future window
+    /// `[starts_at, exp_t)`, consuming no bandwidth before it activates.
+    pub starts_at: Instant,
     /// Reservation metadata: key, requested bandwidth class, expiry,
     /// version (0 for initial setup, incremented on renewal).
     pub res_info: ResInfo,
@@ -213,6 +218,7 @@ impl CtrlMsg {
                 w.u8(0);
                 w.u64(m.request_id);
                 w.u64(m.deadline.as_nanos());
+                w.u64(m.starts_at.as_nanos());
                 put_res_info(&mut w, &m.res_info);
                 w.u64(m.demand.as_bps());
                 w.u64(m.min_bw.as_bps());
@@ -289,6 +295,7 @@ impl CtrlMsg {
             0 => {
                 let request_id = r.u64()?;
                 let deadline = Instant::from_nanos(r.u64()?);
+                let starts_at = Instant::from_nanos(r.u64()?);
                 let res_info = get_res_info(&mut r)?;
                 let demand = Bandwidth::from_bps(r.u64()?);
                 let min_bw = Bandwidth::from_bps(r.u64()?);
@@ -301,6 +308,7 @@ impl CtrlMsg {
                 CtrlMsg::SegSetup(SegSetupReq {
                     request_id,
                     deadline,
+                    starts_at,
                     res_info,
                     demand,
                     min_bw,
@@ -431,6 +439,7 @@ mod tests {
         roundtrip(CtrlMsg::SegSetup(SegSetupReq {
             request_id: 0xDEAD_BEEF_0042,
             deadline: Instant::from_secs(9),
+            starts_at: Instant::from_secs(4),
             res_info: res_info(),
             demand: Bandwidth::from_mbps(500),
             min_bw: Bandwidth::from_mbps(100),

@@ -365,7 +365,16 @@ pub fn setup_segr_reliable(
     ch: &mut dyn ControlChannel,
     policy: &RetryPolicy,
 ) -> Result<(SegrGrant, RetryStats), SetupError> {
-    crate::setup::setup_segr_with(reg, segment, demand, min_bw, clock, ch, policy)
+    crate::setup::setup_segr_with(
+        reg,
+        segment,
+        demand,
+        min_bw,
+        colibri_base::Instant::EPOCH,
+        clock,
+        ch,
+        policy,
+    )
 }
 
 /// [`crate::setup::renew_segr`] over a lossy channel with retries.

@@ -206,17 +206,58 @@ pub fn setup_segr(
     now: Instant,
 ) -> Result<SegrGrant, SetupError> {
     let clock = Clock::starting_at(now);
-    setup_segr_with(reg, segment, demand, min_bw, &clock, &mut PerfectChannel, &RetryPolicy::default())
-        .map(|(g, _)| g)
+    setup_segr_with(
+        reg,
+        segment,
+        demand,
+        min_bw,
+        Instant::EPOCH,
+        &clock,
+        &mut PerfectChannel,
+        &RetryPolicy::default(),
+    )
+    .map(|(g, _)| g)
+}
+
+/// Books an *advance reservation*: a new SegR admitted now against the
+/// future validity window `[starts_at, starts_at + lifetime)`. No
+/// bandwidth is consumed before the start tick — the reservation competes
+/// only with reservations overlapping its window — and the EER/data
+/// handlers refuse it until `starts_at` arrives. The initiator can
+/// release the booking exactly with [`teardown_segr`] before it starts.
+pub fn setup_segr_at(
+    reg: &mut CservRegistry,
+    segment: &Segment,
+    demand: Bandwidth,
+    min_bw: Bandwidth,
+    starts_at: Instant,
+    now: Instant,
+) -> Result<SegrGrant, SetupError> {
+    let clock = Clock::starting_at(now);
+    setup_segr_with(
+        reg,
+        segment,
+        demand,
+        min_bw,
+        starts_at,
+        &clock,
+        &mut PerfectChannel,
+        &RetryPolicy::default(),
+    )
+    .map(|(g, _)| g)
 }
 
 /// Channel-aware [`setup_segr`]: every hop exchange travels over `ch`
 /// under `policy`, with `clock` advancing across latencies and backoffs.
+/// `starts_at` books an advance reservation (`Instant::EPOCH` =
+/// immediate).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn setup_segr_with(
     reg: &mut CservRegistry,
     segment: &Segment,
     demand: Bandwidth,
     min_bw: Bandwidth,
+    starts_at: Instant,
     clock: &Clock,
     ch: &mut dyn ControlChannel,
     policy: &RetryPolicy,
@@ -227,14 +268,17 @@ pub(crate) fn setup_segr_with(
         .ok_or(SetupError::UnknownAs(initiator))?
         .alloc_res_id();
     let lifetime = reg.get(initiator).unwrap().config().segr_lifetime;
+    // An advance reservation's lifetime runs from its start tick, not
+    // from the booking time.
+    let from = if starts_at > clock.now() { starts_at } else { clock.now() };
     let res_info = ResInfo {
         src_as: initiator,
         res_id,
         bw: BwClass::from_bandwidth_ceil(demand),
-        exp_t: clock.now() + lifetime,
+        exp_t: from + lifetime,
         ver: 0,
     };
-    run_segr_pass(reg, segment, res_info, demand, min_bw, clock, ch, policy)
+    run_segr_pass(reg, segment, res_info, demand, min_bw, starts_at, clock, ch, policy)
 }
 
 /// Renews an existing SegR (new version, possibly different bandwidth).
@@ -276,7 +320,7 @@ pub(crate) fn renew_segr_with(
         exp_t: clock.now() + lifetime,
         ver: old_ver.wrapping_add(1),
     };
-    run_segr_pass(reg, &segment, res_info, demand, min_bw, clock, ch, policy)
+    run_segr_pass(reg, &segment, res_info, demand, min_bw, Instant::EPOCH, clock, ch, policy)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -286,6 +330,7 @@ fn run_segr_pass(
     res_info: ResInfo,
     demand: Bandwidth,
     min_bw: Bandwidth,
+    starts_at: Instant,
     clock: &Clock,
     ch: &mut dyn ControlChannel,
     policy: &RetryPolicy,
@@ -300,6 +345,7 @@ fn run_segr_pass(
     let req = SegSetupReq {
         request_id,
         deadline,
+        starts_at,
         res_info,
         demand,
         min_bw,
@@ -377,7 +423,7 @@ fn run_segr_pass(
             reliable_exchange(ch, policy, clock, initiator, as_id, salt, deadline, &mut stats, |now| {
                 reg.get_mut(as_id)
                     .unwrap()
-                    .segr_finalize_hop(&final_res_info, hop, i, n, final_bw, now)
+                    .segr_finalize_hop(&final_res_info, hop, i, n, final_bw, starts_at, now)
             });
         match tok {
             Some(t) => tokens[i] = t,
@@ -473,6 +519,27 @@ pub fn activate_segr(
     let clock = Clock::starting_at(now);
     activate_segr_with(reg, key, ver, &clock, &mut PerfectChannel, &RetryPolicy::default())
         .map(|_| ())
+}
+
+/// Tears down an owned SegR at every on-path AS, releasing its admission
+/// contribution and stored record. The primary use is abandoning an
+/// advance reservation before its start tick: the booked future-window
+/// bandwidth is returned exactly, so per-interface aggregates match
+/// their pre-booking values. Also valid on an active reservation (early
+/// release instead of waiting for expiry).
+pub fn teardown_segr(reg: &mut CservRegistry, key: ReservationKey) -> Result<(), SetupError> {
+    let initiator = key.src_as;
+    let segment = {
+        let cserv = reg.get(initiator).ok_or(SetupError::UnknownAs(initiator))?;
+        cserv.store().owned_segr(key).ok_or(SetupError::NotOwned(key))?.segment.clone()
+    };
+    for hop in &segment.hops {
+        reg.get_mut(hop.isd_as)
+            .ok_or(SetupError::UnknownAs(hop.isd_as))?
+            .segr_teardown(key);
+    }
+    reg.get_mut(initiator).unwrap().store_mut().remove_owned_segr(key);
+    Ok(())
 }
 
 /// Channel-aware [`activate_segr`]. A retried activation that already

@@ -16,7 +16,8 @@
 //!   authenticators σᵢ of every live version.
 
 use crate::eer::{SegrUsage, TransferSplit};
-use colibri_base::{Bandwidth, HostAddr, Instant, InterfaceId, IsdAsId, ReservationKey};
+use crate::timeline::ExpiryWheel;
+use colibri_base::{Bandwidth, Duration, HostAddr, Instant, InterfaceId, IsdAsId, ReservationKey};
 use colibri_crypto::Key;
 use colibri_topology::Segment;
 use colibri_wire::{EerInfo, HopField, ResInfo, HVF_LEN};
@@ -52,6 +53,9 @@ pub struct SegrRecord {
     pub bw: Bandwidth,
     /// Active version expiration.
     pub exp: Instant,
+    /// Earliest instant packets may use the reservation
+    /// (`Instant::EPOCH` = immediately; later = advance reservation).
+    pub starts_at: Instant,
     /// Admitted-but-inactive renewal, if any.
     pub pending: Option<PendingVersion>,
     /// EER allocations drawn from this SegR at this AS.
@@ -81,15 +85,29 @@ impl SegrRecord {
             ver,
             bw,
             exp,
+            starts_at: Instant::EPOCH,
             pending: None,
             usage: SegrUsage::new(bw),
             split: TransferSplit::new(),
         }
     }
 
+    /// Sets a future activation instant (advance reservation), builder
+    /// style.
+    pub fn with_starts_at(mut self, starts_at: Instant) -> Self {
+        self.starts_at = starts_at;
+        self
+    }
+
     /// Whether the active version is expired at `now`.
     pub fn is_expired(&self, now: Instant) -> bool {
         now >= self.exp
+    }
+
+    /// Whether the reservation may carry packets at `now` (its start
+    /// instant has been reached and it has not expired).
+    pub fn is_active(&self, now: Instant) -> bool {
+        now >= self.starts_at && !self.is_expired(now)
     }
 
     /// The hop field this AS expects in packets over the reservation.
@@ -234,9 +252,41 @@ impl OwnedEer {
     }
 }
 
+/// What one due expiry-wheel entry asks the garbage collector to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Due {
+    /// Re-check a transit SegR record for expiry.
+    Segr(ReservationKey),
+    /// Prune expired EER allocations from one SegR's usage tracker.
+    Usage(ReservationKey),
+}
+
+/// What one [`ReservationStore::gc`] (or [`crate::CServ::gc`]) run did.
+/// `scanned` counts expiry-wheel entries processed — proportional to
+/// records *due*, not records *live* — which is the whole point of the
+/// wheel: a store with 10⁶ live reservations and nothing expiring does no
+/// per-record work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Expiry-wheel entries popped and examined this run.
+    pub scanned: usize,
+    /// SegR records found expired and dropped.
+    pub expired: usize,
+    /// Orphaned forward-pass admissions undone (filled in by the CServ's
+    /// replay-cache backstop; always 0 from the bare store).
+    pub orphans: usize,
+    /// The keys of the dropped SegR records (so the caller can release
+    /// their admission state).
+    pub removed: Vec<ReservationKey>,
+}
+
 /// The per-AS reservation database.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReservationStore {
+    /// Slot-bucketed expiry index over the transit SegRs (and their EER
+    /// usage trackers), so GC touches only *due* records instead of
+    /// scanning all of them.
+    wheel: ExpiryWheel<Due>,
     /// All SegRs traversing this AS.
     segrs: HashMap<ReservationKey, SegrRecord>,
     /// SegRs this AS initiated.
@@ -251,15 +301,54 @@ pub struct ReservationStore {
     eer_requests: HashMap<ReservationKey, (Vec<ReservationKey>, Vec<u8>)>,
 }
 
+impl Default for ReservationStore {
+    fn default() -> Self {
+        Self {
+            wheel: ExpiryWheel::new(Duration::from_secs(1)),
+            segrs: HashMap::new(),
+            owned_segrs: HashMap::new(),
+            owned_eers: HashMap::new(),
+            terminating_eers: HashMap::new(),
+            eer_requests: HashMap::new(),
+        }
+    }
+}
+
 impl ReservationStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Inserts or replaces a SegR record.
+    /// Inserts or replaces a SegR record and indexes it on the expiry
+    /// wheel. Renewals and activations that extend an existing record's
+    /// life need no re-index: when its old slot comes due, the GC sees the
+    /// later expiry and re-arms the entry.
     pub fn insert_segr(&mut self, rec: SegrRecord) {
+        self.wheel.schedule(rec.exp, Due::Segr(rec.key));
         self.segrs.insert(rec.key, rec);
+    }
+
+    /// Asks the GC to prune one SegR's EER usage tracker once `at` has
+    /// passed (scheduled per admitted EER allocation, so freed headroom
+    /// returns to the pool without scanning every record).
+    pub fn schedule_usage_gc(&mut self, key: ReservationKey, at: Instant) {
+        self.wheel.schedule(at, Due::Usage(key));
+    }
+
+    /// Rebuilds the expiry wheel from the records — the wheel is volatile
+    /// (in-memory) state, so a restart re-indexes the durable store.
+    pub fn rebuild_wheel(&mut self) {
+        self.wheel.clear();
+        for r in self.segrs.values() {
+            let due = r.pending.as_ref().map(|p| p.exp.max(r.exp)).unwrap_or(r.exp);
+            self.wheel.schedule(due, Due::Segr(r.key));
+        }
+    }
+
+    /// Number of live expiry-wheel entries (observability).
+    pub fn wheel_len(&self) -> usize {
+        self.wheel.len()
     }
 
     /// Looks up a SegR record.
@@ -295,6 +384,11 @@ impl ReservationStore {
     /// Mutable initiator-side SegR lookup.
     pub fn owned_segr_mut(&mut self, key: ReservationKey) -> Option<&mut OwnedSegr> {
         self.owned_segrs.get_mut(&key)
+    }
+
+    /// Drops an initiator-side SegR record (reservation torn down).
+    pub fn remove_owned_segr(&mut self, key: ReservationKey) -> Option<OwnedSegr> {
+        self.owned_segrs.remove(&key)
     }
 
     /// All initiator-side SegRs.
@@ -361,20 +455,55 @@ impl ReservationStore {
         }
     }
 
-    /// Removes expired reservations everywhere. Returns how many SegR
-    /// records were dropped.
-    pub fn gc(&mut self, now: Instant) -> usize {
-        let before = self.segrs.len();
-        self.segrs.retain(|_, r| !r.is_expired(now) || r.pending.is_some());
-        for r in self.segrs.values_mut() {
-            r.usage.gc(now);
+    /// Removes expired reservations everywhere, driven by the expiry
+    /// wheel: cost is proportional to the number of *due* wheel entries,
+    /// not to the number of live records. A record whose life was extended
+    /// (renewal activated, pending version staged) since it was indexed is
+    /// simply re-armed at its new expiry.
+    pub fn gc(&mut self, now: Instant) -> GcStats {
+        let mut stats = GcStats::default();
+        for due in self.wheel.pop_due(now) {
+            stats.scanned += 1;
+            match due {
+                Due::Usage(key) => {
+                    if let Some(r) = self.segrs.get_mut(&key) {
+                        r.usage.gc(now);
+                    }
+                }
+                Due::Segr(key) => {
+                    let Some(r) = self.segrs.get_mut(&key) else {
+                        continue; // removed since it was indexed
+                    };
+                    if r.pending.is_some() || !r.is_expired(now) {
+                        // Still alive: a pending renewal keeps the record
+                        // (the switch is an explicit activation, §4.2), or
+                        // the expiry moved. Re-arm at the later deadline;
+                        // a deadline already passed re-pops next run,
+                        // costing one entry per GC for that record only.
+                        let due_at =
+                            r.pending.as_ref().map(|p| p.exp.max(r.exp)).unwrap_or(r.exp);
+                        r.usage.gc(now);
+                        self.wheel.schedule(due_at, Due::Segr(key));
+                        continue;
+                    }
+                    stats.expired += 1;
+                    self.segrs.remove(&key);
+                    stats.removed.push(key);
+                }
+            }
         }
+        self.gc_owned(now);
+        stats
+    }
+
+    /// Garbage-collects only the initiator-side state (owned SegRs and
+    /// EERs), leaving transit SegR records to the caller's expiry wheel.
+    pub fn gc_owned(&mut self, now: Instant) {
         self.owned_segrs.retain(|_, s| s.exp > now);
         for eer in self.owned_eers.values_mut() {
             eer.gc(now);
         }
         self.owned_eers.retain(|_, e| !e.versions.is_empty());
-        before - self.segrs.len()
     }
 }
 
@@ -440,11 +569,55 @@ mod tests {
             Some(PendingVersion { ver: 1, bw: Bandwidth::from_mbps(1), exp: Instant::from_secs(400) });
         store.insert_segr(r2);
         store.insert_segr(rec(3, 500));
-        let dropped = store.gc(Instant::from_secs(200));
-        assert_eq!(dropped, 1);
+        let stats = store.gc(Instant::from_secs(200));
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.removed, vec![key(1)]);
         assert!(store.segr(key(1)).is_none());
         assert!(store.segr(key(2)).is_some(), "pending renewal keeps the record alive");
         assert!(store.segr(key(3)).is_some());
+        // The unexpired record was never touched: only the two due wheel
+        // entries were scanned.
+        assert_eq!(stats.scanned, 2);
+    }
+
+    #[test]
+    fn gc_cost_tracks_due_entries_not_live_records() {
+        let mut store = ReservationStore::new();
+        for rid in 0..1000 {
+            store.insert_segr(rec(rid, 10_000));
+        }
+        store.insert_segr(rec(5000, 100));
+        let stats = store.gc(Instant::from_secs(200));
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.scanned, 1, "live records must not be scanned");
+        assert_eq!(store.segr_count(), 1000);
+    }
+
+    #[test]
+    fn wheel_rearms_extended_records() {
+        let mut store = ReservationStore::new();
+        store.insert_segr(rec(1, 100));
+        // Renewal staged and activated before the original expiry.
+        let r = store.segr_mut(key(1)).unwrap();
+        r.pending =
+            Some(PendingVersion { ver: 1, bw: Bandwidth::from_mbps(1), exp: Instant::from_secs(400) });
+        assert!(r.activate(1));
+        // Old deadline passes: record survives, wheel re-armed.
+        let stats = store.gc(Instant::from_secs(200));
+        assert_eq!((stats.scanned, stats.expired), (1, 0));
+        assert!(store.segr(key(1)).is_some());
+        // New deadline passes: now it goes.
+        let stats = store.gc(Instant::from_secs(500));
+        assert_eq!((stats.scanned, stats.expired), (1, 1));
+        assert!(store.segr(key(1)).is_none());
+    }
+
+    #[test]
+    fn advance_reservation_activity() {
+        let r = rec(1, 300).with_starts_at(Instant::from_secs(100));
+        assert!(!r.is_active(Instant::from_secs(50)), "not yet started");
+        assert!(r.is_active(Instant::from_secs(100)));
+        assert!(!r.is_active(Instant::from_secs(300)), "expired");
     }
 
     #[test]

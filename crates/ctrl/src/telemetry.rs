@@ -152,6 +152,10 @@ pub struct CservTelemetry {
     pub(crate) gc_runs: Counter,
     /// Orphaned admissions reclaimed by the GC abort backstop.
     pub(crate) gc_orphans: Counter,
+    /// Expiry-wheel entries examined by GC (∝ due records, not live).
+    pub(crate) gc_scanned: Counter,
+    /// Expired SegR records dropped by GC.
+    pub(crate) gc_expired: Counter,
     /// Admission requests shed with `Busy` (class backlog full).
     pub(crate) shed_busy: Counter,
     /// Admission requests shed because the deadline was unmeetable.
@@ -216,6 +220,16 @@ impl CservTelemetry {
                 "colibri_ctrl_gc_orphaned_admissions_total",
                 dep,
                 "orphaned admissions (undelivered aborts) reclaimed at expiry",
+            ),
+            gc_scanned: s.counter(
+                "colibri_ctrl_gc_scanned_total",
+                dep,
+                "expiry-wheel entries examined by the garbage collector",
+            ),
+            gc_expired: s.counter(
+                "colibri_ctrl_gc_expired_total",
+                dep,
+                "expired SegR records dropped by the garbage collector",
             ),
             shed_busy: s.counter(
                 "colibri_ctrl_shed_busy_total",

@@ -1,0 +1,752 @@
+//! Time-indexed reservation state: discrete-slot bandwidth timelines and
+//! the slot-keyed expiry wheel (ROADMAP item "time-indexed stores").
+//!
+//! The paper's admission algorithm (§4.7) compares *demand sums* against
+//! interface capacities. The seed implementation kept those sums as plain
+//! scalars, which silently assumes every reservation is live *right now* —
+//! correct only because setup and renewal both started a reservation's
+//! validity at the current instant. Advance reservations (SIBRA-style
+//! future bookings) break that assumption: admission must instead bound
+//! the **peak** of the demand profile over the *requested validity
+//! window*.
+//!
+//! [`Timeline`] stores one bandwidth profile over quantized time slots
+//! (see [`SlotGrid`]) as a segment tree with lazy range-add and range-max,
+//! following the discrete-slot design of Brodnik & Nilsson (PAPERS.md):
+//!
+//! * [`Timeline::reserve`] / [`Timeline::free`] add/subtract a bandwidth
+//!   contribution over a slot window — O(log n) for n slots;
+//! * [`Timeline::max_usage`] returns the peak over a window — O(log n);
+//! * [`Timeline::advance`] retires slots the virtual clock has passed and
+//!   recycles them for the future, keeping the structure a fixed-size
+//!   ring over the sliding horizon `[base, base + n)`.
+//!
+//! No wall clock anywhere: callers pass virtual instants or slot indices.
+//!
+//! The admission module keys many small profiles (per ingress, per
+//! interface pair, per source AS) — most hold a handful of contributions.
+//! `ProfileMap` therefore starts every bucket as a sparse interval list
+//! and promotes it to a `Timeline` only past a size threshold, keeping
+//! the common case allocation-light while bounding worst-case cost at
+//! O(log n).
+//!
+//! [`ExpiryWheel`] is the GC-side companion: items (reservation keys)
+//! bucketed by expiry slot, so garbage collection visits only records
+//! whose expiry slot has passed — cost proportional to the number of
+//! expired records, not to the number of live ones.
+
+use colibri_base::{Duration, Instant, SlotGrid, SlotWindow};
+use std::collections::{BTreeMap, HashMap};
+
+/// Why a timeline mutation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The window's end slot lies beyond the structure's sliding horizon;
+    /// the caller must either shorten the window or reject the request.
+    BeyondHorizon {
+        /// Exclusive end slot of the offending window.
+        end: u64,
+        /// Exclusive end slot of the representable horizon.
+        horizon_end: u64,
+    },
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::BeyondHorizon { end, horizon_end } => {
+                write!(f, "window end slot {end} beyond horizon (max {horizon_end})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// A bandwidth-usage profile over discrete time slots.
+///
+/// Internally a segment tree with lazy range-add and range-max over a
+/// power-of-two number of slots `n`, ring-mapped over absolute slot
+/// indices: at any moment the valid domain is `[base, base + n)` where
+/// `base` is the slot most recently passed to [`Timeline::advance`].
+/// Windows starting before `base` are clamped (the past consumes
+/// nothing); windows ending after `base + n` are rejected with
+/// [`TimelineError::BeyondHorizon`].
+///
+/// Values are bandwidth sums in bps. Sums are carried as `i128`
+/// internally, so up to ~10²⁵ concurrent worst-case (`u64::MAX`)
+/// contributions are exact; larger values saturate symmetrically in
+/// `reserve` and `free`. Memory is `32·n` bytes.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    grid: SlotGrid,
+    /// Power-of-two slot count.
+    n: u64,
+    /// First valid absolute slot.
+    base: u64,
+    /// `max_v[node]` = max over the node's ring range, including this
+    /// node's own pending `lazy` but excluding ancestors' (the classic
+    /// no-pushdown formulation for range-add/range-max).
+    max_v: Vec<i128>,
+    lazy: Vec<i128>,
+}
+
+impl Timeline {
+    /// A timeline with slots of width `tick` and at least `horizon_slots`
+    /// slots (rounded up to the next power of two), starting at slot 0.
+    pub fn new(tick: Duration, horizon_slots: u64) -> Self {
+        Self::with_base(tick, horizon_slots, 0)
+    }
+
+    /// Like [`Timeline::new`] but starting at absolute slot `base_slot`.
+    pub fn with_base(tick: Duration, horizon_slots: u64, base_slot: u64) -> Self {
+        let n = horizon_slots.max(1).next_power_of_two();
+        Self {
+            grid: SlotGrid::new(tick),
+            n,
+            base: base_slot,
+            max_v: vec![0; 2 * n as usize],
+            lazy: vec![0; 2 * n as usize],
+        }
+    }
+
+    /// The slot grid (tick width) of this timeline.
+    pub fn grid(&self) -> SlotGrid {
+        self.grid
+    }
+
+    /// Number of representable slots (power of two).
+    pub fn horizon_slots(&self) -> u64 {
+        self.n
+    }
+
+    /// The first valid absolute slot (the "present").
+    pub fn base_slot(&self) -> u64 {
+        self.base
+    }
+
+    /// Peak usage over the whole horizon — O(1) (the root of the tree).
+    pub fn peak(&self) -> u128 {
+        debug_assert!(self.max_v[1] >= 0, "negative usage: unbalanced free");
+        self.max_v[1].max(0) as u128
+    }
+
+    /// Clamps `w` into `[base, base + n)`; `Err` when the end overflows
+    /// the horizon, possibly-empty `Ok` otherwise.
+    fn clamp(&self, w: SlotWindow) -> Result<SlotWindow, TimelineError> {
+        let horizon_end = self.base.saturating_add(self.n);
+        if w.end > horizon_end && !w.is_empty() {
+            return Err(TimelineError::BeyondHorizon { end: w.end, horizon_end });
+        }
+        Ok(w.clamp_start(self.base))
+    }
+
+    /// Adds `bw` bps over every slot of `w` (clamped to the present).
+    /// Empty windows and zero bandwidth are no-ops.
+    pub fn reserve(&mut self, w: SlotWindow, bw: u128) -> Result<(), TimelineError> {
+        let w = self.clamp(w)?;
+        if w.is_empty() || bw == 0 {
+            return Ok(());
+        }
+        self.op_ring(w, Self::sat(bw));
+        Ok(())
+    }
+
+    /// Subtracts `bw` bps over every slot of `w` (clamped to the
+    /// present). Must mirror a prior [`Timeline::reserve`] — freeing more
+    /// than was reserved on any slot corrupts the profile.
+    pub fn free(&mut self, w: SlotWindow, bw: u128) -> Result<(), TimelineError> {
+        let w = self.clamp(w)?;
+        if w.is_empty() || bw == 0 {
+            return Ok(());
+        }
+        debug_assert!(
+            self.query_window(w) >= Self::sat(bw),
+            "freeing {bw} exceeds peak usage over {w}"
+        );
+        self.op_ring(w, -Self::sat(bw));
+        Ok(())
+    }
+
+    /// Peak usage over `w`, clamped to the representable horizon; empty
+    /// (or fully-past) windows report 0.
+    pub fn max_usage(&self, w: SlotWindow) -> u128 {
+        let horizon_end = self.base.saturating_add(self.n);
+        let w = SlotWindow::new(w.start.max(self.base), w.end.min(horizon_end));
+        if w.is_empty() {
+            return 0;
+        }
+        let v = self.query_window(w);
+        debug_assert!(v >= 0, "negative usage: unbalanced free");
+        v.max(0) as u128
+    }
+
+    /// Usage at a single slot (0 outside the horizon).
+    pub fn value_at(&self, slot: u64) -> u128 {
+        self.max_usage(SlotWindow::at(slot))
+    }
+
+    /// Moves the present to the slot containing `now`, recycling every
+    /// slot the clock has passed (their usage is cleared so the ring
+    /// position can represent `slot + n` in the future). Never moves
+    /// backwards. Cost: O(k log n) for a k-slot jump, O(n) at most.
+    pub fn advance(&mut self, now: Instant) {
+        self.advance_to_slot(self.grid.slot_of(now));
+    }
+
+    /// Slot-level form of [`Timeline::advance`].
+    pub fn advance_to_slot(&mut self, slot: u64) {
+        if slot <= self.base {
+            return;
+        }
+        if slot - self.base >= self.n {
+            // The whole ring has been passed: everything is stale.
+            self.max_v.iter_mut().for_each(|x| *x = 0);
+            self.lazy.iter_mut().for_each(|x| *x = 0);
+        } else {
+            for s in self.base..slot {
+                let p = s % self.n;
+                let v = self.query_rec(1, 0, self.n, p, p + 1);
+                debug_assert!(v >= 0, "negative usage at slot {s}");
+                if v != 0 {
+                    self.add_rec(1, 0, self.n, p, p + 1, -v);
+                }
+            }
+        }
+        self.base = slot;
+    }
+
+    /// Saturating `u128 → i128` (reserve and free saturate identically,
+    /// so matched pairs stay balanced even past the i128 range).
+    fn sat(bw: u128) -> i128 {
+        bw.min(i128::MAX as u128) as i128
+    }
+
+    /// Applies `v` over the absolute window `w ⊆ [base, base + n]`,
+    /// splitting at the ring seam when needed.
+    fn op_ring(&mut self, w: SlotWindow, v: i128) {
+        let n = self.n;
+        let rs = w.start % n;
+        let len = w.end - w.start;
+        debug_assert!(len <= n);
+        if rs + len <= n {
+            self.add_rec(1, 0, n, rs, rs + len, v);
+        } else {
+            self.add_rec(1, 0, n, rs, n, v);
+            self.add_rec(1, 0, n, 0, rs + len - n, v);
+        }
+    }
+
+    /// Max over the absolute window `w ⊆ [base, base + n]`.
+    fn query_window(&self, w: SlotWindow) -> i128 {
+        let n = self.n;
+        let rs = w.start % n;
+        let len = w.end - w.start;
+        debug_assert!(len <= n && len > 0);
+        if rs + len <= n {
+            self.query_rec(1, 0, n, rs, rs + len)
+        } else {
+            self.query_rec(1, 0, n, rs, n).max(self.query_rec(1, 0, n, 0, rs + len - n))
+        }
+    }
+
+    fn add_rec(&mut self, node: usize, l: u64, r: u64, ql: u64, qr: u64, v: i128) {
+        if qr <= l || r <= ql {
+            return;
+        }
+        if ql <= l && r <= qr {
+            self.max_v[node] = self.max_v[node].saturating_add(v);
+            self.lazy[node] = self.lazy[node].saturating_add(v);
+            return;
+        }
+        let m = l + (r - l) / 2;
+        self.add_rec(2 * node, l, m, ql, qr, v);
+        self.add_rec(2 * node + 1, m, r, ql, qr, v);
+        self.max_v[node] =
+            self.max_v[2 * node].max(self.max_v[2 * node + 1]).saturating_add(self.lazy[node]);
+    }
+
+    fn query_rec(&self, node: usize, l: u64, r: u64, ql: u64, qr: u64) -> i128 {
+        if qr <= l || r <= ql {
+            return i128::MIN;
+        }
+        if ql <= l && r <= qr {
+            return self.max_v[node];
+        }
+        let m = l + (r - l) / 2;
+        let res = self
+            .query_rec(2 * node, l, m, ql, qr)
+            .max(self.query_rec(2 * node + 1, m, r, ql, qr));
+        if res == i128::MIN {
+            res
+        } else {
+            res.saturating_add(self.lazy[node])
+        }
+    }
+
+    /// Visits every nonzero slot as `(absolute_slot, value)`, in ring
+    /// order starting at `base`. O(n) worst case, pruned on zero
+    /// subtrees.
+    fn for_each_nonzero(&self, f: &mut impl FnMut(u64, u128)) {
+        self.walk(1, 0, self.n, 0, f);
+    }
+
+    fn walk(&self, node: usize, l: u64, r: u64, acc: i128, f: &mut impl FnMut(u64, u128)) {
+        if self.max_v[node].saturating_add(acc) <= 0 {
+            return; // all-zero (values are never negative)
+        }
+        if r - l == 1 {
+            let v = self.max_v[node].saturating_add(acc);
+            // Ring position → absolute slot.
+            let rb = self.base % self.n;
+            let abs = if l >= rb { self.base - rb + l } else { self.base - rb + self.n + l };
+            f(abs, v.max(0) as u128);
+            return;
+        }
+        let m = l + (r - l) / 2;
+        let acc = acc.saturating_add(self.lazy[node]);
+        self.walk(2 * node, l, m, acc, f);
+        self.walk(2 * node + 1, m, r, acc, f);
+    }
+}
+
+/// Items bucketed by the slot of their due instant: pop cost is
+/// proportional to the number of *due* items, independent of how many
+/// live items are scheduled. Backs the [`crate::CServ`] expiry scan.
+#[derive(Debug, Clone)]
+pub struct ExpiryWheel<T> {
+    grid: SlotGrid,
+    slots: BTreeMap<u64, Vec<T>>,
+    len: usize,
+}
+
+impl<T> ExpiryWheel<T> {
+    /// An empty wheel with slots of width `tick`.
+    pub fn new(tick: Duration) -> Self {
+        Self { grid: SlotGrid::new(tick), slots: BTreeMap::new(), len: 0 }
+    }
+
+    /// The wheel's slot grid.
+    pub fn grid(&self) -> SlotGrid {
+        self.grid
+    }
+
+    /// Schedules `item` to pop once the clock reaches `due`'s slot.
+    pub fn schedule(&mut self, due: Instant, item: T) {
+        self.slots.entry(self.grid.slot_of(due)).or_default().push(item);
+        self.len += 1;
+    }
+
+    /// Drains and returns every item whose due slot has been reached.
+    /// Items due within the *current* slot are included; callers
+    /// re-verify exact instants and may re-[`ExpiryWheel::schedule`].
+    pub fn pop_due(&mut self, now: Instant) -> Vec<T> {
+        let cut = self.grid.slot_of(now);
+        let mut due = Vec::new();
+        while let Some(entry) = self.slots.first_entry() {
+            if *entry.key() > cut {
+                break;
+            }
+            due.append(&mut entry.remove());
+        }
+        self.len -= due.len();
+        due
+    }
+
+    /// Number of scheduled items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every scheduled item (state rebuild after crash recovery).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+}
+
+/// The sliding admission frame shared by all profiles of one
+/// [`crate::SegrAdmission`]: grid, horizon length, and current base slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Frame {
+    pub grid: SlotGrid,
+    /// Power-of-two horizon length in slots.
+    pub horizon: u64,
+    /// Current base slot (the "present").
+    pub base: u64,
+}
+
+impl Frame {
+    /// Exclusive end of the representable horizon.
+    pub fn horizon_end(&self) -> u64 {
+        self.base.saturating_add(self.horizon)
+    }
+
+    /// Clamps a stored window into the live `[base, horizon_end)` range;
+    /// the result may be empty (fully decayed contribution).
+    pub fn live(&self, w: SlotWindow) -> SlotWindow {
+        SlotWindow::new(w.start.max(self.base), w.end.min(self.horizon_end()))
+    }
+}
+
+/// Past this many intervals a sparse profile bucket is promoted to a
+/// [`Timeline`] (O(k) scans become O(log n) tree operations).
+const SPARSE_MAX: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Profile {
+    /// Few contributions: exact interval list, O(k) ops, no allocation
+    /// beyond the vector.
+    Sparse(Vec<(SlotWindow, u128)>),
+    /// Hot bucket: segment-tree timeline, O(log n) ops.
+    Tree(Box<Timeline>),
+}
+
+/// A keyed family of bandwidth profiles — the windowed generalization of
+/// the seed's `HashMap<K, u128>` running sums. Buckets are dropped as
+/// soon as they carry no usage anywhere, keeping the map *normalized*
+/// (admit → undo and from-store rebuilds stay bit-identical, exactly as
+/// the scalar `add_agg`/`sub_agg` pair guaranteed).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProfileMap<K> {
+    map: HashMap<K, Profile>,
+}
+
+impl<K: Eq + std::hash::Hash + Copy> ProfileMap<K> {
+    pub fn new() -> Self {
+        Self { map: HashMap::new() }
+    }
+
+    /// Adds `v` bps over `w` to `key`'s profile. `w` must already be
+    /// clamped into the frame; empty windows and zero values are no-ops.
+    pub fn add(&mut self, frame: &Frame, key: K, w: SlotWindow, v: u128) {
+        if w.is_empty() || v == 0 {
+            return;
+        }
+        debug_assert!(w.start >= frame.base && w.end <= frame.horizon_end());
+        match self.map.entry(key).or_insert_with(|| Profile::Sparse(Vec::new())) {
+            Profile::Sparse(list) => {
+                list.push((w, v));
+                if list.len() > SPARSE_MAX {
+                    let mut tl =
+                        Timeline::with_base(frame.grid.tick(), frame.horizon, frame.base);
+                    for (iw, iv) in list.iter() {
+                        tl.reserve(*iw, *iv).expect("sparse interval within horizon");
+                    }
+                    *self.map.get_mut(&key).expect("bucket just touched") =
+                        Profile::Tree(Box::new(tl));
+                }
+            }
+            Profile::Tree(tl) => tl.reserve(w, v).expect("window within horizon"),
+        }
+    }
+
+    /// Removes a contribution previously recorded with the *same*
+    /// clamped window and value. Drops the bucket once it carries no
+    /// usage.
+    pub fn remove(&mut self, frame: &Frame, key: K, w: SlotWindow, v: u128) {
+        if w.is_empty() || v == 0 {
+            return;
+        }
+        debug_assert!(w.start >= frame.base);
+        let Some(profile) = self.map.get_mut(&key) else {
+            debug_assert!(false, "remove from missing profile bucket");
+            return;
+        };
+        let empty = match profile {
+            Profile::Sparse(list) => {
+                match list.iter().position(|&(iw, iv)| iw == w && iv == v) {
+                    Some(i) => {
+                        list.swap_remove(i);
+                    }
+                    None => debug_assert!(false, "no matching sparse interval for remove"),
+                }
+                list.is_empty()
+            }
+            Profile::Tree(tl) => {
+                tl.free(w, v).expect("window within horizon");
+                tl.peak() == 0
+            }
+        };
+        if empty {
+            self.map.remove(&key);
+        }
+    }
+
+    /// Peak of `key`'s profile over `w` (0 for unknown keys or empty
+    /// windows).
+    pub fn peak(&self, key: &K, w: SlotWindow) -> u128 {
+        match self.map.get(key) {
+            None => 0,
+            Some(Profile::Sparse(list)) => {
+                if w.is_empty() {
+                    return 0;
+                }
+                // The max of a sum of interval indicators over `w` is
+                // attained at `w.start` or at an interval start inside.
+                let mut best = 0u128;
+                for cand in std::iter::once(w.start)
+                    .chain(list.iter().map(|&(iw, _)| iw.start))
+                    .filter(|&s| w.contains(s))
+                {
+                    let at: u128 = list
+                        .iter()
+                        .filter(|&&(iw, _)| iw.contains(cand))
+                        .map(|&(_, iv)| iv)
+                        .fold(0, u128::saturating_add);
+                    best = best.max(at);
+                }
+                best
+            }
+            Some(Profile::Tree(tl)) => tl.max_usage(w),
+        }
+    }
+
+    /// Usage of `key`'s profile at a single slot.
+    pub fn value_at(&self, key: &K, slot: u64) -> u128 {
+        self.peak(key, SlotWindow::at(slot))
+    }
+
+    /// Retires every slot before `frame.base` (the frame has already
+    /// been advanced): sparse intervals are trimmed in place so their
+    /// stored shape always equals the live clamp of the originating
+    /// entry's window, trees recycle their passed slots, and buckets
+    /// left without usage are dropped.
+    pub fn advance(&mut self, frame: &Frame) {
+        self.map.retain(|_, p| match p {
+            Profile::Sparse(list) => {
+                list.retain_mut(|(w, _)| {
+                    if w.end <= frame.base {
+                        false
+                    } else {
+                        w.start = w.start.max(frame.base);
+                        true
+                    }
+                });
+                !list.is_empty()
+            }
+            Profile::Tree(tl) => {
+                tl.advance_to_slot(frame.base);
+                tl.peak() > 0
+            }
+        });
+    }
+
+    /// True when no key holds any contribution.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Normalized per-slot view: for every key, the nonzero slots of its
+    /// profile over the live horizon. Deterministic order; zero-valued
+    /// buckets never appear. O(total nonzero slots) — off the admission
+    /// path (snapshots and audits only).
+    pub fn snapshot(&self, frame: &Frame) -> BTreeMap<K, BTreeMap<u64, u128>>
+    where
+        K: Ord,
+    {
+        let mut out = BTreeMap::new();
+        for (k, p) in &self.map {
+            let mut slots: BTreeMap<u64, u128> = BTreeMap::new();
+            match p {
+                Profile::Sparse(list) => {
+                    for &(w, v) in list {
+                        let w = frame.live(w);
+                        for s in w.start..w.end {
+                            *slots.entry(s).or_insert(0) += v;
+                        }
+                    }
+                    slots.retain(|_, v| *v != 0);
+                }
+                Profile::Tree(tl) => tl.for_each_nonzero(&mut |s, v| {
+                    slots.insert(s, v);
+                }),
+            }
+            if !slots.is_empty() {
+                out.insert(*k, slots);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_secs(1);
+
+    fn w(s: u64, e: u64) -> SlotWindow {
+        SlotWindow::new(s, e)
+    }
+
+    #[test]
+    fn reserve_query_free_roundtrip() {
+        let mut tl = Timeline::new(TICK, 64);
+        tl.reserve(w(2, 10), 100).unwrap();
+        tl.reserve(w(5, 20), 50).unwrap();
+        assert_eq!(tl.max_usage(w(0, 2)), 0);
+        assert_eq!(tl.max_usage(w(2, 5)), 100);
+        assert_eq!(tl.max_usage(w(0, 64)), 150);
+        assert_eq!(tl.max_usage(w(10, 64)), 50);
+        assert_eq!(tl.value_at(9), 150);
+        assert_eq!(tl.value_at(10), 50);
+        tl.free(w(2, 10), 100).unwrap();
+        assert_eq!(tl.max_usage(w(0, 64)), 50);
+        tl.free(w(5, 20), 50).unwrap();
+        assert_eq!(tl.peak(), 0);
+    }
+
+    #[test]
+    fn past_is_clamped_and_free() {
+        let mut tl = Timeline::new(TICK, 16);
+        tl.advance_to_slot(8);
+        // Reserving over [0, 12) only lands on [8, 12).
+        tl.reserve(w(0, 12), 7).unwrap();
+        assert_eq!(tl.value_at(8), 7);
+        assert_eq!(tl.value_at(11), 7);
+        assert_eq!(tl.value_at(12), 0);
+        // Freeing with the same pre-clamp window balances exactly.
+        tl.free(w(0, 12), 7).unwrap();
+        assert_eq!(tl.peak(), 0);
+    }
+
+    #[test]
+    fn beyond_horizon_rejected() {
+        let mut tl = Timeline::new(TICK, 16);
+        assert!(matches!(
+            tl.reserve(w(0, 17), 1),
+            Err(TimelineError::BeyondHorizon { end: 17, horizon_end: 16 })
+        ));
+        tl.advance_to_slot(4);
+        tl.reserve(w(4, 20), 1).unwrap(); // horizon slid to [4, 20)
+        assert!(tl.reserve(w(4, 21), 1).is_err());
+        // Reads clamp instead of failing.
+        assert_eq!(tl.max_usage(w(0, 1000)), 1);
+    }
+
+    #[test]
+    fn advance_recycles_slots_for_the_future() {
+        let mut tl = Timeline::new(TICK, 8);
+        tl.reserve(w(0, 8), 10).unwrap();
+        tl.advance_to_slot(3);
+        // Passed slots report nothing; live ones keep their usage.
+        assert_eq!(tl.max_usage(w(0, 3)), 0);
+        assert_eq!(tl.max_usage(w(3, 8)), 10);
+        // The recycled ring positions now represent slots 8..11.
+        tl.reserve(w(8, 11), 4).unwrap();
+        assert_eq!(tl.value_at(8), 4);
+        assert_eq!(tl.value_at(7), 10);
+        tl.free(w(3, 8), 10).unwrap(); // remainder of the first booking
+        tl.free(w(8, 11), 4).unwrap();
+        assert_eq!(tl.peak(), 0);
+    }
+
+    #[test]
+    fn advance_far_jump_resets_everything() {
+        let mut tl = Timeline::new(TICK, 8);
+        tl.reserve(w(0, 8), 10).unwrap();
+        tl.advance(Instant::from_secs(100));
+        assert_eq!(tl.base_slot(), 100);
+        assert_eq!(tl.peak(), 0);
+        tl.reserve(w(100, 108), 3).unwrap();
+        assert_eq!(tl.max_usage(w(100, 108)), 3);
+    }
+
+    #[test]
+    fn saturating_extreme_values_do_not_panic() {
+        let mut tl = Timeline::new(TICK, 4);
+        tl.reserve(w(0, 4), u128::MAX).unwrap();
+        assert_eq!(tl.peak(), i128::MAX as u128);
+        tl.free(w(0, 4), u128::MAX).unwrap();
+        assert_eq!(tl.peak(), 0);
+    }
+
+    #[test]
+    fn profile_map_promotes_and_normalizes() {
+        let frame = Frame { grid: SlotGrid::new(TICK), horizon: 64, base: 0 };
+        let mut m: ProfileMap<u32> = ProfileMap::new();
+        for i in 0..(SPARSE_MAX as u64 + 4) {
+            m.add(&frame, 7, w(i, i + 2), 10);
+        }
+        assert!(matches!(m.map.get(&7), Some(Profile::Tree(_))));
+        assert_eq!(m.peak(&7, w(0, 64)), 20); // adjacent pairs overlap by 1
+        for i in 0..(SPARSE_MAX as u64 + 4) {
+            m.remove(&frame, 7, w(i, i + 2), 10);
+        }
+        assert!(m.is_empty(), "bucket must drop at zero usage");
+    }
+
+    #[test]
+    fn profile_map_sparse_peak_matches_bruteforce() {
+        let frame = Frame { grid: SlotGrid::new(TICK), horizon: 64, base: 0 };
+        let mut m: ProfileMap<u32> = ProfileMap::new();
+        let intervals = [(w(0, 5), 3u128), (w(3, 9), 4), (w(8, 10), 9), (w(1, 2), 1)];
+        for &(iw, iv) in &intervals {
+            m.add(&frame, 1, iw, iv);
+        }
+        for qs in 0..12u64 {
+            for qe in qs + 1..13 {
+                let brute = (qs..qe)
+                    .map(|s| {
+                        intervals
+                            .iter()
+                            .filter(|(iw, _)| iw.contains(s))
+                            .map(|&(_, iv)| iv)
+                            .sum::<u128>()
+                    })
+                    .max()
+                    .unwrap();
+                assert_eq!(m.peak(&1, w(qs, qe)), brute, "window [{qs},{qe})");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_map_advance_trims_to_live_clamp() {
+        let frame = Frame { grid: SlotGrid::new(TICK), horizon: 64, base: 0 };
+        let mut m: ProfileMap<u32> = ProfileMap::new();
+        m.add(&frame, 1, w(0, 10), 5);
+        m.add(&frame, 1, w(2, 4), 7);
+        let advanced = Frame { base: 4, ..frame };
+        m.advance(&advanced);
+        // The [2,4) interval fully decayed; [0,10) survives as [4,10).
+        assert_eq!(m.peak(&1, w(0, 64)), 5);
+        // Removal with the live-clamped window finds the trimmed interval.
+        m.remove(&advanced, 1, advanced.live(w(0, 10)), 5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn snapshot_lists_nonzero_slots() {
+        let frame = Frame { grid: SlotGrid::new(TICK), horizon: 8, base: 0 };
+        let mut m: ProfileMap<u32> = ProfileMap::new();
+        m.add(&frame, 3, w(1, 3), 5);
+        let snap = m.snapshot(&frame);
+        assert_eq!(snap[&3], BTreeMap::from([(1, 5), (2, 5)]));
+        m.remove(&frame, 3, w(1, 3), 5);
+        assert!(m.snapshot(&frame).is_empty());
+    }
+
+    #[test]
+    fn wheel_pops_only_due_slots() {
+        let mut wheel: ExpiryWheel<u32> = ExpiryWheel::new(TICK);
+        wheel.schedule(Instant::from_secs(5), 1);
+        wheel.schedule(Instant::from_secs(7), 2);
+        wheel.schedule(Instant::from_millis(5_900), 3); // same slot as item 1
+        assert_eq!(wheel.len(), 3);
+        assert!(wheel.pop_due(Instant::from_secs(4)).is_empty());
+        let mut due = wheel.pop_due(Instant::from_secs(5));
+        due.sort();
+        assert_eq!(due, vec![1, 3]);
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.pop_due(Instant::from_secs(100)), vec![2]);
+        assert!(wheel.is_empty());
+    }
+}

@@ -43,6 +43,7 @@ fn arb_msg() -> impl Strategy<Value = CtrlMsg> {
                 CtrlMsg::SegSetup(SegSetupReq {
                     request_id,
                     deadline: Instant::from_nanos(request_id.rotate_left(17)),
+                    starts_at: Instant::from_nanos(request_id.rotate_right(23)),
                     res_info,
                     demand: Bandwidth::from_bps(d),
                     min_bw: Bandwidth::from_bps(m),

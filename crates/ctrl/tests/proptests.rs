@@ -1,7 +1,7 @@
 //! Property-based tests for the admission algorithms — the safety
 //! invariants behind the paper's worst-case guarantees.
 
-use colibri_base::{Bandwidth, Instant, InterfaceId, IsdAsId, ResId, ReservationKey};
+use colibri_base::{Bandwidth, Instant, InterfaceId, IsdAsId, ResId, ReservationKey, SlotWindow};
 use colibri_ctrl::{SegrAdmission, SegrAdmissionConfig, SegrRequest, SegrUsage};
 use proptest::prelude::*;
 
@@ -42,7 +42,10 @@ fn key(src: u32, rid: u32) -> ReservationKey {
 }
 
 fn new_admission() -> SegrAdmission {
-    let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 1.0 });
+    let mut a = SegrAdmission::new(SegrAdmissionConfig {
+        colibri_share: 1.0,
+        ..SegrAdmissionConfig::default()
+    });
     a.set_interface_capacity(IN1, Bandwidth::from_gbps(2));
     a.set_interface_capacity(IN2, Bandwidth::from_gbps(2));
     a.set_interface_capacity(EG, Bandwidth::from_gbps(2));
@@ -58,6 +61,7 @@ fn apply(a: &mut SegrAdmission, op: &Op) {
                 egress: EG,
                 demand: Bandwidth::from_mbps(demand_mbps),
                 min_bw: Bandwidth::from_mbps(min_mbps),
+                window: SlotWindow::at(0),
             });
         }
         Op::Remove { src, rid } => {
@@ -85,6 +89,24 @@ proptest! {
         }
     }
 
+    /// Aggregate reconciliation (§4.7): after any workload, recomputing
+    /// every time-indexed aggregate from the raw entry set matches the
+    /// incrementally maintained profiles exactly.
+    #[test]
+    fn aggregates_reconcile_from_scratch(ops in prop::collection::vec(arb_op(), 1..150)) {
+        let mut a = new_admission();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut a, op);
+            // Auditing every step is O(n²) overall; sample a prefix and
+            // always check the final state.
+            if i < 20 || i + 1 == ops.len() {
+                if let Err(e) = a.audit() {
+                    prop_assert!(false, "aggregate drift after {op:?}: {e}");
+                }
+            }
+        }
+    }
+
     /// A grant never exceeds its demand, and a successful admission with
     /// `min_bw` grants at least `min_bw`.
     #[test]
@@ -103,6 +125,7 @@ proptest! {
             egress: EG,
             demand: Bandwidth::from_mbps(demand_mbps),
             min_bw: Bandwidth::from_mbps(min_mbps.min(demand_mbps)),
+            window: SlotWindow::at(0),
         };
         if let Ok(granted) = a.admit(req) {
             prop_assert!(granted <= req.demand);
@@ -128,6 +151,7 @@ proptest! {
                         egress: EG,
                         demand: Bandwidth::from_mbps(demand_mbps),
                         min_bw: Bandwidth::from_mbps(min_mbps),
+                        window: SlotWindow::at(0),
                     };
                     prop_assert_eq!(memo.admit(req), naive.admit_naive(req));
                 }
@@ -163,6 +187,7 @@ proptest! {
             egress: EG,
             demand: Bandwidth::from_gbps(2),
             min_bw: Bandwidth::from_gbps(2),
+            window: SlotWindow::at(0),
         });
         prop_assert_eq!(g.unwrap(), Bandwidth::from_gbps(2));
     }

@@ -1,0 +1,239 @@
+//! Property tests for the time-indexed reservation timeline (DESIGN.md
+//! §15): the segment tree must agree with a naive per-slot vector oracle
+//! under arbitrary interleavings of reserve / free / advance / query, and
+//! the windowed admission module must keep its memoized aggregates
+//! reconcilable from scratch while time moves forward.
+
+use colibri_base::{
+    Bandwidth, Duration, InterfaceId, IsdAsId, ResId, ReservationKey, SlotWindow,
+};
+use colibri_ctrl::{SegrAdmission, SegrAdmissionConfig, SegrRequest, Timeline, TimelineError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const HORIZON: u64 = 64;
+
+/// Naive oracle: one u128 cell per absolute slot, no sharing, no tree.
+struct Oracle {
+    slots: HashMap<u64, u128>,
+    base: u64,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Self { slots: HashMap::new(), base: 0 }
+    }
+
+    fn live(&self, w: SlotWindow) -> SlotWindow {
+        SlotWindow::new(w.start.max(self.base), w.end.min(self.base + HORIZON))
+    }
+
+    fn reserve(&mut self, w: SlotWindow, bw: u128) {
+        let w = self.live(w);
+        for s in w.start..w.end {
+            *self.slots.entry(s).or_insert(0) += bw;
+        }
+    }
+
+    fn free(&mut self, w: SlotWindow, bw: u128) {
+        let w = self.live(w);
+        for s in w.start..w.end {
+            *self.slots.get_mut(&s).expect("free without reserve") -= bw;
+        }
+    }
+
+    fn max_usage(&self, w: SlotWindow) -> u128 {
+        let w = self.live(w);
+        (w.start..w.end).map(|s| self.slots.get(&s).copied().unwrap_or(0)).max().unwrap_or(0)
+    }
+
+    fn advance_to_slot(&mut self, slot: u64) {
+        if slot > self.base {
+            self.base = slot;
+            self.slots.retain(|&s, _| s >= slot);
+        }
+    }
+}
+
+/// One step of a timeline workload. Windows are expressed relative to the
+/// current base so every op stays meaningful as time advances.
+#[derive(Debug, Clone)]
+enum TlOp {
+    /// Reserve `bw` over `[base+from, base+from+len)`.
+    Reserve { from: u64, len: u64, bw: u128 },
+    /// Free one of the currently live reservations (index modulo).
+    Free { pick: usize },
+    /// Advance the present by `dt` slots.
+    Advance { dt: u64 },
+    /// Compare peak usage over `[base+from, base+from+len)`.
+    Query { from: u64, len: u64 },
+}
+
+fn arb_tl_op() -> impl Strategy<Value = TlOp> {
+    prop_oneof![
+        4 => (0u64..HORIZON, 1u64..32, 1u64..1_000_000).prop_map(|(from, len, bw)| {
+            TlOp::Reserve { from, len, bw: bw as u128 }
+        }),
+        2 => any::<usize>().prop_map(|pick| TlOp::Free { pick }),
+        2 => (1u64..16).prop_map(|dt| TlOp::Advance { dt }),
+        3 => (0u64..HORIZON, 1u64..HORIZON).prop_map(|(from, len)| TlOp::Query { from, len }),
+    ]
+}
+
+proptest! {
+    /// The segment tree and the per-slot vector oracle agree on every
+    /// peak query under arbitrary reserve/free/advance interleavings,
+    /// including windows clamped by the moving base and windows rejected
+    /// beyond the horizon.
+    #[test]
+    fn timeline_matches_slot_vector_oracle(
+        ops in prop::collection::vec(arb_tl_op(), 1..250),
+    ) {
+        let mut tl = Timeline::new(Duration::from_secs(1), HORIZON);
+        prop_assert_eq!(tl.horizon_slots(), HORIZON);
+        let mut oracle = Oracle::new();
+        // Live reservations: (window-as-issued, bw). Freed exactly once.
+        let mut live: Vec<(SlotWindow, u128)> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                TlOp::Reserve { from, len, bw } => {
+                    let base = tl.base_slot();
+                    let w = SlotWindow::new(base + from, base + from + len);
+                    if w.end > base + HORIZON {
+                        prop_assert_eq!(
+                            tl.reserve(w, bw),
+                            Err(TimelineError::BeyondHorizon {
+                                end: w.end,
+                                horizon_end: base + HORIZON,
+                            })
+                        );
+                    } else {
+                        tl.reserve(w, bw).unwrap();
+                        oracle.reserve(w, bw);
+                        live.push((w, bw));
+                    }
+                }
+                TlOp::Free { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (w, bw) = live.swap_remove(pick % live.len());
+                    // The stored window may now be partially in the past;
+                    // both sides clamp identically.
+                    tl.free(w, bw).unwrap();
+                    oracle.free(w, bw);
+                }
+                TlOp::Advance { dt } => {
+                    let slot = tl.base_slot() + dt;
+                    tl.advance_to_slot(slot);
+                    oracle.advance_to_slot(slot);
+                    // Drop model entries that are now entirely in the past.
+                    live.retain(|(w, _)| w.end > slot);
+                }
+                TlOp::Query { from, len } => {
+                    let base = tl.base_slot();
+                    let w = SlotWindow::new(base + from, base + from + len);
+                    prop_assert_eq!(tl.max_usage(w), oracle.max_usage(w), "window {}", w);
+                }
+            }
+            // Full-horizon peak always agrees.
+            let base = tl.base_slot();
+            let all = SlotWindow::new(base, base + HORIZON);
+            prop_assert_eq!(tl.max_usage(all), oracle.max_usage(all));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Windowed admission vs from-scratch reconciliation under moving time.
+// ---------------------------------------------------------------------
+
+const IN1: InterfaceId = InterfaceId(1);
+const IN2: InterfaceId = InterfaceId(2);
+const EG: InterfaceId = InterfaceId(3);
+
+#[derive(Debug, Clone)]
+enum AdmOp {
+    /// Admit over `[base+from, base+from+len)`.
+    Admit { src: u32, rid: u32, ingress: bool, from: u64, len: u64, demand_mbps: u64 },
+    Remove { src: u32, rid: u32 },
+    Finalize { src: u32, rid: u32, bw_mbps: u64 },
+    Advance { dt: u64 },
+}
+
+fn arb_adm_op() -> impl Strategy<Value = AdmOp> {
+    prop_oneof![
+        4 => (0u32..5, 0u32..10, any::<bool>(), 0u64..40, 1u64..20, 1u64..3000).prop_map(
+            |(src, rid, ingress, from, len, demand_mbps)| AdmOp::Admit {
+                src, rid, ingress, from, len, demand_mbps
+            }
+        ),
+        1 => (0u32..5, 0u32..10).prop_map(|(src, rid)| AdmOp::Remove { src, rid }),
+        1 => (0u32..5, 0u32..10, 0u64..3000).prop_map(|(src, rid, bw_mbps)| {
+            AdmOp::Finalize { src, rid, bw_mbps }
+        }),
+        1 => (1u64..8).prop_map(|dt| AdmOp::Advance { dt }),
+    ]
+}
+
+fn key(src: u32, rid: u32) -> ReservationKey {
+    ReservationKey::new(IsdAsId::new(1, 100 + src), ResId(rid))
+}
+
+proptest! {
+    /// Windowed admissions, removals, finalizations, and clock advances
+    /// keep every memoized time-indexed aggregate equal to a from-scratch
+    /// rebuild of the same entry set (§4.7 reconciliation), and the
+    /// present-slot grant total never exceeds the egress capacity.
+    #[test]
+    fn windowed_admission_reconciles_under_advance(
+        ops in prop::collection::vec(arb_adm_op(), 1..80),
+    ) {
+        let mut a = SegrAdmission::new(SegrAdmissionConfig {
+            colibri_share: 1.0,
+            horizon_slots: 64,
+            ..SegrAdmissionConfig::default()
+        });
+        a.set_interface_capacity(IN1, Bandwidth::from_gbps(2));
+        a.set_interface_capacity(IN2, Bandwidth::from_gbps(2));
+        a.set_interface_capacity(EG, Bandwidth::from_gbps(2));
+
+        for op in &ops {
+            match *op {
+                AdmOp::Admit { src, rid, ingress, from, len, demand_mbps } => {
+                    let base = a.current_slot();
+                    let _ = a.admit(SegrRequest {
+                        key: key(src, rid),
+                        ingress: if ingress { IN1 } else { IN2 },
+                        egress: EG,
+                        demand: Bandwidth::from_mbps(demand_mbps),
+                        min_bw: Bandwidth::ZERO,
+                        window: SlotWindow::new(base + from, base + from + len),
+                    });
+                }
+                AdmOp::Remove { src, rid } => {
+                    a.remove(key(src, rid));
+                }
+                AdmOp::Finalize { src, rid, bw_mbps } => {
+                    a.finalize(key(src, rid), Bandwidth::from_mbps(bw_mbps));
+                }
+                AdmOp::Advance { dt } => {
+                    a.advance_to_slot(a.current_slot() + dt);
+                }
+            }
+            if let Err(e) = a.audit() {
+                prop_assert!(false, "aggregate drift after {op:?}: {e}");
+            }
+            prop_assert!(
+                a.total_granted(EG) <= Bandwidth::from_gbps(2),
+                "present-slot over-allocation after {op:?}"
+            );
+            prop_assert!(
+                a.peak_granted(EG, SlotWindow::new(a.current_slot(), a.current_slot() + 64))
+                    <= Bandwidth::from_gbps(2),
+                "future-window over-allocation after {op:?}"
+            );
+        }
+    }
+}

@@ -59,6 +59,7 @@ fn main() {
         let req = colibri::ctrl::SegSetupReq {
             request_id: cserv.alloc_request_id(),
             deadline: Instant::MAX,
+            starts_at: Instant::EPOCH,
             res_info: colibri::wire::ResInfo {
                 src_as: IsdAsId::new(9, 9),
                 res_id: cserv.alloc_res_id(),

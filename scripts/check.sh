@@ -50,4 +50,13 @@ echo "==> repro_pipeline --quick --gate (data plane must not regress; telemetry 
 cargo run --release -q -p colibri-bench --bin repro_pipeline -- \
   --quick --gate --out target/BENCH_dataplane.quick.json
 
+echo "==> timeline/store property suites (segment tree ≡ slot-vector oracle, aggregates reconcile)"
+cargo test --release -q -p colibri-ctrl --test timeline_props
+cargo test --release -q -p colibri-ctrl --test proptests
+
+echo "==> repro_store --quick --gate (admit at 10^6 ≤ 2x 10^3; naive foil ≥100x;" \
+     "GC ∝ expired records; timeline ≡ oracle in release)"
+cargo run --release -q -p colibri-bench --bin repro_store -- \
+  --quick --gate --out target/BENCH_store.quick.json
+
 echo "==> all checks passed"

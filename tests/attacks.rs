@@ -137,6 +137,7 @@ fn tampered_control_message_fails_verification() {
     let req = SegSetupReq {
         request_id: 0,
         deadline: Instant::MAX,
+        starts_at: Instant::EPOCH,
         res_info: ResInfo {
             src_as: sample.leaf_a,
             res_id: colibri::base::ResId(0),

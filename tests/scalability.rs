@@ -11,7 +11,10 @@ fn key(asn: u32, rid: u32) -> ReservationKey {
 }
 
 fn admission_with_n_segrs(n: u32, same_source_ratio: f64) -> SegrAdmission {
-    let mut a = SegrAdmission::new(SegrAdmissionConfig { colibri_share: 1.0 });
+    let mut a = SegrAdmission::new(SegrAdmissionConfig {
+        colibri_share: 1.0,
+        ..SegrAdmissionConfig::default()
+    });
     a.set_interface_capacity(InterfaceId(1), Bandwidth::from_gbps(10_000));
     a.set_interface_capacity(InterfaceId(2), Bandwidth::from_gbps(10_000));
     for i in 0..n {
@@ -22,6 +25,7 @@ fn admission_with_n_segrs(n: u32, same_source_ratio: f64) -> SegrAdmission {
             egress: InterfaceId(2),
             demand: Bandwidth::from_mbps(10),
             min_bw: Bandwidth::ZERO,
+            window: colibri::base::SlotWindow::at(0),
         });
     }
     a
@@ -36,6 +40,7 @@ fn time_admissions(a: &mut SegrAdmission, reps: u32) -> f64 {
             egress: InterfaceId(2),
             demand: Bandwidth::from_mbps(1),
             min_bw: Bandwidth::ZERO,
+            window: colibri::base::SlotWindow::at(0),
         });
     }
     t0.elapsed().as_secs_f64() / reps as f64
@@ -147,5 +152,107 @@ fn gateway_handles_many_reservations() {
     for i in (0..n).step_by(9973) {
         let pkt = gw.process(HostAddr(1), ResId(i), b"x", now).unwrap();
         assert!(PacketView::parse(&pkt.bytes).is_ok());
+    }
+}
+
+/// Advance reservations end to end (DESIGN.md §15): a future window booked
+/// through a multi-AS path consumes no bandwidth before its start tick,
+/// activates exactly at it, and — if abandoned pre-activation — tears down
+/// to bit-identical admission aggregates at every on-path AS.
+#[test]
+fn advance_reservation_end_to_end() {
+    use colibri::ctrl::{setup_segr_at, teardown_segr, CservError};
+    use colibri::prelude::*;
+    use colibri::topology::gen::sample_two_isd;
+
+    let sample = sample_two_isd();
+    let mut reg = CservRegistry::provision(&sample.topo, CservConfig::default());
+    let now = Instant::from_secs(1);
+    let path = find_paths(&sample.topo, &sample.segments, sample.leaf_a, sample.leaf_d, 4)
+        .into_iter()
+        .next()
+        .unwrap();
+    assert!(path.as_path().len() >= 3, "need a multi-AS path");
+
+    // Book the whole path 100 s ahead of time (1 s slots → slot 101).
+    let starts_at = Instant::from_secs(101);
+    let start_slot = 101u64;
+    let mut keys = Vec::new();
+    for seg in &path.segments {
+        keys.push(
+            setup_segr_at(
+                &mut reg,
+                seg,
+                Bandwidth::from_mbps(500),
+                Bandwidth::from_mbps(1),
+                starts_at,
+                now,
+            )
+            .expect("advance booking")
+            .key,
+        );
+    }
+
+    // Zero bandwidth consumed before the start tick: every nonzero slot of
+    // every granted-bandwidth profile lies at or after `starts_at`'s slot.
+    for id in path.as_path() {
+        let snap = reg.get(id).unwrap().admission().aggregates();
+        for prof in snap.alloc.values() {
+            for (&slot, &v) in prof {
+                assert!(
+                    v == 0 || slot >= start_slot,
+                    "{id}: {v} bps allocated at slot {slot}, before start slot {start_slot}"
+                );
+            }
+        }
+    }
+
+    // EER traffic is refused before activation…
+    let hosts = EerInfo { src_host: HostAddr(1), dst_host: HostAddr(2) };
+    let err = setup_eer(&mut reg, &path, &keys, hosts, Bandwidth::from_mbps(5), now).unwrap_err();
+    assert!(
+        matches!(err, SetupError::Refused { reason: CservError::SegrNotActive(_), .. }),
+        "expected SegrNotActive before the start tick, got {err:?}"
+    );
+
+    // …and honored from the start tick on.
+    setup_eer(&mut reg, &path, &keys, hosts, Bandwidth::from_mbps(5), starts_at)
+        .expect("EER once the advance reservation is active");
+
+    // Pre-activation abort: a second future booking, torn down before its
+    // start, restores every AS's admission aggregates exactly.
+    let before: Vec<_> = path
+        .as_path()
+        .into_iter()
+        .map(|id| (id, reg.get(id).unwrap().admission().aggregates()))
+        .collect();
+    let mut keys2 = Vec::new();
+    for seg in &path.segments {
+        keys2.push(
+            setup_segr_at(
+                &mut reg,
+                seg,
+                Bandwidth::from_mbps(200),
+                Bandwidth::from_mbps(1),
+                Instant::from_secs(200),
+                now,
+            )
+            .expect("second advance booking")
+            .key,
+        );
+    }
+    assert!(
+        before.iter().any(|(id, snap)| reg.get(*id).unwrap().admission().aggregates() != *snap),
+        "second booking left no trace to roll back"
+    );
+    for key in keys2 {
+        teardown_segr(&mut reg, key).expect("pre-activation teardown");
+    }
+    for (id, snap) in &before {
+        assert_eq!(
+            &reg.get(*id).unwrap().admission().aggregates(),
+            snap,
+            "aggregates at {id} differ after pre-activation teardown"
+        );
     }
 }
