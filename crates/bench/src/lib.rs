@@ -96,7 +96,7 @@ pub fn bench_gateway(n_hops: usize, r: usize, now: Instant) -> (Gateway, Vec<Res
         .iter()
         .map(|a| SecretValueGen::new(&master_secret_for(*a)).secret_value(epoch).cmac())
         .collect();
-    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() });
     let mut ids = Vec::with_capacity(r);
     for i in 0..r {
         let res_info = ResInfo {

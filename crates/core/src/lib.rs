@@ -62,6 +62,7 @@
 //! | [`dataplane`] | gateway, border router, classes | §3.4, §4.6, App. B |
 //! | [`host`] | end-host stack: flows, renewal, pacing | §3.2 |
 //! | [`monitor`] | token bucket, OFD, replay, policing | §4.8 |
+//! | [`qdisc`] | hierarchical QoS: HTB shaping, DRR, codel AQM | §3.4, App. B |
 //! | [`sim`] | discrete-event simulator, Table 2 | §7 |
 //! | [`telemetry`] | lock-free metrics, trace ring, exposition | — |
 
@@ -74,6 +75,7 @@ pub use colibri_ctrl as ctrl;
 pub use colibri_dataplane as dataplane;
 pub use colibri_host as host;
 pub use colibri_monitor as monitor;
+pub use colibri_qdisc as qdisc;
 pub use colibri_sim as sim;
 pub use colibri_telemetry as telemetry;
 pub use colibri_topology as topology;
@@ -93,8 +95,9 @@ pub mod prelude {
     };
     pub use colibri_dataplane::{
         stamp_segr_packet, BorderRouter, DropReason, Gateway, GatewayConfig, GatewayError,
-        RouterConfig, RouterVerdict, TrafficClass, TrafficSplit,
+        QosMode, RouterConfig, RouterVerdict, TrafficClass, TrafficSplit,
     };
+    pub use colibri_qdisc::{HtbConfig, Qdisc, QdiscStats};
     pub use colibri_host::{FlowConfig, FlowId, FlowKind, FlowManager, PacedSender};
     pub use colibri_monitor::{OveruseFlowDetector, ReplaySuppressor, TokenBucket, TransitMonitor};
     pub use colibri_sim::{protection_experiment, ProtectionConfig, Simulation};

@@ -8,26 +8,20 @@
 //! EER data. Crucially, *no bandwidth is wasted*: an underutilized class's
 //! share is scavenged by the others — in practice by best-effort traffic.
 //!
-//! [`CbwfqScheduler`] implements the byte-level allocation the simulator
-//! and the protection experiment (Table 2) use: given per-class offered
-//! load over an interval, it computes how many bytes of each class the
-//! link serves. Colibri data never exceeds its admitted reservations (the
-//! CServ guarantees ΣEERs ≤ capacity share), so strict prioritization of
-//! Colibri classes cannot starve best-effort below its floor.
+//! The class level itself lives in `colibri-qdisc` (the hierarchy's second
+//! tier); [`TrafficClass`] is re-exported from there so the workspace has
+//! exactly one definition. [`CbwfqScheduler`] keeps the byte-level
+//! interval allocation the simulator and the protection experiment
+//! (Table 2) use, delegating the split-plus-scavenge arithmetic to
+//! [`colibri_qdisc::scavenge_allocate`] — one source of truth shared with
+//! the gateway's service rounds. Colibri data never exceeds its admitted
+//! reservations (the CServ guarantees ΣEERs ≤ capacity share), so strict
+//! prioritization of Colibri classes cannot starve best-effort below its
+//! floor.
 
 use colibri_base::Bandwidth;
 
-/// The three traffic classes of Appendix B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum TrafficClass {
-    /// Colibri control traffic (SegReqs/EEReqs over reservations): highest
-    /// priority, tiny volume.
-    ColibriControl,
-    /// Colibri EER data traffic: admitted, authenticated, monitored.
-    ColibriData,
-    /// Everything else; scavenges unused Colibri bandwidth.
-    BestEffort,
-}
+pub use colibri_qdisc::TrafficClass;
 
 /// The capacity split between classes.
 #[derive(Debug, Clone, Copy)]
@@ -47,22 +41,29 @@ impl Default for TrafficSplit {
 }
 
 impl TrafficSplit {
-    /// Validates that the shares sum to 1 (within ε).
+    /// Validates that every share is a finite non-negative number and the
+    /// shares sum to 1 (within ε). NaN fails every comparison, so it is
+    /// rejected; infinities are rejected explicitly — `+∞` on one share
+    /// with `-∞` on another would otherwise cancel inside the sum check
+    /// and admit a split that scales every allocation to garbage.
     pub fn is_valid(&self) -> bool {
-        self.best_effort >= 0.0
-            && self.control >= 0.0
-            && self.data >= 0.0
+        let shares = [self.best_effort, self.control, self.data];
+        shares.iter().all(|s| s.is_finite() && *s >= 0.0)
             && (self.best_effort + self.control + self.data - 1.0).abs() < 1e-9
     }
 
     /// The guaranteed bandwidth of one class on a link of `capacity`.
     pub fn guaranteed(&self, class: TrafficClass, capacity: Bandwidth) -> Bandwidth {
-        let share = match class {
+        capacity.scale(self.share(class))
+    }
+
+    /// The fractional share of one class.
+    pub fn share(&self, class: TrafficClass) -> f64 {
+        match class {
             TrafficClass::ColibriControl => self.control,
             TrafficClass::ColibriData => self.data,
             TrafficClass::BestEffort => self.best_effort,
-        };
-        capacity.scale(share)
+        }
     }
 }
 
@@ -96,6 +97,15 @@ impl Served {
     pub fn total(&self) -> u64 {
         self.control + self.data + self.best_effort
     }
+
+    /// The class-indexed array form ([`TrafficClass::index`] order).
+    fn to_array(self) -> [u64; 3] {
+        [self.control, self.data, self.best_effort]
+    }
+
+    fn from_array(a: [u64; 3]) -> Self {
+        Self { control: a[0], data: a[1], best_effort: a[2] }
+    }
 }
 
 impl CbwfqScheduler {
@@ -110,31 +120,18 @@ impl CbwfqScheduler {
         self.split
     }
 
-    /// Allocates a byte budget among the offered loads.
+    /// Allocates a byte budget among the offered loads via
+    /// [`colibri_qdisc::scavenge_allocate`] (the class level of the
+    /// hierarchy — same guarantees, same scavenging order).
     pub fn allocate(&self, budget_bytes: u64, offered: Served) -> Served {
         let b = budget_bytes as f64;
-        let g_ctrl = (b * self.split.control) as u64;
-        let g_data = (b * self.split.data) as u64;
-        let g_be = (b * self.split.best_effort) as u64;
-
-        let mut served = Served {
-            control: offered.control.min(g_ctrl),
-            data: offered.data.min(g_data),
-            best_effort: offered.best_effort.min(g_be),
-        };
-        let mut leftover = budget_bytes - served.total();
-        // Scavenging in priority order.
-        for (off, srv) in [
-            (offered.control, &mut served.control),
-            (offered.data, &mut served.data),
-            (offered.best_effort, &mut served.best_effort),
-        ] {
-            let want = off - *srv;
-            let extra = want.min(leftover);
-            *srv += extra;
-            leftover -= extra;
-        }
-        served
+        let guaranteed = TrafficClass::ALL
+            .map(|c| (b * self.split.share(c)) as u64);
+        Served::from_array(colibri_qdisc::scavenge_allocate(
+            budget_bytes,
+            guaranteed,
+            offered.to_array(),
+        ))
     }
 }
 
@@ -150,6 +147,20 @@ mod tests {
     fn split_validation() {
         assert!(TrafficSplit::default().is_valid());
         assert!(!TrafficSplit { best_effort: 0.5, control: 0.5, data: 0.5 }.is_valid());
+    }
+
+    #[test]
+    fn split_rejects_non_finite_and_negative_shares() {
+        let nan = TrafficSplit { best_effort: f64::NAN, control: 0.05, data: 0.75 };
+        assert!(!nan.is_valid(), "NaN share must be rejected");
+        // ±∞ cancel inside a naive sum check; the explicit finiteness
+        // check must catch them.
+        let inf = TrafficSplit { best_effort: f64::INFINITY, control: f64::NEG_INFINITY, data: 1.0 };
+        assert!(!inf.is_valid(), "infinite shares must be rejected");
+        let neg = TrafficSplit { best_effort: -0.2, control: 0.45, data: 0.75 };
+        assert!(!neg.is_valid(), "negative share must be rejected");
+        let inf_sum = TrafficSplit { best_effort: f64::INFINITY, control: 0.05, data: 0.75 };
+        assert!(!inf_sum.is_valid());
     }
 
     #[test]

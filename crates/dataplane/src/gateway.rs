@@ -20,6 +20,7 @@ use colibri_crypto::Cmac;
 use colibri_ctrl::OwnedEer;
 use colibri_telemetry::Registry;
 use colibri_monitor::TokenBucket;
+use colibri_qdisc::{AdmitError, HtbConfig, Qdisc, QdiscStats, TrafficClass};
 use colibri_wire::mac::{eer_hvf4_with, eer_hvf8_with, eer_hvf_with};
 use colibri_wire::{EerInfo, HopField, PacketBuilder, PacketViewMut, ResInfo};
 use std::collections::HashMap;
@@ -113,16 +114,32 @@ pub struct StampedPacket {
     pub first_egress: colibri_base::InterfaceId,
 }
 
+/// How the gateway polices per-reservation bandwidth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QosMode {
+    /// The paper's flat per-reservation token bucket (§4.8). Default, and
+    /// the differential foil the hierarchical path is proven against.
+    #[default]
+    Flat,
+    /// The four-level hierarchy of `colibri-qdisc`: uplink → class →
+    /// reservation → host, with scavenging and best-effort AQM. With
+    /// [`HtbConfig::degenerate`] the verdicts are bit-identical to
+    /// [`QosMode::Flat`] (the reservation nodes *are* the flat monitor).
+    Hierarchical(HtbConfig),
+}
+
 /// Gateway configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct GatewayConfig {
     /// Token-bucket burst allowance.
     pub burst: Duration,
+    /// Bandwidth-policing mode (flat monitor or hierarchical qdisc).
+    pub qos: QosMode,
 }
 
 impl Default for GatewayConfig {
     fn default() -> Self {
-        Self { burst: Duration::from_millis(50) }
+        Self { burst: Duration::from_millis(50), qos: QosMode::Flat }
     }
 }
 
@@ -130,6 +147,12 @@ impl Default for GatewayConfig {
 pub struct Gateway {
     cfg: GatewayConfig,
     table: HashMap<ResId, Entry>,
+    /// The hierarchical QoS tree, present iff `cfg.qos` is
+    /// [`QosMode::Hierarchical`]. When present it replaces the per-entry
+    /// flat monitor as the admission authority; the entry monitors are
+    /// kept installed but not consulted, preserving the flat path as the
+    /// differential foil.
+    qdisc: Option<Qdisc>,
     telemetry: Option<GatewayTelemetry>,
     /// Counters for observability and the protection experiment.
     pub stats: GatewayStats,
@@ -158,15 +181,25 @@ impl GatewayStats {
 impl Gateway {
     /// An empty gateway.
     pub fn new(cfg: GatewayConfig) -> Self {
-        Self { cfg, table: HashMap::new(), telemetry: None, stats: GatewayStats::default() }
+        let qdisc = match cfg.qos {
+            QosMode::Flat => None,
+            // All buckets start full, so building the tree at the epoch is
+            // equivalent to building it at first use.
+            QosMode::Hierarchical(htb) => Some(Qdisc::new(htb, Instant::EPOCH)),
+        };
+        Self { cfg, table: HashMap::new(), qdisc, telemetry: None, stats: GatewayStats::default() }
     }
 
     /// Attaches telemetry (outcome counters plus the Volatile per-packet
     /// stamp-latency histogram), registered under `shard` in `registry`.
     /// Detached gateways — the default — pay one predictable branch per
-    /// packet.
+    /// packet. A hierarchical gateway also registers the qdisc's per-node
+    /// drop/shed/scavenge/sojourn metrics under the same shard.
     pub fn attach_telemetry(&mut self, registry: &Registry, shard: &str) {
         self.telemetry = Some(GatewayTelemetry::new(registry, shard));
+        if let Some(q) = &mut self.qdisc {
+            q.attach_telemetry(registry, shard);
+        }
     }
 
     /// Installs (or refreshes) a reservation from the CServ's owned-EER
@@ -182,6 +215,9 @@ impl Gateway {
     pub fn install(&mut self, eer: &OwnedEer, now: Instant) {
         if eer.hop_fields.is_empty() || eer.hop_fields.len() > colibri_wire::MAX_HOPS {
             self.table.remove(&eer.key.res_id);
+            if let Some(q) = &mut self.qdisc {
+                q.remove(eer.key.res_id);
+            }
             return;
         }
         let versions: Vec<InstalledVersion> = eer
@@ -203,15 +239,26 @@ impl Gateway {
             .collect();
         if versions.is_empty() {
             self.table.remove(&eer.key.res_id);
+            if let Some(q) = &mut self.qdisc {
+                q.remove(eer.key.res_id);
+            }
             return;
         }
         // The monitored rate is the maximum over live versions: using
         // several versions cannot multiply bandwidth (§4.2/§4.8).
         let rate = versions.iter().map(|v| v.bw).max().unwrap();
+        if let Some(q) = &mut self.qdisc {
+            // Renewals reconfigure the node inside: tokens carry over.
+            q.install(eer.key.res_id, TrafficClass::ColibriData, rate, now);
+        }
         match self.table.get_mut(&eer.key.res_id) {
             Some(entry) => {
                 entry.versions = versions;
-                entry.monitor.set_rate(rate);
+                // A renewal carries the accumulated bucket tokens over —
+                // settle elapsed time at the *old* rate, then clamp to the
+                // new depth — so a mid-stream rate change never mints a
+                // retroactive free burst (see `TokenBucket::reconfigure`).
+                entry.monitor.reconfigure(rate, self.cfg.burst, now);
                 // Evict replay-ordering state of versions that no longer
                 // exist (expired or superseded): their `Ts` values can
                 // never be stamped again, so keeping them only grows the
@@ -241,20 +288,49 @@ impl Gateway {
     /// phase 3). Packets remain fully authentic — their `Bw` field and
     /// HVFs are unchanged — so only downstream probabilistic monitoring
     /// can catch the overuse.
-    pub fn override_monitor_rate(&mut self, res_id: ResId, rate: Bandwidth) {
+    ///
+    /// Like a renewal, the rate change *carries the accumulated tokens
+    /// over* (settled at the old rate as of `now`) rather than resetting
+    /// burst state: even a malicious override cannot retroactively mint
+    /// tokens for the interval before it happened.
+    pub fn override_monitor_rate(&mut self, res_id: ResId, rate: Bandwidth, now: Instant) {
         if let Some(e) = self.table.get_mut(&res_id) {
-            e.monitor.set_rate(rate);
+            e.monitor.reconfigure(rate, self.cfg.burst, now);
+            if let Some(q) = &mut self.qdisc {
+                if q.rate_of(res_id).is_some() {
+                    q.install(res_id, TrafficClass::ColibriData, rate, now);
+                }
+            }
         }
     }
 
     /// Removes a reservation.
     pub fn remove(&mut self, res_id: ResId) {
         self.table.remove(&res_id);
+        if let Some(q) = &mut self.qdisc {
+            q.remove(res_id);
+        }
     }
 
     /// Number of installed reservations (the `r` parameter of Figs. 5–6).
     pub fn len(&self) -> usize {
         self.table.len()
+    }
+
+    /// The qdisc's accumulated counters, if the gateway is hierarchical.
+    pub fn qos_stats(&self) -> Option<QdiscStats> {
+        self.qdisc.as_ref().map(|q| q.stats())
+    }
+
+    /// Mutable access to the hierarchy (drive `enqueue`/`service` rounds,
+    /// e.g. from the simulator or the `repro_qos` bench), if configured.
+    pub fn qdisc_mut(&mut self) -> Option<&mut Qdisc> {
+        self.qdisc.as_mut()
+    }
+
+    /// Shared access to the hierarchy, if configured.
+    pub fn qdisc(&self) -> Option<&Qdisc> {
+        self.qdisc.as_ref()
     }
 
     /// Whether the table is empty.
@@ -328,8 +404,26 @@ impl Gateway {
             return Err(GatewayError::Expired(res_id));
         };
         let pkt_size = colibri_wire::header_len(entry.hops.len(), true) + payload.len();
-        // Deterministic monitoring (§4.8), sized by the full packet.
-        if !entry.monitor.try_consume(pkt_size as u64, now) {
+        // Deterministic monitoring (§4.8), sized by the full packet: the
+        // hierarchical tree when configured (host → reservation → class →
+        // uplink accounting), the flat per-entry bucket otherwise.
+        let admitted = match &mut self.qdisc {
+            Some(q) => match q.admit(res_id, src_host, pkt_size as u64, now) {
+                Ok(()) => true,
+                Err(AdmitError::UnknownReservation(_)) => {
+                    // Tree and table are installed/removed together; an
+                    // entry without a node means teardown raced ahead.
+                    self.stats.rejected += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.rejected.inc();
+                    }
+                    return Err(GatewayError::UnknownReservation(res_id));
+                }
+                Err(AdmitError::RateLimited(_) | AdmitError::HostCapped(..)) => false,
+            },
+            None => entry.monitor.try_consume(pkt_size as u64, now),
+        };
+        if !admitted {
             self.stats.rate_limited += 1;
             if let Some(t) = &self.telemetry {
                 t.rate_limited.inc();
@@ -440,7 +534,7 @@ mod tests {
     }
 
     fn gw() -> Gateway {
-        Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) })
+        Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() })
     }
 
     #[test]
@@ -565,7 +659,7 @@ mod tests {
         // bytes are charged — after ~23 packets the bucket is empty even
         // though no payload was ever sent (defense against header-only
         // flooding, §4.8).
-        let mut g = Gateway::new(GatewayConfig { burst: Duration::from_millis(1) });
+        let mut g = Gateway::new(GatewayConfig { burst: Duration::from_millis(1), ..Default::default() });
         let t0 = Instant::from_secs(0);
         let mut o = owned(1, vec![(0, Bandwidth::from_kbps(8), Instant::from_secs(16))]);
         o.versions[0].bw = Bandwidth::from_kbps(8);

@@ -36,7 +36,7 @@ pub mod telemetry;
 pub use classes::{CbwfqScheduler, Served, TrafficClass, TrafficSplit};
 pub use control::stamp_segr_packet;
 pub use crypto_cache::{ClockCache, CryptoCacheConfig, CryptoCacheStats, RouterCryptoCaches};
-pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, StampedPacket};
+pub use gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, QosMode, StampedPacket};
 pub use parallel::{
     GatewayPoolSnapshot, ParallelGateway, RoutedOutput, RouterPoolSnapshot, RouterShardSnapshot,
     ShardRouterPool, StampedOutput,

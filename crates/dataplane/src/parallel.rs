@@ -40,6 +40,7 @@ use crate::gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats};
 use crate::router::{BorderRouter, RouterStats, RouterVerdict};
 use crate::sharded::shard_index;
 use colibri_base::{HostAddr, Instant, InterfaceId, ResId};
+use colibri_qdisc::QdiscStats;
 use colibri_ctrl::OwnedEer;
 use colibri_ring::{ring, Consumer, Producer, TrySendError};
 use colibri_telemetry::{Counter, Registry, Stability};
@@ -63,6 +64,10 @@ pub struct GatewayPoolSnapshot {
     pub shards: usize,
     /// Summed outcome counters.
     pub stats: GatewayStats,
+    /// Cross-shard merge of every worker's qdisc counters. `None` when
+    /// the pool ran with [`crate::gateway::QosMode::Flat`]; each shard
+    /// owns a *private* hierarchy, so this is the only pool-wide view.
+    pub qos: Option<QdiscStats>,
 }
 
 /// Per-shard contribution to a [`RouterPoolSnapshot`]: what one worker
@@ -145,7 +150,7 @@ pub struct StampedOutput {
 struct GatewayWorker {
     jobs: Producer<GatewayJob>,
     out: Consumer<StampedOutput>,
-    handle: Option<JoinHandle<GatewayStats>>,
+    handle: Option<JoinHandle<(GatewayStats, Option<QdiscStats>)>>,
 }
 
 /// A bank of gateway shards, each pinned to its own worker thread.
@@ -323,8 +328,11 @@ impl ParallelGateway {
             while let Some(item) = w.out.try_recv() {
                 out.push(item);
             }
-            let s = handle.join().expect("gateway worker panicked");
+            let (s, qos) = handle.join().expect("gateway worker panicked");
             snap.stats.merge(&s);
+            if let Some(q) = qos {
+                snap.qos.get_or_insert_with(QdiscStats::default).merge(&q);
+            }
         }
         snap
     }
@@ -340,7 +348,7 @@ fn gateway_worker(
     mut gw: Gateway,
     mut jobs: Consumer<GatewayJob>,
     mut out: Producer<StampedOutput>,
-) -> GatewayStats {
+) -> (GatewayStats, Option<QdiscStats>) {
     let mut batch = Vec::with_capacity(WORKER_BATCH);
     while jobs.recv_many(&mut batch, WORKER_BATCH) {
         for job in batch.drain(..) {
@@ -354,14 +362,14 @@ fn gateway_worker(
                     let output = StampedOutput { res_id, result, bytes: buf, payload };
                     if out.send(output).is_err() {
                         // Driver is gone; nothing left to report to.
-                        return gw.stats;
+                        return (gw.stats, gw.qos_stats());
                     }
                 }
             }
         }
     }
     out.close();
-    gw.stats
+    (gw.stats, gw.qos_stats())
 }
 
 // ---------------------------------------------------------------------------
@@ -739,7 +747,7 @@ mod tests {
         let now = Instant::from_secs(1);
         let mut pg = ParallelGateway::new(
             3,
-            GatewayConfig { burst: Duration::from_secs(3600) },
+            GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() },
             16,
         );
         for i in 0..8 {
@@ -880,7 +888,7 @@ mod tests {
 
         // Build minimally valid *headers* for three reservations (the
         // packets won't verify, but steering only reads the header).
-        let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+        let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() });
         for r in [1u32, 2, 3] {
             gw.install(&owned(r), now);
         }
@@ -934,7 +942,7 @@ mod tests {
         let reg = Registry::new();
         let mut pg = ParallelGateway::with_telemetry(
             2,
-            GatewayConfig { burst: Duration::from_secs(3600) },
+            GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() },
             16,
             &reg,
         );

@@ -93,6 +93,17 @@ impl ShardedGateway {
         })
     }
 
+    /// Aggregated qdisc counters over all shards, `None` when the bank
+    /// runs flat (each shard owns a private hierarchy; this is the
+    /// cross-shard merge).
+    pub fn qos_stats(&self) -> Option<colibri_qdisc::QdiscStats> {
+        self.shards.iter().filter_map(Gateway::qos_stats).fold(None, |acc, s| {
+            let mut merged = acc.unwrap_or_default();
+            merged.merge(&s);
+            Some(merged)
+        })
+    }
+
     /// Direct access to one shard (e.g. to hand each to its own thread).
     pub fn shard_mut(&mut self, i: usize) -> &mut Gateway {
         &mut self.shards[i]
@@ -164,7 +175,7 @@ mod tests {
 
     #[test]
     fn rate_limit_stays_per_reservation_across_shards() {
-        let mut sg = ShardedGateway::new(8, GatewayConfig { burst: Duration::from_millis(1) });
+        let mut sg = ShardedGateway::new(8, GatewayConfig { burst: Duration::from_millis(1), ..Default::default() });
         let now = Instant::from_secs(1);
         sg.install(&owned(1), now);
         sg.install(&owned(2), now);

@@ -780,7 +780,7 @@ mod tests {
                 hop_auths: vec![sigma, Key([0; 16])],
             }],
         };
-        let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+        let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() });
         gw.install(&eer, now);
         gw
     }

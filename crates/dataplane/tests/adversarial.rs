@@ -285,7 +285,7 @@ fn auth_gateway(res_id: u32, now: Instant) -> Gateway {
             hop_auths: vec![sigma, Key([0; 16])],
         }],
     };
-    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() });
     gw.install(&eer, now);
     gw
 }

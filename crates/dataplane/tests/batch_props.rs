@@ -313,7 +313,7 @@ proptest! {
         )
     ) {
         let now = Instant::from_secs(100);
-        let cfg = GatewayConfig { burst: Duration::from_secs(3600) };
+        let cfg = GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() };
         let mut a = Gateway::new(cfg);
         let mut b = Gateway::new(cfg);
         for id in 0..4u32 {
@@ -418,7 +418,7 @@ proptest! {
         use colibri_telemetry::Registry;
 
         let now = Instant::from_secs(100);
-        let cfg = GatewayConfig { burst: Duration::from_secs(3600) };
+        let cfg = GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() };
         let reg_a = Registry::new();
         let reg_b = Registry::new();
         let mut a = Gateway::new(cfg);

@@ -207,7 +207,7 @@ fn gateway_steady_state_performs_no_key_expansion() {
             hop_auths: (0..hops).map(|h| colibri_crypto::Key([h as u8; 16])).collect(),
         }],
     };
-    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+    let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() });
     // Install expands every σ schedule exactly once.
     let (_, install_expansions) = crypto_ops_of(|| gw.install(&eer, now));
     assert_eq!(install_expansions as usize, hops);

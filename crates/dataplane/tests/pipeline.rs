@@ -255,7 +255,7 @@ fn overusing_source_as_gets_blocked_at_transit() {
     // Misbehaving source AS: its gateway stamps authentic packets but does
     // not rate-limit them.
     let leaf = net.path_ases[0];
-    net.gateway.override_monitor_rate(net.res_id, Bandwidth::from_gbps(10));
+    net.gateway.override_monitor_rate(net.res_id, Bandwidth::from_gbps(10), now);
 
     let second_as = net.path_ases[1];
     let payload = vec![0u8; 1200];

@@ -1,0 +1,241 @@
+//! A deterministic codel-style AQM for best-effort leaf queues.
+//!
+//! Classic CoDel (Nichols & Jacobson, "Controlling Queue Delay") keyed to
+//! the workspace's virtual clock: every packet records its enqueue time,
+//! and at dequeue the *sojourn time* (now − enqueued) is compared against
+//! a `target`. Once the standing queue has exceeded the target for a full
+//! `interval`, the queue enters the dropping state and head-drops packets
+//! at the control-law spacing `interval / √count`, backing off only when
+//! sojourn falls below target again.
+//!
+//! Differences from the RFC 8289 pseudocode, chosen for determinism in a
+//! discrete-event setting:
+//!
+//! * **No ECN** — the variant is drop-only (Colibri best-effort traffic
+//!   carries no ECN semantics in the simulator).
+//! * **Integer control law** — `√count` is the integer square root, so the
+//!   drop schedule is exactly reproducible across runs and platforms.
+//! * **No "re-entry speedup"** (the `count - 2` hysteresis): count restarts
+//!   at 1 on each entry into the dropping state. Simpler, deterministic,
+//!   and conservative (never drops faster than the RFC variant).
+//!
+//! The guard "never drop when fewer than one MTU is queued" is kept: a
+//! leaf draining its last packet is by definition not building a standing
+//! queue.
+
+use colibri_base::{Duration, Instant};
+
+/// One MTU: codel never drops when the queue holds at most this many bytes.
+pub const MTU_BYTES: u64 = 1514;
+
+/// Codel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodelConfig {
+    /// Acceptable standing-queue sojourn time (classic default 5 ms).
+    pub target: Duration,
+    /// Sliding window over which sojourn must exceed `target` before
+    /// dropping starts (classic default 100 ms).
+    pub interval: Duration,
+}
+
+impl Default for CodelConfig {
+    fn default() -> Self {
+        Self { target: Duration::from_millis(5), interval: Duration::from_millis(100) }
+    }
+}
+
+/// Per-queue codel state: 25 bytes of deterministic control state.
+#[derive(Debug, Clone)]
+pub struct Codel {
+    cfg: CodelConfig,
+    /// When the sojourn time first rose above target (+interval), if it
+    /// has not dipped below since.
+    first_above: Option<Instant>,
+    /// In the dropping state?
+    dropping: bool,
+    /// Next scheduled drop while in the dropping state.
+    drop_next: Instant,
+    /// Drops in the current dropping episode (control-law divisor).
+    count: u32,
+}
+
+/// Integer square root (floor), `isqrt(0) = 0`.
+fn isqrt(n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = n;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x
+}
+
+impl Codel {
+    /// Fresh codel state.
+    pub fn new(cfg: CodelConfig) -> Self {
+        Self {
+            cfg,
+            first_above: None,
+            dropping: false,
+            drop_next: Instant::from_secs(0),
+            count: 0,
+        }
+    }
+
+    /// `drop_next = t + interval / √count` (count ≥ 1).
+    fn control_law(&self, t: Instant) -> Instant {
+        t + Duration::from_nanos(self.cfg.interval.as_nanos() / isqrt(self.count).max(1) as u64)
+    }
+
+    /// Whether the head packet is persistently above target: the
+    /// "ok to drop" half of the classic algorithm.
+    fn above_target(&mut self, sojourn: Duration, queued_bytes: u64, now: Instant) -> bool {
+        if sojourn < self.cfg.target || queued_bytes <= MTU_BYTES {
+            self.first_above = None;
+            return false;
+        }
+        match self.first_above {
+            None => {
+                // Just went above: arm the interval timer, don't drop yet.
+                self.first_above = Some(now + self.cfg.interval);
+                false
+            }
+            Some(first) => now >= first,
+        }
+    }
+
+    /// Decides the head packet's fate at dequeue time. `sojourn` is
+    /// `now − enqueue_time` of the head, `queued_bytes` the total bytes in
+    /// the leaf *including* the head. Returns `true` if the head must be
+    /// head-dropped (the caller pops it and re-asks for the next head).
+    pub fn on_dequeue(&mut self, sojourn: Duration, queued_bytes: u64, now: Instant) -> bool {
+        let above = self.above_target(sojourn, queued_bytes, now);
+        if self.dropping {
+            if !above {
+                self.dropping = false;
+                return false;
+            }
+            if now >= self.drop_next {
+                self.count += 1;
+                self.drop_next = self.control_law(self.drop_next);
+                return true;
+            }
+            false
+        } else if above {
+            // Enter the dropping state: drop the head now, schedule the
+            // next drop one control-law step out.
+            self.dropping = true;
+            self.count = 1;
+            self.drop_next = self.control_law(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the queue is currently in the dropping state.
+    pub fn dropping(&self) -> bool {
+        self.dropping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for (n, r) in [(0, 0), (1, 1), (3, 1), (4, 2), (8, 2), (9, 3), (100, 10), (101, 10)] {
+            assert_eq!(isqrt(n), r, "isqrt({n})");
+        }
+        assert_eq!(isqrt(u32::MAX), 65535);
+    }
+
+    #[test]
+    fn below_target_never_drops() {
+        let mut c = Codel::new(CodelConfig::default());
+        let mut now = Instant::from_secs(1);
+        for _ in 0..1000 {
+            assert!(!c.on_dequeue(ms(1), 1_000_000, now));
+            now += ms(1);
+        }
+    }
+
+    #[test]
+    fn sustained_standing_queue_triggers_head_drop_after_interval() {
+        let mut c = Codel::new(CodelConfig::default());
+        let t0 = Instant::from_secs(1);
+        // Sojourn persistently above target (5 ms): no drop until a full
+        // interval (100 ms) has elapsed above.
+        assert!(!c.on_dequeue(ms(50), 1_000_000, t0));
+        assert!(!c.on_dequeue(ms(50), 1_000_000, t0 + ms(99)));
+        assert!(c.on_dequeue(ms(50), 1_000_000, t0 + ms(100)), "interval elapsed: drop");
+        assert!(c.dropping());
+    }
+
+    #[test]
+    fn drop_spacing_follows_control_law() {
+        let mut c = Codel::new(CodelConfig::default());
+        let t0 = Instant::from_secs(1);
+        let _ = c.on_dequeue(ms(50), 1_000_000, t0);
+        let first = c.on_dequeue(ms(50), 1_000_000, t0 + ms(100));
+        assert!(first);
+        // Second drop is scheduled interval/⌊√1⌋ = 100 ms after the first.
+        assert!(!c.on_dequeue(ms(50), 1_000_000, t0 + ms(150)));
+        assert!(c.on_dequeue(ms(50), 1_000_000, t0 + ms(200)));
+        // Integer control law: counts 2 and 3 still space at
+        // interval/⌊√count⌋ = 100 ms...
+        assert!(!c.on_dequeue(ms(50), 1_000_000, t0 + ms(299)));
+        assert!(c.on_dequeue(ms(50), 1_000_000, t0 + ms(300)));
+        assert!(c.on_dequeue(ms(50), 1_000_000, t0 + ms(400)));
+        // ...and count 4 tightens to interval/2 = 50 ms.
+        assert!(!c.on_dequeue(ms(50), 1_000_000, t0 + ms(449)));
+        assert!(c.on_dequeue(ms(50), 1_000_000, t0 + ms(450)));
+    }
+
+    #[test]
+    fn recovery_exits_dropping_state() {
+        let mut c = Codel::new(CodelConfig::default());
+        let t0 = Instant::from_secs(1);
+        let _ = c.on_dequeue(ms(50), 1_000_000, t0);
+        assert!(c.on_dequeue(ms(50), 1_000_000, t0 + ms(100)));
+        // Sojourn back under target: state resets, no drops.
+        assert!(!c.on_dequeue(ms(1), 1_000_000, t0 + ms(300)));
+        assert!(!c.dropping());
+        assert!(!c.on_dequeue(ms(1), 1_000_000, t0 + ms(400)));
+    }
+
+    #[test]
+    fn never_drops_last_mtu() {
+        let mut c = Codel::new(CodelConfig::default());
+        let t0 = Instant::from_secs(1);
+        // Huge sojourn but ≤ 1 MTU queued: never dropped.
+        assert!(!c.on_dequeue(ms(500), MTU_BYTES, t0));
+        assert!(!c.on_dequeue(ms(500), MTU_BYTES, t0 + ms(200)));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut c = Codel::new(CodelConfig::default());
+            let mut drops = Vec::new();
+            let mut now = Instant::from_secs(0);
+            for i in 0..500u64 {
+                let soj = ms(if i % 7 == 0 { 2 } else { 30 });
+                if c.on_dequeue(soj, 1_000_000, now) {
+                    drops.push(i);
+                }
+                now += ms(3);
+            }
+            drops
+        };
+        assert_eq!(run(), run());
+    }
+}

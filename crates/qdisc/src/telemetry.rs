@@ -1,0 +1,100 @@
+//! Per-node qdisc counters threaded through `colibri-telemetry`.
+//!
+//! Each shard's private hierarchy registers its own set of handles under
+//! the shard's label; `Registry` aggregation then produces the pool-wide
+//! view for free. All counters are `PathDependent`: their totals are
+//! deterministic for a given shard geometry but shift when the steering
+//! layout changes (a packet admitted on shard 0 under 4 shards may land
+//! on shard 2 under 8).
+
+use colibri_telemetry::{Counter, Histogram, Registry, Stability};
+
+/// Per-class metric name suffixes, indexed by
+/// [`crate::TrafficClass::index`].
+const CLASS: [&str; 3] = ["control", "data", "best_effort"];
+
+/// Live telemetry handles for one qdisc instance (one per shard).
+pub struct QdiscTelemetry {
+    /// Packets admitted by the conformance facet.
+    pub admitted: Counter,
+    /// Packets rejected by a reservation bucket.
+    pub rate_limited: Counter,
+    /// Packets rejected by a per-host cap.
+    pub host_capped: Counter,
+    /// Packets accepted into leaf queues.
+    pub enqueued: Counter,
+    /// Arrivals tail-dropped on a full leaf.
+    pub dropped_overflow: Counter,
+    /// Codel head drops on best-effort leaves.
+    pub dropped_codel: Counter,
+    /// Reserved-class arrivals dropped at enqueue by conformance.
+    pub dropped_conform: Counter,
+    /// Queued packets discarded on reservation teardown.
+    pub dropped_teardown: Counter,
+    /// Packets served by the scheduler, per class.
+    pub served_pkts: [Counter; 3],
+    /// Bytes served by the scheduler, per class.
+    pub served_bytes: [Counter; 3],
+    /// Bytes served beyond the class guarantee (scavenged), per class.
+    pub scavenged_bytes: [Counter; 3],
+    /// Best-effort sojourn time at dequeue, nanoseconds.
+    pub sojourn_ns: Histogram,
+}
+
+impl QdiscTelemetry {
+    /// Registers the qdisc metric set under `label` in `registry`.
+    pub fn new(registry: &Registry, label: &str) -> Self {
+        let s = registry.shard(label);
+        let st = Stability::PathDependent;
+        let per_class = |prefix: &str, help: &str| {
+            [0, 1, 2].map(|i| {
+                s.counter(&format!("{prefix}_{}", CLASS[i]), st, help)
+            })
+        };
+        Self {
+            admitted: s.counter("qdisc_admitted_total", st, "packets admitted by conformance"),
+            rate_limited: s.counter(
+                "qdisc_rate_limited_total",
+                st,
+                "packets rejected by reservation buckets",
+            ),
+            host_capped: s.counter(
+                "qdisc_host_capped_total",
+                st,
+                "packets rejected by per-host caps",
+            ),
+            enqueued: s.counter("qdisc_enqueued_total", st, "packets accepted into leaf queues"),
+            dropped_overflow: s.counter(
+                "qdisc_dropped_overflow_total",
+                st,
+                "arrivals tail-dropped on full leaves",
+            ),
+            dropped_codel: s.counter(
+                "qdisc_dropped_codel_total",
+                st,
+                "codel head drops on best-effort leaves",
+            ),
+            dropped_conform: s.counter(
+                "qdisc_dropped_conform_total",
+                st,
+                "reserved arrivals dropped at enqueue by conformance",
+            ),
+            dropped_teardown: s.counter(
+                "qdisc_dropped_teardown_total",
+                st,
+                "queued packets discarded on reservation teardown",
+            ),
+            served_pkts: per_class("qdisc_served_pkts", "packets served by the scheduler"),
+            served_bytes: per_class("qdisc_served_bytes", "bytes served by the scheduler"),
+            scavenged_bytes: per_class(
+                "qdisc_scavenged_bytes",
+                "bytes served beyond the class guarantee",
+            ),
+            sojourn_ns: s.histogram(
+                "qdisc_be_sojourn_ns",
+                st,
+                "best-effort sojourn time at dequeue (ns)",
+            ),
+        }
+    }
+}

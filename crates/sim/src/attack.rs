@@ -249,7 +249,7 @@ mod tests {
                 hop_auths: vec![sigma, Key([0; 16])],
             }],
         };
-        let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600) });
+        let mut gw = Gateway::new(GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() });
         gw.install(&eer, now);
         gw.process(HostAddr(7), ResId(77), b"attack-template", now).unwrap().bytes
     }

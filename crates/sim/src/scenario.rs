@@ -201,7 +201,7 @@ fn run_phase(cfg: &ProtectionConfig, plan: &PhasePlan) -> PhaseResult {
         let k2 = res_ids[1].2.key;
         net.node_mut(fx.x).router.force_shape(k1, gbps(0.4), t0);
         net.node_mut(fx.x).router.force_shape(k2, gbps(0.8), t0);
-        net.node_mut(fx.s[0]).gateway.override_monitor_rate(res_ids[0].1, gbps(1000.0));
+        net.node_mut(fx.s[0]).gateway.override_monitor_rate(res_ids[0].1, gbps(1000.0), t0);
         net.node_mut(fx.s[0]).router.force_shape(k1, gbps(1000.0), t0);
     }
 

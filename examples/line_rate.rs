@@ -93,7 +93,7 @@ fn main() {
     // ── Stage 0: gateway stamping ───────────────────────────────────────
     let mut gw = ParallelGateway::new(
         SHARDS,
-        GatewayConfig { burst: Duration::from_secs(3600) },
+        GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() },
         packets + 1,
     );
     for id in 0..RESERVATIONS {

@@ -283,7 +283,7 @@ fn pool_scrapes_equal_cross_shard_shutdown_snapshots() {
     let registry = Registry::new();
     let mut pg = ParallelGateway::with_telemetry(
         3,
-        GatewayConfig { burst: Duration::from_secs(3600) },
+        GatewayConfig { burst: Duration::from_secs(3600), ..Default::default() },
         32,
         &registry,
     );
